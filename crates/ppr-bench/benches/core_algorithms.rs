@@ -1,0 +1,111 @@
+//! Criterion micro-benches for PPR's hot algorithmic paths:
+//!
+//! * the `O(L³)` chunking DP at realistic run counts,
+//! * nearest-codeword despreading (the per-codeword receive cost),
+//! * the fast chip channel (geometric skipping vs dense Bernoulli),
+//! * the feedback codec,
+//! * a full PP-ARQ session over a perfect pipe.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppr_core::arq::{run_session, PerfectChannel, PpArqConfig};
+use ppr_core::dp::{plan_chunks, CostModel};
+use ppr_core::feedback::Feedback;
+use ppr_core::runs::{RunLengths, UnitRange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn labels_with_l_bad_runs(l: usize, total: usize) -> Vec<bool> {
+    // Evenly spaced bad runs of length 3 across `total` units.
+    let mut labels = vec![true; total];
+    for i in 0..l {
+        let start = (i * total) / l;
+        for j in 0..3.min(total - start) {
+            labels[start + j] = false;
+        }
+    }
+    labels
+}
+
+fn bench_chunking_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunking_dp");
+    for l in [4usize, 16, 64, 128] {
+        let labels = labels_with_l_bad_runs(l, 1500);
+        let rl = RunLengths::from_labels(&labels);
+        let cost = CostModel::bytes(1500);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| plan_chunks(black_box(&rl), black_box(&cost)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_despreading(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let words: Vec<u32> = (0..3000).map(|_| rng.gen()).collect();
+    c.bench_function("despread_hard_3000_codewords", |b| {
+        b.iter(|| ppr_phy::spread::despread_hard(black_box(&words)))
+    });
+}
+
+fn bench_chip_channel(c: &mut Criterion) {
+    let chips = vec![false; 100_000];
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("chip_channel_100k");
+    for (name, p) in [("clean_1e-6", 1e-6), ("marginal_0.05", 0.05), ("jammed_0.5", 0.5)] {
+        let profile = ppr_channel::chip_channel::ErrorProfile::uniform(100_000, p);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ppr_channel::chip_channel::corrupt_chips(
+                    black_box(&chips),
+                    black_box(&profile),
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_feedback_codec(c: &mut Criterion) {
+    let bytes = vec![0xA5u8; 1500];
+    let chunks: Vec<UnitRange> =
+        (0..12).map(|i| UnitRange::new(i * 120, i * 120 + 40)).collect();
+    let fb = Feedback::from_plan(1, &bytes, chunks);
+    let encoded = fb.encode();
+    c.bench_function("feedback_encode", |b| b.iter(|| black_box(&fb).encode()));
+    c.bench_function("feedback_decode", |b| {
+        b.iter(|| Feedback::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_pparq_session(c: &mut Criterion) {
+    let payload = vec![0x5Au8; 250];
+    c.bench_function("pparq_session_clean_250B", |b| {
+        b.iter(|| {
+            run_session(black_box(&payload), PpArqConfig::default(), &mut PerfectChannel)
+        })
+    });
+}
+
+fn bench_modem(c: &mut Criterion) {
+    let modem = ppr_phy::modem::MskModem::new(4);
+    let chips = ppr_phy::modem::unpack_chip_words(&ppr_phy::spread::spread_bytes(&[0xA7; 125]));
+    let samples = modem.modulate(&chips);
+    c.bench_function("msk_modulate_1000_chips", |b| {
+        b.iter(|| modem.modulate(black_box(&chips[..1000])))
+    });
+    c.bench_function("msk_demodulate_1000_chips", |b| {
+        b.iter(|| modem.demodulate(black_box(&samples), 0, 1000, true))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chunking_dp,
+    bench_despreading,
+    bench_chip_channel,
+    bench_feedback_codec,
+    bench_pparq_session,
+    bench_modem,
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: PP-ARQ's DP chunking vs naive feedback strategies.
+//!
+//! Three receivers plan retransmission requests for the same corrupted
+//! packets:
+//!
+//! * **whole-packet** — the status quo: any error ⇒ resend all 1500 B;
+//! * **per-run** — request every bad run individually (no merging);
+//! * **DP chunking** — the paper's Eq. 4–5 optimum.
+//!
+//! The metric is the total recovery cost in bits: feedback descriptors +
+//! checksums + retransmitted data, exactly the DP's objective.
+
+use ppr_core::dp::{plan_chunks, CostModel};
+use ppr_core::runs::RunLengths;
+use ppr_sim::report::{fmt, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a corrupted-packet label pattern with bursty bad runs.
+fn bursty_labels(rng: &mut StdRng, total: usize, bursts: usize, mean_len: usize) -> Vec<bool> {
+    let mut labels = vec![true; total];
+    for _ in 0..bursts {
+        let len = 1 + (rng.gen::<f64>() * 2.0 * mean_len as f64) as usize;
+        let start = rng.gen_range(0..total);
+        for i in start..(start + len).min(total) {
+            labels[i] = false;
+        }
+    }
+    labels
+}
+
+fn main() {
+    ppr_bench::banner("Ablation: retransmission-request strategies");
+    let total = 1500usize;
+    let cost = CostModel::bytes(total);
+    let log_s = (total as f64).log2();
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+
+    let mut t = Table::new(&[
+        "scenario", "L (bad runs)", "whole-packet bits", "per-run bits", "DP bits", "DP saving",
+    ]);
+    for (name, bursts, mean_len) in [
+        ("light: 2 bursts x ~8B", 2usize, 8usize),
+        ("moderate: 6 bursts x ~15B", 6, 15),
+        ("heavy: 20 bursts x ~10B", 20, 10),
+        ("shredded: 80 bursts x ~2B", 80, 2),
+    ] {
+        let mut whole = 0.0;
+        let mut per_run = 0.0;
+        let mut dp = 0.0;
+        let mut l_sum = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            let labels = bursty_labels(&mut rng, total, bursts, mean_len);
+            let rl = RunLengths::from_labels(&labels);
+            l_sum += rl.l();
+            // Whole packet: one descriptor + all data again.
+            whole += 2.0 * log_s + (total as f64) * 8.0;
+            // Per-run: Eq. 4 for every bad run separately.
+            per_run += rl
+                .pairs
+                .iter()
+                .map(|p| {
+                    log_s
+                        + (p.bad_len.max(2) as f64).log2()
+                        + ((p.good_len * 8) as f64).min(16.0)
+                })
+                .sum::<f64>();
+            // DP optimum.
+            dp += plan_chunks(&rl, &cost).cost_bits;
+        }
+        let n = trials as f64;
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", l_sum as f64 / n),
+            fmt(whole / n),
+            fmt(per_run / n),
+            fmt(dp / n),
+            format!("{:.1}%", 100.0 * (1.0 - dp / per_run.min(whole))),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nExpected: DP <= per-run <= whole-packet everywhere; the DP's\n\
+         edge over per-run grows as runs get numerous and close together."
+    );
+}

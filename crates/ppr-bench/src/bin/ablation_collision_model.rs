@@ -1,0 +1,110 @@
+//! Ablation: collision chip-error models vs the DSP ground truth.
+//!
+//! During a collision the interferer is another DSSS signal, not
+//! Gaussian noise: each interferer chip either opposes or reinforces the
+//! victim's chip. This ablation sweeps the signal-to-interferer ratio
+//! and compares, against the sample-level DSP channel:
+//!
+//! * the **Gaussian** approximation `p = Q(√(2·SINR))`, and
+//! * the **two-mass** dominant-interferer model used by the fast
+//!   backend (`ppr-channel::ber::chip_error_prob_dominant`).
+//!
+//! The quantities compared are what SoftPHY exposes upward: chip error
+//! rate, codeword error rate, and mean Hamming hint.
+
+use ppr_channel::ber::{chip_error_prob, chip_error_prob_dominant, sinr};
+use ppr_channel::sample_channel::{render, WaveformTx};
+use ppr_phy::modem::{pack_chip_words, unpack_chip_words, MskModem};
+use ppr_phy::spread::{bytes_to_symbols, despread_hard, spread_bytes};
+use ppr_sim::report::{fmt, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    ppr_bench::banner("Ablation: collision chip-error models");
+    let sps = 4;
+    let modem = MskModem::new(sps);
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+
+    let payload: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
+    let tx_symbols = bytes_to_symbols(&payload);
+    let words = spread_bytes(&payload);
+    let chips = unpack_chip_words(&words);
+
+    // Interferer: an independent chip stream, offset by a non-multiple
+    // of 32 so its codewords straddle the victim's grid.
+    let i_payload: Vec<u8> = (0..1550).map(|_| rng.gen()).collect();
+    let i_chips = unpack_chip_words(&spread_bytes(&i_payload));
+
+    let noise_mw = 0.01; // 20+ dB below the unit-power signal
+    let snr = sps as f64 / noise_mw; // matched-filter chip SNR convention
+
+    let mut t = Table::new(&[
+        "SIR (dB)",
+        "chip err DSP",
+        "chip err 2-mass",
+        "chip err gauss",
+        "cw err DSP",
+        "cw err 2-mass*",
+        "mean hint DSP",
+    ]);
+    for sir_db in [12.0f64, 6.0, 3.0, 0.0, -3.0, -6.0] {
+        let i_power = 10f64.powf(-sir_db / 10.0);
+        // DSP ground truth.
+        let duration = modem.samples_for_chips(chips.len());
+        let txs = vec![
+            WaveformTx { chips: chips.clone(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
+            WaveformTx {
+                chips: i_chips.clone(),
+                start_sample: 12 * sps, // 12-chip offset: grid-misaligned
+                power_mw: i_power,
+                phase: 0.2,
+            },
+        ];
+        let samples = render(&modem, &txs, duration, noise_mw * sps as f64 / snr, &mut rng);
+        let rx_chips = modem.demodulate_hard(&samples, 0, chips.len(), true);
+        // Skip the first codeword (interferer not yet present).
+        let skip = 32;
+        let chip_err_dsp = rx_chips[skip..]
+            .iter()
+            .zip(&chips[skip..])
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / (chips.len() - skip) as f64;
+        let decisions = despread_hard(&pack_chip_words(&rx_chips));
+        let cw_err_dsp = decisions[1..]
+            .iter()
+            .zip(&tx_symbols[1..])
+            .filter(|(d, &t)| d.symbol != t)
+            .count() as f64
+            / (tx_symbols.len() - 1) as f64;
+        let hint_dsp = decisions[1..].iter().map(|d| d.distance as f64).sum::<f64>()
+            / (decisions.len() - 1) as f64;
+
+        // Analytic models (noise at the same calibrated level).
+        let n_eff = 1.0 / snr; // mW equivalent in the p=Q(√(2·SNR)) convention
+        let p_two_mass = chip_error_prob_dominant(1.0, i_power, 0.0, n_eff);
+        let p_gauss = chip_error_prob(sinr(1.0, i_power, n_eff));
+        // Codeword error rate implied by the two-mass chip error rate
+        // (independent-flip binomial against the decode radius).
+        let cw_two_mass = ppr_channel::ber::codeword_error_upper_bound(p_two_mass);
+
+        t.row(&[
+            format!("{sir_db}"),
+            fmt(chip_err_dsp),
+            fmt(p_two_mass),
+            fmt(p_gauss),
+            fmt(cw_err_dsp),
+            fmt(cw_two_mass),
+            fmt(hint_dsp),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n(* union bound, an overestimate near its saturation)\n\n\
+         Expected: the Gaussian model severely underestimates chip errors\n\
+         near SIR 0 dB, where the two-mass model tracks the DSP truth;\n\
+         both converge at high SIR. This is why the fast network backend\n\
+         models the dominant interferer exactly."
+    );
+}

@@ -1,0 +1,63 @@
+//! Runs every experiment and prints the full report, ending with the
+//! regenerated Table 1 summary.
+
+use ppr_sim::experiments::{
+    common::default_duration, fdr, fig03, fig13, fig14, fig15, fig16, mrd, relay,
+    table1_summary, table2, throughput,
+};
+
+fn main() {
+    let d = default_duration();
+    ppr_bench::banner("ALL EXPERIMENTS");
+    println!("simulated duration per run: {d} s (override with PPR_DURATION)\n");
+
+    let data = fig03::collect(d);
+    print!("{}", fig03::render(&data));
+    println!();
+
+    let rows = table2::collect(d);
+    print!("{}", table2::render(&rows));
+    println!();
+
+    for (fig, load, cs) in
+        [("Figure 8", 3.5, true), ("Figure 9", 3.5, false), ("Figure 10", 13.8, false)]
+    {
+        let curves = fdr::collect(load, cs, d);
+        print!("{}", fdr::render(fig, load, cs, &curves));
+        println!();
+    }
+
+    let curves = throughput::collect_fig11(6.9, d);
+    print!("{}", throughput::render_fig11(6.9, &curves));
+    println!();
+
+    let points = throughput::collect_fig12(d);
+    print!("{}", throughput::render_fig12(&points));
+    println!();
+
+    let anatomy = fig13::collect();
+    print!("{}", fig13::render_anatomy(&anatomy));
+    println!();
+
+    let hist = fig14::collect(d);
+    print!("{}", fig14::render(&hist));
+    println!();
+
+    let fa = fig15::collect(d);
+    print!("{}", fig15::render(&fa));
+    println!();
+
+    let arq = fig16::collect(300);
+    print!("{}", fig16::render(&arq));
+    println!();
+
+    let diversity = mrd::collect(d);
+    print!("{}", mrd::render(&diversity));
+    println!();
+
+    let fwd = relay::collect(400, 200, 0xE20);
+    print!("{}", relay::render(&fwd));
+    println!();
+
+    print!("{}", table1_summary(d.min(30.0)));
+}

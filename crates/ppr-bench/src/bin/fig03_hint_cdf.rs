@@ -1,0 +1,9 @@
+//! Figure 3: Hamming-distance CDFs for correct vs incorrect codewords.
+
+use ppr_sim::experiments::{common::default_duration, fig03};
+
+fn main() {
+    ppr_bench::banner("Figure 3: SoftPHY hint distributions");
+    let data = fig03::collect(default_duration());
+    print!("{}", fig03::render(&data));
+}

@@ -1,0 +1,9 @@
+//! Figure 8: per-link frame delivery rate, carrier sense ON, 3.5 kbit/s.
+
+use ppr_sim::experiments::{common::default_duration, fdr};
+
+fn main() {
+    ppr_bench::banner("Figure 8: FDR, carrier sense on, moderate load");
+    let curves = fdr::collect(3.5, true, default_duration());
+    print!("{}", fdr::render("Figure 8", 3.5, true, &curves));
+}

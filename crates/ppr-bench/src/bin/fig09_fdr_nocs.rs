@@ -1,0 +1,9 @@
+//! Figure 9: per-link frame delivery rate, carrier sense OFF, 3.5 kbit/s.
+
+use ppr_sim::experiments::{common::default_duration, fdr};
+
+fn main() {
+    ppr_bench::banner("Figure 9: FDR, carrier sense off, moderate load");
+    let curves = fdr::collect(3.5, false, default_duration());
+    print!("{}", fdr::render("Figure 9", 3.5, false, &curves));
+}

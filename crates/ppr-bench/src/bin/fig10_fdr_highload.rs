@@ -1,0 +1,10 @@
+//! Figure 10: per-link frame delivery rate, carrier sense OFF,
+//! 13.8 kbit/s/node (high load).
+
+use ppr_sim::experiments::{common::default_duration, fdr};
+
+fn main() {
+    ppr_bench::banner("Figure 10: FDR, carrier sense off, high load");
+    let curves = fdr::collect(13.8, false, default_duration());
+    print!("{}", fdr::render("Figure 10", 13.8, false, &curves));
+}

@@ -1,0 +1,9 @@
+//! Figure 11: end-to-end per-link throughput CDF at 6.9 kbit/s/node.
+
+use ppr_sim::experiments::{common::default_duration, throughput};
+
+fn main() {
+    ppr_bench::banner("Figure 11: per-link throughput, near saturation");
+    let curves = throughput::collect_fig11(6.9, default_duration());
+    print!("{}", throughput::render_fig11(6.9, &curves));
+}

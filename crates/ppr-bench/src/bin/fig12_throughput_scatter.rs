@@ -1,0 +1,10 @@
+//! Figure 12: per-link throughput scatter — PPR and packet CRC vs the
+//! fragmented-CRC baseline, at all three loads.
+
+use ppr_sim::experiments::{common::default_duration, throughput};
+
+fn main() {
+    ppr_bench::banner("Figure 12: throughput scatter vs fragmented CRC");
+    let points = throughput::collect_fig12(default_duration());
+    print!("{}", throughput::render_fig12(&points));
+}

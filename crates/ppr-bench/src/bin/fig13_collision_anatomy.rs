@@ -1,0 +1,9 @@
+//! Figure 13: anatomy of a collision (sample-level DSP path).
+
+use ppr_sim::experiments::fig13;
+
+fn main() {
+    ppr_bench::banner("Figure 13: collision anatomy (DSP path)");
+    let anatomy = fig13::collect();
+    print!("{}", fig13::render_anatomy(&anatomy));
+}

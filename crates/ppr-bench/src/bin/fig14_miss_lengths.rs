@@ -1,0 +1,9 @@
+//! Figure 14: CCDF of contiguous miss lengths at η ∈ {1,2,3,4}.
+
+use ppr_sim::experiments::{common::default_duration, fig14};
+
+fn main() {
+    ppr_bench::banner("Figure 14: contiguous miss lengths");
+    let hist = fig14::collect(default_duration());
+    print!("{}", fig14::render(&hist));
+}

@@ -1,0 +1,9 @@
+//! Figure 15: false-alarm rate vs threshold η, per offered load.
+
+use ppr_sim::experiments::{common::default_duration, fig15};
+
+fn main() {
+    ppr_bench::banner("Figure 15: false-alarm rates");
+    let data = fig15::collect(default_duration());
+    print!("{}", fig15::render(&data));
+}

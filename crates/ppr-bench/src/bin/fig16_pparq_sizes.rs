@@ -1,0 +1,9 @@
+//! Figure 16: PP-ARQ partial-retransmission size distribution.
+
+use ppr_sim::experiments::fig16;
+
+fn main() {
+    ppr_bench::banner("Figure 16: PP-ARQ retransmission sizes");
+    let run = fig16::collect(300);
+    print!("{}", fig16::render(&run));
+}

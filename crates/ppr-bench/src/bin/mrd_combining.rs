@@ -1,0 +1,9 @@
+//! Extension: SoftPHY multi-radio diversity combining (§8.4).
+
+use ppr_sim::experiments::{common::default_duration, mrd};
+
+fn main() {
+    ppr_bench::banner("Extension: multi-radio diversity combining");
+    let r = mrd::collect(default_duration());
+    print!("{}", mrd::render(&r));
+}

@@ -1,0 +1,37 @@
+//! Stage-by-stage timing probe for the simulator's hot path. Not a paper
+//! experiment — a development tool for keeping the experiment binaries'
+//! runtime sane.
+
+use ppr_mac::schemes::DeliveryScheme;
+use ppr_sim::experiments::common::CapacityRun;
+use ppr_sim::network::RxArm;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let run = CapacityRun::new(13.8, false, 5.0);
+    println!("timeline: {} txs in {:?}", run.timeline.len(), t0.elapsed());
+
+    for (name, arm) in [
+        (
+            "ppr+post",
+            RxArm { scheme: DeliveryScheme::Ppr { eta: 6 }, postamble: true, collect_symbols: false },
+        ),
+        (
+            "pkt+nopost",
+            RxArm { scheme: DeliveryScheme::PacketCrc, postamble: false, collect_symbols: false },
+        ),
+        (
+            "frag+post",
+            RxArm {
+                scheme: DeliveryScheme::FragmentedCrc { frag_payload: 50 },
+                postamble: true,
+                collect_symbols: false,
+            },
+        ),
+    ] {
+        let t = Instant::now();
+        let recs = run.receptions(&arm);
+        println!("{name}: {} receptions in {:?}", recs.len(), t.elapsed());
+    }
+}

@@ -1,0 +1,88 @@
+//! Finer-grained probe: times each stage of one reception evaluation.
+
+use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
+use ppr_channel::overlap::{interference_profile, HeardTx};
+use ppr_mac::frame::Frame;
+use ppr_mac::schemes::DeliveryScheme;
+use ppr_sim::experiments::common::CapacityRun;
+use ppr_sim::network::{build_body_padded, payload_pattern};
+use ppr_sim::rxpath::FastRx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let run = CapacityRun::new(13.8, false, 5.0);
+    let env = &run.env;
+    let noise = env.model.noise_mw();
+    let scheme = DeliveryScheme::Ppr { eta: 6 };
+    let fast = FastRx::new(true);
+    let r = 0usize;
+
+    let heard: Vec<HeardTx> = run
+        .timeline
+        .iter()
+        .map(|tx| HeardTx {
+            id: tx.id,
+            start_chip: tx.start_chip,
+            len_chips: tx.len_chips,
+            power_mw: env.s2r_mw[tx.sender][r],
+        })
+        .collect();
+
+    let (mut t_pattern, mut t_frame, mut t_chips, mut t_profile, mut t_corrupt, mut t_rx, mut t_deliver) =
+        (0.0f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut n = 0;
+    for (i, tx) in run.timeline.iter().enumerate().take(60) {
+        let signal = env.s2r_mw[tx.sender][r];
+        if signal / noise < 0.16 {
+            continue;
+        }
+        n += 1;
+        let t = Instant::now();
+        let payload = payload_pattern(tx.sender, tx.seq, scheme.payload_len(1500));
+        t_pattern += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let body = build_body_padded(&scheme, &payload, 1500);
+        let frame = Frame::new(r as u16, tx.sender as u16, tx.seq, body);
+        t_frame += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let chips = frame.chips();
+        t_chips += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let spans = interference_profile(&heard[i], &heard);
+        let profile = ErrorProfile::from_interference(signal, noise, &spans);
+        t_profile += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut rng = StdRng::seed_from_u64(tx.id);
+        let corrupted = corrupt_chips(&chips, &profile, &mut rng);
+        t_corrupt += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let (_acq, rx_frame) = fast.receive(&frame, &corrupted, true);
+        t_rx += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        if let Some(rx) = rx_frame {
+            let _ = scheme.deliver(&rx);
+            let _ = rx.pkt_crc_ok();
+        }
+        t_deliver += t.elapsed().as_secs_f64();
+    }
+    println!("over {n} receptions (ms total):");
+    for (name, v) in [
+        ("payload_pattern", t_pattern),
+        ("frame build", t_frame),
+        ("chips", t_chips),
+        ("profile", t_profile),
+        ("corrupt", t_corrupt),
+        ("receive", t_rx),
+        ("deliver+crc", t_deliver),
+    ] {
+        println!("  {name:<16} {:8.1}", v * 1000.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension: partial-packet forwarding over a 2-hop mesh (§8.4).
+
+use ppr_sim::experiments::relay;
+
+fn main() {
+    ppr_bench::banner("Extension: partial-packet mesh forwarding");
+    let r = relay::collect(400, 200, 0xE20);
+    print!("{}", relay::render(&r));
+}

@@ -1,0 +1,9 @@
+//! Table 2: fragmented-CRC aggregate throughput vs chunk count.
+
+use ppr_sim::experiments::{common::default_duration, table2};
+
+fn main() {
+    ppr_bench::banner("Table 2: fragmented-CRC chunk-size sweep");
+    let rows = table2::collect(default_duration());
+    print!("{}", table2::render(&rows));
+}

@@ -1,0 +1,29 @@
+//! # `ppr-bench` — experiment binaries and criterion benches
+//!
+//! One binary per paper table/figure (see `src/bin/`), each printing the
+//! rows/series the paper reports, plus criterion micro-benches for the
+//! hot algorithmic paths (the chunking DP, the despreader, the chip
+//! channel).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p ppr-bench --bin all_experiments
+//! ```
+//!
+//! Individual figures: `fig03_hint_cdf`, `fig08_fdr_cs`,
+//! `fig09_fdr_nocs`, `fig10_fdr_highload`, `fig11_throughput_cdf`,
+//! `fig12_throughput_scatter`, `fig13_collision_anatomy`,
+//! `fig14_miss_lengths`, `fig15_false_alarms`, `fig16_pparq_sizes`,
+//! `table2_fragcrc_chunks`, and the ablations `ablation_eta`,
+//! `ablation_hints`, `ablation_arq_strategies`.
+//!
+//! Set `PPR_DURATION=<seconds>` to shorten/lengthen the simulated
+//! duration (default 90 s).
+
+/// Prints a standard experiment banner.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("PPR reproduction — {title}");
+    println!("{}", "=".repeat(72));
+}

@@ -1,0 +1,274 @@
+//! Fast chip-level channel backend.
+//!
+//! For network-scale experiments the sample-level DSP path is three orders
+//! of magnitude too slow (23 senders × minutes of airtime × 8 samples per
+//! chip). This backend keeps the exact chip/codeword geometry — every chip
+//! of every frame is individually flipped or preserved — but replaces the
+//! waveform with the analytic chip-error probability of the matched-filter
+//! receiver ([`crate::ber::chip_error_prob`]).
+//!
+//! `tests/channel_parity.rs` (workspace root) verifies the two backends
+//! agree on codeword error statistics, which is what every higher layer
+//! consumes.
+
+use crate::ber::{chip_error_prob, chip_error_prob_dominant, sinr};
+use crate::overlap::InterferenceSpan;
+use rand::Rng;
+
+/// Per-chip error-probability profile of one packet at one receiver:
+/// piecewise-constant spans tiling the frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProfile {
+    spans: Vec<(u64, u64, f64)>, // (start, end, chip error prob)
+    len_chips: u64,
+}
+
+impl ErrorProfile {
+    /// Builds the profile from the target's received power, the
+    /// interference profile over it, and the receiver noise floor.
+    ///
+    /// The strongest interferer of each span is modeled with the exact
+    /// two-mass collision statistics
+    /// ([`chip_error_prob_dominant`]); only the residual interference is
+    /// Gaussian-approximated.
+    pub fn from_interference(
+        signal_mw: f64,
+        noise_mw: f64,
+        interference: &[InterferenceSpan],
+    ) -> Self {
+        let mut spans = Vec::with_capacity(interference.len());
+        let mut len = 0;
+        for s in interference {
+            let residual = (s.interference_mw - s.dominant_mw).max(0.0);
+            let p = chip_error_prob_dominant(signal_mw, s.dominant_mw, residual, noise_mw);
+            spans.push((s.start, s.end, p));
+            len = s.end;
+        }
+        ErrorProfile { spans, len_chips: len }
+    }
+
+    /// Like [`Self::from_interference`] but with every interferer
+    /// Gaussian-approximated — the simpler textbook model, kept for the
+    /// collision-model ablation.
+    pub fn from_interference_gaussian(
+        signal_mw: f64,
+        noise_mw: f64,
+        interference: &[InterferenceSpan],
+    ) -> Self {
+        let mut spans = Vec::with_capacity(interference.len());
+        let mut len = 0;
+        for s in interference {
+            let p = chip_error_prob(sinr(signal_mw, s.interference_mw, noise_mw));
+            spans.push((s.start, s.end, p));
+            len = s.end;
+        }
+        ErrorProfile { spans, len_chips: len }
+    }
+
+    /// A uniform profile (single SINR for the whole frame).
+    pub fn uniform(len_chips: u64, chip_error: f64) -> Self {
+        ErrorProfile { spans: vec![(0, len_chips, chip_error)], len_chips }
+    }
+
+    /// A profile from explicit `(start, end, chip_error)` pieces, in
+    /// order. Used by scenario builders that specify error rates
+    /// directly rather than deriving them from interference powers.
+    pub fn from_pieces(pieces: Vec<(u64, u64, f64)>) -> Self {
+        let len_chips = pieces.last().map(|&(_, e, _)| e).unwrap_or(0);
+        ErrorProfile { spans: pieces, len_chips }
+    }
+
+    /// Frame length covered, in chips.
+    pub fn len_chips(&self) -> u64 {
+        self.len_chips
+    }
+
+    /// Chip error probability at a given chip offset (0 outside spans).
+    pub fn prob_at(&self, chip: u64) -> f64 {
+        self.spans
+            .iter()
+            .find(|(s, e, _)| *s <= chip && chip < *e)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// The raw spans (start, end, chip error probability).
+    pub fn spans(&self) -> &[(u64, u64, f64)] {
+        &self.spans
+    }
+
+    /// Expected number of chip errors over the whole frame.
+    pub fn expected_errors(&self) -> f64 {
+        self.spans.iter().map(|(s, e, p)| (e - s) as f64 * p).sum()
+    }
+}
+
+/// Applies an error profile to a transmitted chip stream, flipping each
+/// chip independently with its span's probability.
+///
+/// `chips.len()` may be shorter than the profile (truncated receptions);
+/// extra profile coverage is ignored.
+pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R) -> Vec<bool> {
+    let mut out = chips.to_vec();
+    for &(start, end, p) in profile.spans() {
+        // Below 1e-12 the expected error count over even a maximal frame
+        // (~10^5 chips) is < 10^-7: treat as error-free. This also guards
+        // the geometric sampler below: for p < 2^-53, ln(1-p) rounds to
+        // 0 and the skip length would diverge.
+        if p < 1e-12 {
+            continue;
+        }
+        let lo = start.min(out.len() as u64) as usize;
+        let hi = end.min(out.len() as u64) as usize;
+        if p >= 0.5 {
+            // Fully jammed span: each chip is an independent coin flip.
+            for c in &mut out[lo..hi] {
+                *c = rng.gen();
+            }
+            continue;
+        }
+        // Geometric skipping: jump straight to the next error instead of
+        // rolling a Bernoulli per chip. For good links (p ~ 1e-6) this is
+        // what makes minutes of simulated airtime cheap.
+        let q = (-p).ln_1p(); // ln(1 - p), accurate for small p
+        // Start one position before the span so the first chip can err.
+        let mut idx = lo as f64 - 1.0;
+        loop {
+            let u: f64 = rng.gen();
+            if u <= f64::MIN_POSITIVE {
+                continue;
+            }
+            idx += (u.ln() / q).floor() + 1.0;
+            if idx >= hi as f64 {
+                break;
+            }
+            let i = idx as usize;
+            out[i] = !out[i];
+        }
+    }
+    out
+}
+
+/// Counts chip errors per 32-chip codeword between a transmitted and a
+/// received chip stream — ground truth for SoftPHY hint evaluation.
+pub fn codeword_flip_counts(tx: &[bool], rx: &[bool]) -> Vec<u8> {
+    tx.chunks(32)
+        .zip(rx.chunks(32))
+        .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x != y).count() as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_error_profile_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let chips: Vec<bool> = (0..4096).map(|i| i % 3 == 0).collect();
+        let profile = ErrorProfile::uniform(4096, 0.0);
+        assert_eq!(corrupt_chips(&chips, &profile, &mut rng), chips);
+    }
+
+    #[test]
+    fn uniform_error_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let chips = vec![false; n];
+        let p = 0.03;
+        let profile = ErrorProfile::uniform(n as u64, p);
+        let rx = corrupt_chips(&chips, &profile, &mut rng);
+        let errors = rx.iter().filter(|&&c| c).count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - p).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
+    fn jammed_span_is_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let chips = vec![false; n];
+        let profile = ErrorProfile::uniform(n as u64, 0.5);
+        let rx = corrupt_chips(&chips, &profile, &mut rng);
+        let ones = rx.iter().filter(|&&c| c).count() as f64 / n as f64;
+        assert!((ones - 0.5).abs() < 0.03, "ones {ones}");
+    }
+
+    #[test]
+    fn errors_respect_span_boundaries() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 3000u64;
+        let chips = vec![false; n as usize];
+        // Only the middle third is noisy.
+        let profile = ErrorProfile {
+            spans: vec![(0, 1000, 0.0), (1000, 2000, 0.3), (2000, 3000, 0.0)],
+            len_chips: n,
+        };
+        let rx = corrupt_chips(&chips, &profile, &mut rng);
+        assert!(rx[..1000].iter().all(|&c| !c));
+        assert!(rx[2000..].iter().all(|&c| !c));
+        let mid = rx[1000..2000].iter().filter(|&&c| c).count();
+        assert!(mid > 200 && mid < 400, "mid errors {mid}");
+    }
+
+    #[test]
+    fn truncated_chip_stream_is_handled() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let chips = vec![true; 100];
+        let profile = ErrorProfile::uniform(1000, 0.1);
+        let rx = corrupt_chips(&chips, &profile, &mut rng);
+        assert_eq!(rx.len(), 100);
+    }
+
+    #[test]
+    fn profile_from_interference_maps_sinr() {
+        use crate::overlap::InterferenceSpan;
+        let signal = 1e-7; // -40 dBm
+        let noise = 1e-10; // -70 dBm → SNR 30 dB, error ~0
+        let jam = 1e-6; // 10 dB above signal → SINR ≈ -10 dB
+        let profile = ErrorProfile::from_interference(
+            signal,
+            noise,
+            &[
+                InterferenceSpan { start: 0, end: 100, interference_mw: 0.0, dominant_mw: 0.0 },
+                InterferenceSpan { start: 100, end: 200, interference_mw: jam, dominant_mw: jam },
+            ],
+        );
+        assert!(profile.prob_at(50) < 1e-9);
+        assert!(profile.prob_at(150) > 0.2);
+        assert_eq!(profile.len_chips(), 200);
+    }
+
+    #[test]
+    fn expected_errors_matches_simulation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 100_000u64;
+        let profile = ErrorProfile {
+            spans: vec![(0, 50_000, 0.01), (50_000, 100_000, 0.2)],
+            len_chips: n,
+        };
+        let chips = vec![false; n as usize];
+        let expect = profile.expected_errors();
+        let mut total = 0usize;
+        let trials = 5;
+        for _ in 0..trials {
+            let rx = corrupt_chips(&chips, &profile, &mut rng);
+            total += rx.iter().filter(|&&c| c).count();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} expect {expect}");
+    }
+
+    #[test]
+    fn flip_counts_ground_truth() {
+        let tx = vec![false; 96];
+        let mut rx = tx.clone();
+        rx[0] = true; // codeword 0: 1 flip
+        rx[40] = true; // codeword 1: 2 flips
+        rx[41] = true;
+        let counts = codeword_flip_counts(&tx, &rx);
+        assert_eq!(counts, vec![1, 2, 0]);
+    }
+}

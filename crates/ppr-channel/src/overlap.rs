@@ -1,0 +1,219 @@
+//! Interference span computation for concurrent transmissions.
+//!
+//! Every packet a receiver hears competes with whatever else is on the air
+//! during (parts of) its flight (paper Fig. 5). This module turns a set of
+//! concurrent transmissions into, for one *target* transmission, a
+//! piecewise-constant interference-power profile over the target's chips.
+//! Each piece then maps to one chip-error probability in the fast channel.
+
+/// A transmission as seen by one receiver: absolute chip-clock start, chip
+/// length of the whole frame, and received power at that receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeardTx {
+    /// Identifier of the transmission (simulator-assigned).
+    pub id: u64,
+    /// Absolute chip index when the first chip of the frame arrives.
+    pub start_chip: u64,
+    /// Frame length in chips (preamble through postamble).
+    pub len_chips: u64,
+    /// Received power at the receiver, mW.
+    pub power_mw: f64,
+}
+
+impl HeardTx {
+    /// Exclusive end of the transmission on the chip clock.
+    #[inline]
+    pub fn end_chip(&self) -> u64 {
+        self.start_chip + self.len_chips
+    }
+
+    /// Does this transmission overlap `[from, to)` on the chip clock?
+    #[inline]
+    pub fn overlaps(&self, from: u64, to: u64) -> bool {
+        self.start_chip < to && from < self.end_chip()
+    }
+}
+
+/// One piece of the interference profile, in chip offsets *relative to the
+/// target transmission's first chip*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceSpan {
+    /// First chip (inclusive) of the span, relative to the target.
+    pub start: u64,
+    /// One-past-last chip of the span, relative to the target.
+    pub end: u64,
+    /// Total interference power from all overlapping transmissions, mW.
+    pub interference_mw: f64,
+    /// Power of the single strongest interferer in this span, mW.
+    ///
+    /// A DSSS collision is not Gaussian: each interferer chip either
+    /// opposes or reinforces the signal chip, so the chip error
+    /// probability is bimodal in the dominant interferer's amplitude.
+    /// The chip channel models the strongest interferer exactly and
+    /// only Gaussian-approximates the residue
+    /// (`interference_mw − dominant_mw`).
+    pub dominant_mw: f64,
+}
+
+impl InterferenceSpan {
+    /// Number of chips covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the span covers no chips.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Computes the piecewise-constant interference profile over `target`,
+/// given all transmissions the receiver hears (the target itself is
+/// skipped by id). Spans tile `[0, target.len_chips)` exactly, in order,
+/// with zero-interference gaps included.
+pub fn interference_profile(target: &HeardTx, heard: &[HeardTx]) -> Vec<InterferenceSpan> {
+    // Collect the clipped intervals and power-change events.
+    let mut clipped: Vec<(u64, u64, f64)> = Vec::new();
+    let mut events: Vec<(u64, f64)> = Vec::new(); // (relative chip, power delta)
+    for tx in heard {
+        if tx.id == target.id || !tx.overlaps(target.start_chip, target.end_chip()) {
+            continue;
+        }
+        let from = tx.start_chip.max(target.start_chip) - target.start_chip;
+        let to = tx.end_chip().min(target.end_chip()) - target.start_chip;
+        if from < to {
+            clipped.push((from, to, tx.power_mw));
+            events.push((from, tx.power_mw));
+            events.push((to, -tx.power_mw));
+        }
+    }
+    events.sort_by_key(|a| a.0);
+
+    let mut spans = Vec::new();
+    let mut cursor = 0u64;
+    let mut level = 0.0f64;
+    let mut i = 0;
+    let mut push = |start: u64, end: u64, level: f64| {
+        let dominant = clipped
+            .iter()
+            .filter(|&&(f, t, _)| f < end && start < t)
+            .map(|&(_, _, p)| p)
+            .fold(0.0f64, f64::max);
+        spans.push(InterferenceSpan {
+            start,
+            end,
+            interference_mw: level.max(0.0),
+            dominant_mw: dominant.min(level.max(0.0)),
+        });
+    };
+    while i < events.len() {
+        let at = events[i].0;
+        if at > cursor {
+            push(cursor, at, level);
+            cursor = at;
+        }
+        // Apply all events at this chip index.
+        while i < events.len() && events[i].0 == at {
+            level += events[i].1;
+            i += 1;
+        }
+    }
+    if cursor < target.len_chips {
+        push(cursor, target.len_chips, level);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64, start: u64, len: u64, power: f64) -> HeardTx {
+        HeardTx { id, start_chip: start, len_chips: len, power_mw: power }
+    }
+
+    #[test]
+    fn no_interferers_single_zero_span() {
+        let target = tx(1, 100, 50, 1.0);
+        let spans = interference_profile(&target, &[target]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (0, 50));
+        assert_eq!(spans[0].interference_mw, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_produces_three_spans() {
+        let target = tx(1, 100, 100, 1.0);
+        let other = tx(2, 140, 30, 0.5);
+        let spans = interference_profile(&target, &[target, other]);
+        assert_eq!(
+            spans,
+            vec![
+                InterferenceSpan { start: 0, end: 40, interference_mw: 0.0, dominant_mw: 0.0 },
+                InterferenceSpan { start: 40, end: 70, interference_mw: 0.5, dominant_mw: 0.5 },
+                InterferenceSpan { start: 70, end: 100, interference_mw: 0.0, dominant_mw: 0.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_interferers_sum_power() {
+        let target = tx(1, 0, 100, 1.0);
+        let a = tx(2, 10, 50, 0.3); // covers [10, 60)
+        let b = tx(3, 40, 100, 0.7); // covers [40, 100)
+        let spans = interference_profile(&target, &[a, b, target]);
+        assert_eq!(spans.len(), 4);
+        assert!((spans[1].interference_mw - 0.3).abs() < 1e-12); // [10,40)
+        assert!((spans[2].interference_mw - 1.0).abs() < 1e-12); // [40,60)
+        assert!((spans[3].interference_mw - 0.7).abs() < 1e-12); // [60,100)
+    }
+
+    #[test]
+    fn interferer_straddling_start_is_clipped() {
+        let target = tx(1, 1000, 80, 1.0);
+        let early = tx(2, 900, 150, 0.2); // ends at 1050 → covers [0, 50)
+        let spans = interference_profile(&target, &[early]);
+        assert_eq!(spans[0], InterferenceSpan { start: 0, end: 50, interference_mw: 0.2, dominant_mw: 0.2 });
+        assert_eq!(spans[1], InterferenceSpan { start: 50, end: 80, interference_mw: 0.0, dominant_mw: 0.0 });
+    }
+
+    #[test]
+    fn spans_tile_target_exactly() {
+        let target = tx(1, 0, 1000, 1.0);
+        let heard: Vec<HeardTx> =
+            (0..20).map(|i| tx(i + 2, i * 37, 113, 0.1 * (i as f64 + 1.0))).collect();
+        let spans = interference_profile(&target, &heard);
+        let mut cursor = 0;
+        for s in &spans {
+            assert_eq!(s.start, cursor, "gap before {s:?}");
+            assert!(s.end > s.start);
+            cursor = s.end;
+        }
+        assert_eq!(cursor, 1000);
+    }
+
+    #[test]
+    fn non_overlapping_tx_ignored() {
+        let target = tx(1, 100, 50, 1.0);
+        let before = tx(2, 0, 100, 9.0); // ends exactly at target start
+        let after = tx(3, 150, 10, 9.0); // begins exactly at target end
+        let spans = interference_profile(&target, &[before, after]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].interference_mw, 0.0);
+    }
+
+    #[test]
+    fn identical_interval_interferers_merge() {
+        let target = tx(1, 0, 64, 1.0);
+        let a = tx(2, 16, 16, 0.25);
+        let b = tx(3, 16, 16, 0.75);
+        let spans = interference_profile(&target, &[a, b]);
+        assert_eq!(spans.len(), 3);
+        assert!((spans[1].interference_mw - 1.0).abs() < 1e-12);
+        // Power level returns to zero after both end (no float residue
+    	// big enough to create a phantom span).
+        assert_eq!(spans[2].interference_mw, 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bit-exact serialization helpers.
+//!
+//! PP-ARQ's whole point is feedback-bit economy, so the feedback codec
+//! counts bits honestly: offsets and lengths are written with exactly
+//! `⌈log₂(S+1)⌉` bits, not rounded up to whole bytes per field. These
+//! little-endian-within-byte writers/readers are shared by the feedback
+//! and retransmission codecs.
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Writes the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            let bit = (value >> i) & 1 == 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit {
+                self.bytes[byte_idx] |= 1 << (self.bit_len % 8);
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u64, 1);
+    }
+
+    /// Finishes, returning the packed bytes (final partial byte
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Sequential bit reader over packed bytes.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at bit position 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads `width` bits (LSB first). Returns `None` when the input is
+    /// exhausted — feedback packets arrive over a radio; truncation is a
+    /// normal failure, not a panic.
+    pub fn read(&mut self, width: usize) -> Option<u64> {
+        if width > 64 || self.remaining() < width {
+            return None;
+        }
+        let mut value = 0u64;
+        for i in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            if (byte >> (self.pos % 8)) & 1 == 1 {
+                value |= 1 << i;
+            }
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read(1).map(|v| v == 1)
+    }
+}
+
+/// Bits needed to describe a value in `0..=max` (at least 1).
+pub fn width_for(max: usize) -> usize {
+    (usize::BITS - max.leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(5, 3);
+        w.write(0, 1);
+        w.write(1023, 10);
+        w.write(u64::MAX, 64);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 3 + 1 + 10 + 64 + 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(5));
+        assert_eq!(r.read(1), Some(0));
+        assert_eq!(r.read(10), Some(1023));
+        assert_eq!(r.read(64), Some(u64::MAX));
+        assert_eq!(r.read_bit(), Some(true));
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write(3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(2), Some(3));
+        // The padding bits of the final byte are readable (zero), then
+        // reads fail.
+        assert_eq!(r.read(6), Some(0));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().write(8, 3);
+    }
+
+    #[test]
+    fn width_for_reference() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+        assert_eq!(width_for(1499), 11);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        let b = w.into_bytes();
+        assert_eq!(b.len(), 1);
+    }
+}

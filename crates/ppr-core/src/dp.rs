@@ -1,0 +1,316 @@
+//! The PP-ARQ chunking dynamic program (Eqs. 4–5, §5.1).
+//!
+//! Given the run-length representation of a packet, the receiver chooses
+//! which *chunks* — groups of consecutive bad runs together with the good
+//! runs trapped between them — to request for retransmission. Describing
+//! many small chunks costs feedback bits; merging them into one big chunk
+//! re-sends good symbols. The DP balances the two:
+//!
+//! * Singleton chunk `c_{i,i}` (Eq. 4):
+//!   `C = log S + log λᵇᵢ + min(λᵍᵢ, λ_C)`
+//!   (offset + length description, plus sending the following good run or
+//!   its checksum, whichever is smaller).
+//! * Interval `c_{i,j}` (Eq. 5): either keep it intact —
+//!   `2 log S + Σ_{l=i}^{j-1} λᵍ_l` (describe one big range, re-send the
+//!   interior good symbols) — or split it at the cheapest point `k` into
+//!   `C(c_{i,k}) + C(c_{k+1,j})`.
+//!
+//! Memoized bottom-up over intervals: `O(L³)` time, `O(L²)` space, as the
+//! paper states. [`plan_chunks_brute`] is an exponential reference
+//! implementation used by the property tests to pin optimality.
+
+use crate::runs::{RunLengths, UnitRange};
+
+/// Cost model translating run lengths (in units) into feedback bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Packet size `S` in units (for `log S` offset/length descriptors).
+    pub packet_units: usize,
+    /// Bits per unit (8 when units are bytes, 4 when codewords).
+    pub bits_per_unit: f64,
+    /// Checksum length `λ_C` in bits (16 for the CRC-16 used here).
+    pub checksum_bits: f64,
+}
+
+impl CostModel {
+    /// Model for a packet of `packet_units` byte units.
+    pub fn bytes(packet_units: usize) -> Self {
+        CostModel { packet_units, bits_per_unit: 8.0, checksum_bits: 16.0 }
+    }
+
+    /// `log₂ S`, the bits to describe an offset (or length) in the packet.
+    fn log_s(&self) -> f64 {
+        (self.packet_units.max(2) as f64).log2()
+    }
+
+    /// Eq. 4: cost of a singleton chunk.
+    fn singleton(&self, bad_len: usize, good_len: usize) -> f64 {
+        self.log_s()
+            + (bad_len.max(2) as f64).log2()
+            + (good_len as f64 * self.bits_per_unit).min(self.checksum_bits)
+    }
+
+    /// Eq. 5 first branch: cost of keeping `c_{i,j}` as one chunk.
+    fn merged(&self, interior_good_units: usize) -> f64 {
+        2.0 * self.log_s() + interior_good_units as f64 * self.bits_per_unit
+    }
+}
+
+/// The planner's output: the chunk ranges to request, in packet order,
+/// and the optimal cost in feedback bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPlan {
+    /// Requested retransmission ranges (unit coordinates). Every bad run
+    /// is covered by exactly one chunk; chunks never overlap and are
+    /// sorted.
+    pub chunks: Vec<UnitRange>,
+    /// The DP-optimal feedback cost in bits (`C(c_{1,L})`).
+    pub cost_bits: f64,
+}
+
+impl ChunkPlan {
+    /// An empty plan (nothing to retransmit).
+    pub fn empty() -> Self {
+        ChunkPlan { chunks: Vec::new(), cost_bits: 0.0 }
+    }
+
+    /// Total units requested for retransmission.
+    pub fn requested_units(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Runs the `O(L³)` interval DP and reconstructs the optimal chunk set.
+pub fn plan_chunks(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+    let l = rl.l();
+    if l == 0 {
+        return ChunkPlan::empty();
+    }
+    // cost_table[i][j], choice[i][j] for i ≤ j; j index shifted by i.
+    let mut cost_table = vec![vec![0.0f64; l]; l];
+    let mut split = vec![vec![usize::MAX; l]; l]; // usize::MAX = merged
+
+    for i in 0..l {
+        cost_table[i][i] = cost.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len);
+    }
+    for span in 2..=l {
+        for i in 0..=(l - span) {
+            let j = i + span - 1;
+            let mut best = cost.merged(rl.interior_good(i, j));
+            let mut best_split = usize::MAX;
+            for k in i..j {
+                let c = cost_table[i][k] + cost_table[k + 1][j];
+                if c < best {
+                    best = c;
+                    best_split = k;
+                }
+            }
+            cost_table[i][j] = best;
+            split[i][j] = best_split;
+        }
+    }
+
+    let mut chunks = Vec::new();
+    reconstruct(rl, &split, 0, l - 1, &mut chunks);
+    chunks.sort_by_key(|c| c.start);
+    ChunkPlan { chunks, cost_bits: cost_table[0][l - 1] }
+}
+
+fn reconstruct(
+    rl: &RunLengths,
+    split: &[Vec<usize>],
+    i: usize,
+    j: usize,
+    out: &mut Vec<UnitRange>,
+) {
+    if i == j || split[i][j] == usize::MAX {
+        out.push(rl.chunk_range(i, j));
+        return;
+    }
+    let k = split[i][j];
+    reconstruct(rl, split, i, k, out);
+    reconstruct(rl, split, k + 1, j, out);
+}
+
+/// Exponential-time reference: evaluates every partition of the bad runs
+/// into consecutive groups and returns the best. For property tests only
+/// (`L ≤ ~16`).
+pub fn plan_chunks_brute(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+    let l = rl.l();
+    if l == 0 {
+        return ChunkPlan::empty();
+    }
+    assert!(l <= 20, "brute force is exponential; got L={l}");
+    let mut best_cost = f64::INFINITY;
+    let mut best_mask = 0u32;
+    // Bit b of mask set ⇒ boundary between bad runs b and b+1.
+    for mask in 0..(1u32 << (l - 1)) {
+        let mut total = 0.0;
+        let mut start = 0usize;
+        for b in 0..l {
+            let is_end = b == l - 1 || mask & (1 << b) != 0;
+            if is_end {
+                total += group_cost(rl, cost, start, b);
+                start = b + 1;
+            }
+        }
+        if total < best_cost {
+            best_cost = total;
+            best_mask = mask;
+        }
+    }
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    for b in 0..l {
+        let is_end = b == l - 1 || best_mask & (1 << b) != 0;
+        if is_end {
+            chunks.push(rl.chunk_range(start, b));
+            start = b + 1;
+        }
+    }
+    ChunkPlan { chunks, cost_bits: best_cost }
+}
+
+/// Cost of one group in a partition: Eq. 4 for singletons, the merged
+/// branch of Eq. 5 otherwise.
+fn group_cost(rl: &RunLengths, cost: &CostModel, i: usize, j: usize) -> f64 {
+    if i == j {
+        cost.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len)
+    } else {
+        cost.merged(rl.interior_good(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == 'g').collect()
+    }
+
+    fn plan(s: &str) -> ChunkPlan {
+        let rl = RunLengths::from_labels(&labels(s));
+        plan_chunks(&rl, &CostModel::bytes(s.len()))
+    }
+
+    #[test]
+    fn all_good_plans_nothing() {
+        let p = plan("gggggggg");
+        assert!(p.chunks.is_empty());
+        assert_eq!(p.cost_bits, 0.0);
+    }
+
+    #[test]
+    fn single_bad_run_is_one_chunk() {
+        let p = plan("gggbbbgg");
+        assert_eq!(p.chunks, vec![UnitRange::new(3, 6)]);
+        assert!(p.cost_bits > 0.0);
+    }
+
+    #[test]
+    fn nearby_bad_runs_merge() {
+        // Two bad runs separated by ONE good byte: describing two chunks
+        // costs ~2(logS + logλ) + checksum ≥ 2·log(1000)·… while merging
+        // costs 2 logS + 8 bits. Merge must win.
+        let mut s = String::new();
+        s.push_str(&"g".repeat(400));
+        s.push_str("bbb");
+        s.push('g');
+        s.push_str("bbb");
+        s.push_str(&"g".repeat(593));
+        let p = plan(&s);
+        assert_eq!(p.chunks.len(), 1);
+        assert_eq!(p.chunks[0], UnitRange::new(400, 407));
+    }
+
+    #[test]
+    fn distant_bad_runs_stay_separate() {
+        // Two bad runs separated by 300 good bytes (2400 bits): merging
+        // would re-send all of them; separate description is far cheaper.
+        let mut s = String::new();
+        s.push_str(&"g".repeat(100));
+        s.push_str("bbbb");
+        s.push_str(&"g".repeat(300));
+        s.push_str("bb");
+        s.push_str(&"g".repeat(594));
+        let p = plan(&s);
+        assert_eq!(p.chunks.len(), 2);
+        assert_eq!(p.chunks[0], UnitRange::new(100, 104));
+        assert_eq!(p.chunks[1], UnitRange::new(404, 406));
+    }
+
+    #[test]
+    fn chunks_cover_all_bad_runs_and_never_overlap() {
+        for s in [
+            "bgbgbgbgbgbgbg",
+            "bbbbgggbbgggggbggggggggggbbbbbbgggggb",
+            "gbggggggggggggggggggggggggggggggggggb",
+        ] {
+            let rl = RunLengths::from_labels(&labels(s));
+            let p = plan_chunks(&rl, &CostModel::bytes(s.len()));
+            for pair in &rl.pairs {
+                let covered = p
+                    .chunks
+                    .iter()
+                    .filter(|c| c.covers(pair.bad_start) && c.covers(pair.bad().end - 1))
+                    .count();
+                assert_eq!(covered, 1, "bad run {pair:?} in {s}");
+            }
+            for w in p.chunks.windows(2) {
+                assert!(w[0].end <= w[1].start, "overlap in {s}");
+            }
+            // Chunks start and end on bad runs (never waste edges).
+            let lab = labels(s);
+            for c in &p.chunks {
+                assert!(!lab[c.start], "chunk starts on good unit in {s}");
+                assert!(!lab[c.end - 1], "chunk ends on good unit in {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_fixed_cases() {
+        for s in [
+            "bgb",
+            "bbggbbggbb",
+            "bgggggggggggggggggggggb",
+            "bgbgbgbggggggggbgbgb",
+            "gggbbgbbgggggbgggggggggggggggbbbbbgb",
+        ] {
+            let rl = RunLengths::from_labels(&labels(s));
+            let cost = CostModel::bytes(s.len().max(64));
+            let dp = plan_chunks(&rl, &cost);
+            let brute = plan_chunks_brute(&rl, &cost);
+            assert!(
+                (dp.cost_bits - brute.cost_bits).abs() < 1e-9,
+                "cost mismatch on {s}: dp {} brute {}",
+                dp.cost_bits,
+                brute.cost_bits
+            );
+            assert_eq!(dp.chunks, brute.chunks, "chunk mismatch on {s}");
+        }
+    }
+
+    #[test]
+    fn doc_example_single_burst() {
+        // The facade doc-test scenario: 64 units, bad burst at 28..36.
+        let mut hints = [0u8; 64];
+        for h in &mut hints[28..36] {
+            *h = 9;
+        }
+        let labels: Vec<bool> = hints.iter().map(|&h| h <= 6).collect();
+        let rl = RunLengths::from_labels(&labels);
+        let p = plan_chunks(&rl, &CostModel::bytes(64));
+        assert_eq!(p.chunks.len(), 1);
+        assert!(p.chunks[0].covers(30));
+        assert_eq!(p.chunks[0], UnitRange::new(28, 36));
+    }
+
+    #[test]
+    fn requested_units_accounting() {
+        let p = plan("gggbbgggggggggggggggggggggggggggbbbg");
+        assert_eq!(p.requested_units(), p.chunks.iter().map(|c| c.len()).sum::<usize>());
+        assert!(p.requested_units() >= 5);
+    }
+}

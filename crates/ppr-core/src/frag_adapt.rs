@@ -1,0 +1,150 @@
+//! Adaptive fragment sizing for the fragmented-CRC scheme (§3.4).
+//!
+//! The paper sketches two controllers for the per-fragment CRC
+//! alternative to SoftPHY:
+//!
+//! 1. **Feedback-driven** ([`AdaptiveFragSize`]): "if the current value
+//!    leads to a large number of contiguous error-free fragments, then c
+//!    should be increased; otherwise, it should be reduced".
+//! 2. **Model-driven** ([`optimal_fragment_size`]): assume an error
+//!    model and derive the analytically optimal size — minimize the
+//!    expected airtime per *delivered* payload byte given a byte error
+//!    rate.
+//!
+//! Both are provided; Table 2's sweep uses fixed sizes post facto, as
+//! the paper's evaluation does.
+
+/// Multiplicative-increase / multiplicative-decrease fragment-size
+/// controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveFragSize {
+    current: usize,
+    min: usize,
+    max: usize,
+}
+
+impl Default for AdaptiveFragSize {
+    fn default() -> Self {
+        AdaptiveFragSize { current: 50, min: 8, max: 512 }
+    }
+}
+
+impl AdaptiveFragSize {
+    /// Creates a controller with explicit bounds.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min ≤ initial ≤ max`.
+    pub fn new(initial: usize, min: usize, max: usize) -> Self {
+        assert!(min > 0 && min <= initial && initial <= max);
+        AdaptiveFragSize { current: initial, min, max }
+    }
+
+    /// Current fragment payload size, bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Feeds one packet's per-fragment verification outcomes.
+    ///
+    /// All fragments clean ⇒ the checksums were pure overhead: grow by
+    /// 25 %. More than a quarter lost ⇒ each loss wastes a whole
+    /// fragment: shrink by half. In between: hold.
+    pub fn observe_packet(&mut self, frag_ok: &[bool]) {
+        if frag_ok.is_empty() {
+            return;
+        }
+        let lost = frag_ok.iter().filter(|&&ok| !ok).count();
+        if lost == 0 {
+            self.current = (self.current + self.current / 4).clamp(self.min, self.max);
+        } else if lost * 4 > frag_ok.len() {
+            self.current = (self.current / 2).clamp(self.min, self.max);
+        }
+    }
+}
+
+/// Expected airtime cost per delivered payload byte for fragment size
+/// `c` under an independent byte error rate `p`:
+///
+/// `cost(c) = (c + 4) / (c · (1 − p)^(c + 4))`
+///
+/// — each fragment spends `c + 4` bytes of air and delivers `c` bytes
+/// with probability `(1 − p)^(c+4)` (its payload *and* CRC must arrive
+/// intact).
+pub fn fragment_cost(c: usize, p: f64) -> f64 {
+    let c = c as f64;
+    (c + 4.0) / (c * (1.0 - p).powf(c + 4.0))
+}
+
+/// The fragment size minimizing [`fragment_cost`], searched over
+/// `1..=max`.
+pub fn optimal_fragment_size(byte_error_rate: f64, max: usize) -> usize {
+    let p = byte_error_rate.clamp(0.0, 0.999);
+    (1..=max)
+        .min_by(|&a, &b| {
+            fragment_cost(a, p).partial_cmp(&fragment_cost(b, p)).unwrap()
+        })
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_on_clean_packets_and_saturates() {
+        let mut a = AdaptiveFragSize::new(50, 8, 200);
+        for _ in 0..50 {
+            a.observe_packet(&[true; 10]);
+        }
+        assert_eq!(a.current(), 200);
+    }
+
+    #[test]
+    fn shrinks_on_heavy_loss_and_saturates() {
+        let mut a = AdaptiveFragSize::new(50, 8, 200);
+        for _ in 0..20 {
+            a.observe_packet(&[false, false, true, false]);
+        }
+        assert_eq!(a.current(), 8);
+    }
+
+    #[test]
+    fn holds_on_moderate_loss() {
+        let mut a = AdaptiveFragSize::new(64, 8, 512);
+        // 1 of 10 lost: between the grow and shrink triggers.
+        a.observe_packet(&[
+            true, true, true, false, true, true, true, true, true, true,
+        ]);
+        assert_eq!(a.current(), 64);
+    }
+
+    #[test]
+    fn empty_observation_is_a_no_op() {
+        let mut a = AdaptiveFragSize::default();
+        let before = a.current();
+        a.observe_packet(&[]);
+        assert_eq!(a.current(), before);
+    }
+
+    #[test]
+    fn optimal_size_decreases_with_error_rate() {
+        let clean = optimal_fragment_size(1e-5, 1500);
+        let mid = optimal_fragment_size(1e-3, 1500);
+        let dirty = optimal_fragment_size(3e-2, 1500);
+        assert!(clean > mid, "clean {clean} !> mid {mid}");
+        assert!(mid > dirty, "mid {mid} !> dirty {dirty}");
+        // At ~0.2 % byte error rate the optimum is tens of bytes —
+        // consistent with the paper's empirical 50 B / 30-chunk peak.
+        let paper_regime = optimal_fragment_size(2e-3, 1500);
+        assert!((20..=120).contains(&paper_regime), "{paper_regime}");
+    }
+
+    #[test]
+    fn cost_is_convex_ish_around_optimum() {
+        let p = 1e-3;
+        let c_star = optimal_fragment_size(p, 1500);
+        let at = fragment_cost(c_star, p);
+        assert!(fragment_cost(c_star.saturating_sub(c_star / 2).max(1), p) > at);
+        assert!(fragment_cost(c_star * 3, p) > at);
+    }
+}

@@ -1,0 +1,153 @@
+//! CRC-32 (IEEE 802.3) and CRC-16 (CCITT) — table-driven, from scratch.
+//!
+//! CRC-32 protects whole packets and fragments (the paper's packet-CRC
+//! and fragmented-CRC schemes both use 32-bit checks, §7.2); CRC-16
+//! protects the short header/trailer records and PP-ARQ's per-run
+//! verification checksums, where 4 bytes of check over ~10 bytes of data
+//! would be disproportionate.
+
+/// Generates the CRC-32 lookup table for the reflected IEEE 802.3
+/// polynomial `0xEDB88320`.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Generates the CRC-16 lookup table for the CCITT polynomial `0x1021`
+/// (non-reflected).
+const fn crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+const CRC16_TABLE: [u16; 256] = crc16_table();
+
+/// CRC-32/ISO-HDLC (the "zlib" CRC): reflected, init `0xFFFFFFFF`, final
+/// XOR `0xFFFFFFFF`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// CRC-16/CCITT-FALSE: poly `0x1021`, init `0xFFFF`, no reflection, no
+/// final XOR.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in data {
+        let idx = (((crc >> 8) ^ b as u16) & 0xFF) as usize;
+        crc = (crc << 8) ^ CRC16_TABLE[idx];
+    }
+    crc
+}
+
+/// Verifies a buffer whose last four bytes are its little-endian CRC-32.
+pub fn verify_crc32_trailer(buf: &[u8]) -> bool {
+    if buf.len() < 4 {
+        return false;
+    }
+    let (data, tail) = buf.split_at(buf.len() - 4);
+    crc32(data) == u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]])
+}
+
+/// Appends the little-endian CRC-32 of `data` to it.
+pub fn append_crc32(data: &mut Vec<u8>) {
+    let c = crc32(data);
+    data.extend_from_slice(&c.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 check: "123456789" → 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc16_check_value() {
+        // CRC-16/CCITT-FALSE check: "123456789" → 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(&[]), 0);
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = b"partial packet recovery".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc32(&d), base, "flip at {byte}.{bit} undetected");
+                assert_ne!(crc16(&d), crc16(&data), "crc16 flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn trailer_roundtrip() {
+        let mut buf = b"payload bytes".to_vec();
+        append_crc32(&mut buf);
+        assert!(verify_crc32_trailer(&buf));
+        // Corruption anywhere breaks verification.
+        for i in 0..buf.len() {
+            let mut b = buf.clone();
+            b[i] ^= 0x40;
+            assert!(!verify_crc32_trailer(&b), "corruption at {i} passed");
+        }
+    }
+
+    #[test]
+    fn trailer_verify_rejects_short_buffers() {
+        assert!(!verify_crc32_trailer(&[]));
+        assert!(!verify_crc32_trailer(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn burst_errors_detected() {
+        // CRC-32 detects all burst errors up to 32 bits; spot-check a few.
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for start in [0usize, 13, 60] {
+            let mut d = data.clone();
+            for i in 0..4.min(d.len() - start) {
+                d[start + i] ^= 0xFF;
+            }
+            assert_ne!(crc32(&d), base);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Carrier sense (CSMA).
+//!
+//! The paper's senders "perform a carrier sense before transmitting each
+//! packet" in some experiments (Fig. 8) and have it disabled in others
+//! (Figs. 9–12). This module is the sensing rule: the channel is busy
+//! when the total received power from ongoing transmissions exceeds a
+//! threshold above the noise floor.
+
+/// Carrier-sense configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarrierSense {
+    /// Sensing threshold in mW: channel busy ⇔ total heard power ≥ this.
+    /// The CC2420 CCA threshold is ≈ −77 dBm.
+    pub threshold_mw: f64,
+    /// Whether carrier sensing is enabled at all (experiment arm switch).
+    pub enabled: bool,
+}
+
+impl CarrierSense {
+    /// Carrier sense with the CC2420's default −77 dBm CCA threshold.
+    pub fn enabled_default() -> Self {
+        CarrierSense { threshold_mw: 10f64.powf(-77.0 / 10.0), enabled: true }
+    }
+
+    /// Carrier sensing disabled: the channel always reads idle.
+    pub fn disabled() -> Self {
+        CarrierSense { threshold_mw: f64::INFINITY, enabled: false }
+    }
+
+    /// Sensing decision: is the channel busy given the ongoing
+    /// transmissions' received powers (mW) at the sensing node?
+    pub fn busy<I: IntoIterator<Item = f64>>(&self, heard_powers_mw: I) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let total: f64 = heard_powers_mw.into_iter().sum();
+        total >= self.threshold_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_busy() {
+        let cs = CarrierSense::disabled();
+        assert!(!cs.busy([1.0, 1.0, 1.0]));
+        assert!(!cs.busy([]));
+    }
+
+    #[test]
+    fn enabled_compares_total_power() {
+        let cs = CarrierSense { threshold_mw: 1e-8, enabled: true };
+        assert!(!cs.busy([]));
+        assert!(!cs.busy([1e-9]));
+        assert!(cs.busy([1e-8]));
+        // Sub-threshold transmitters add up.
+        assert!(cs.busy([6e-9, 6e-9]));
+    }
+
+    #[test]
+    fn default_threshold_is_minus_77_dbm() {
+        let cs = CarrierSense::enabled_default();
+        let dbm = 10.0 * cs.threshold_mw.log10();
+        assert!((dbm + 77.0).abs() < 1e-9);
+        assert!(cs.enabled);
+    }
+}

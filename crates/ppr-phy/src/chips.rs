@@ -1,0 +1,274 @@
+//! The 802.15.4 2.4 GHz O-QPSK spreading code book.
+//!
+//! The PHY maps each 4-bit data symbol to one of sixteen 32-chip
+//! pseudo-noise sequences (the paper's *codewords*, `b = 4`, `B = 32`).
+//! The code book is the one from the IEEE 802.15.4 standard: symbols 1–7
+//! are successive 4-chip cyclic right-shifts of symbol 0, and symbols 8–15
+//! are symbols 0–7 with every odd-indexed chip inverted.
+//!
+//! Chips are stored LSB-first: chip `i` of a codeword is bit `i` of the
+//! `u32`. All Hamming-distance arithmetic in SoftPHY hinting runs over
+//! these 32-bit words, so distance computations are single `popcount`s.
+
+/// Number of chips per codeword (`B` in the paper).
+pub const CHIPS_PER_SYMBOL: usize = 32;
+
+/// Number of data bits per codeword (`b` in the paper).
+pub const BITS_PER_SYMBOL: usize = 4;
+
+/// Number of distinct codewords (`2^b`).
+pub const NUM_SYMBOLS: usize = 16;
+
+/// Chip rate of the CC2420 radio modelled throughout the workspace.
+pub const CHIP_RATE_HZ: u64 = 2_000_000;
+
+/// Symbol rate: `CHIP_RATE_HZ / CHIPS_PER_SYMBOL` = 62 500 symbols/s.
+pub const SYMBOL_RATE_HZ: u64 = CHIP_RATE_HZ / CHIPS_PER_SYMBOL as u64;
+
+/// Peak data rate: 4 bits per symbol at 62.5 ksym/s = 250 kbit/s.
+pub const PEAK_BIT_RATE: u64 = SYMBOL_RATE_HZ * BITS_PER_SYMBOL as u64;
+
+/// Duration of one codeword in microseconds (16 µs; the time unit of the
+/// paper's Fig. 13 x-axis).
+pub const SYMBOL_TIME_US: u64 = 16;
+
+/// Base chip sequence for data symbol 0, written chip 0 first.
+///
+/// This is the sequence `1101 1001 1100 0011 0101 0010 0010 1110` from the
+/// IEEE 802.15.4 standard, packed LSB-first.
+const SYMBOL0_CHIPS: [u8; CHIPS_PER_SYMBOL] = [
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+];
+
+/// Packs a chip array (chip 0 first) into a `u32`, LSB-first.
+const fn pack(chips: [u8; CHIPS_PER_SYMBOL]) -> u32 {
+    let mut word = 0u32;
+    let mut i = 0;
+    while i < CHIPS_PER_SYMBOL {
+        if chips[i] != 0 {
+            word |= 1 << i;
+        }
+        i += 1;
+    }
+    word
+}
+
+/// Cyclic right-shift of the chip sequence by `n` chip positions.
+///
+/// "Right shift" in the 802.15.4 sense: the last `n` chips wrap around to
+/// the front of the sequence.
+const fn rotate_chips(chips: [u8; CHIPS_PER_SYMBOL], n: usize) -> [u8; CHIPS_PER_SYMBOL] {
+    let mut out = [0u8; CHIPS_PER_SYMBOL];
+    let mut i = 0;
+    while i < CHIPS_PER_SYMBOL {
+        out[(i + n) % CHIPS_PER_SYMBOL] = chips[i];
+        i += 1;
+    }
+    out
+}
+
+/// Inverts every odd-indexed chip (the Q-phase chips in O-QPSK).
+const fn conjugate(chips: [u8; CHIPS_PER_SYMBOL]) -> [u8; CHIPS_PER_SYMBOL] {
+    let mut out = chips;
+    let mut i = 1;
+    while i < CHIPS_PER_SYMBOL {
+        out[i] = 1 - out[i];
+        i += 2;
+    }
+    out
+}
+
+/// Builds the full 16-entry code book at compile time.
+const fn build_codebook() -> [u32; NUM_SYMBOLS] {
+    let mut book = [0u32; NUM_SYMBOLS];
+    let mut s = 0;
+    while s < 8 {
+        let rotated = rotate_chips(SYMBOL0_CHIPS, 4 * s);
+        book[s] = pack(rotated);
+        book[s + 8] = pack(conjugate(rotated));
+        s += 1;
+    }
+    book
+}
+
+/// The sixteen 32-chip spreading sequences, indexed by data symbol.
+pub const CODEBOOK: [u32; NUM_SYMBOLS] = build_codebook();
+
+/// Hamming distance between two 32-chip words.
+#[inline]
+pub fn hamming(a: u32, b: u32) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Result of a hard-decision nearest-codeword search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The decoded 4-bit data symbol (index into [`CODEBOOK`]).
+    pub symbol: u8,
+    /// Hamming distance from the received chip word to the decoded
+    /// codeword — the SoftPHY hint of the paper's §3.2.
+    pub distance: u8,
+}
+
+/// Maps a received 32-chip word to the closest codeword (minimum Hamming
+/// distance), returning the decoded symbol and the distance.
+///
+/// Ties break toward the lowest symbol index, matching a deterministic
+/// hardware correlator bank.
+#[inline]
+pub fn decide(received: u32) -> Decision {
+    let mut best = Decision { symbol: 0, distance: hamming(received, CODEBOOK[0]) as u8 };
+    let mut s = 1;
+    while s < NUM_SYMBOLS {
+        let d = hamming(received, CODEBOOK[s]) as u8;
+        if d < best.distance {
+            best = Decision { symbol: s as u8, distance: d };
+        }
+        s += 1;
+    }
+    best
+}
+
+/// Returns the codeword for a 4-bit data symbol.
+///
+/// # Panics
+/// Panics if `symbol >= 16`.
+#[inline]
+pub fn spread_symbol(symbol: u8) -> u32 {
+    CODEBOOK[symbol as usize]
+}
+
+/// Minimum pairwise Hamming distance of the code book.
+///
+/// For the 802.15.4 book this is 12, which is why a received word at
+/// distance ≤ 5 from its nearest codeword is almost always a correct
+/// decode — the geometric fact behind the paper's threshold `η = 6`.
+pub fn min_codeword_distance() -> u32 {
+    let mut min = u32::MAX;
+    for i in 0..NUM_SYMBOLS {
+        for j in (i + 1)..NUM_SYMBOLS {
+            min = min.min(hamming(CODEBOOK[i], CODEBOOK[j]));
+        }
+    }
+    min
+}
+
+/// Iterator over the chips of a codeword, chip 0 first.
+pub fn chips_of(word: u32) -> impl Iterator<Item = bool> {
+    (0..CHIPS_PER_SYMBOL).map(move |i| (word >> i) & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full chip table from the IEEE 802.15.4 standard, written
+    /// chip 0 first, used to pin the generated code book.
+    const REFERENCE: [&str; NUM_SYMBOLS] = [
+        "11011001110000110101001000101110",
+        "11101101100111000011010100100010",
+        "00101110110110011100001101010010",
+        "00100010111011011001110000110101",
+        "01010010001011101101100111000011",
+        "00110101001000101110110110011100",
+        "11000011010100100010111011011001",
+        "10011100001101010010001011101101",
+        "10001100100101100000011101111011",
+        "10111000110010010110000001110111",
+        "01111011100011001001011000000111",
+        "01110111101110001100100101100000",
+        "00000111011110111000110010010110",
+        "01100000011101111011100011001001",
+        "10010110000001110111101110001100",
+        "11001001011000000111011110111000",
+    ];
+
+    fn parse(s: &str) -> u32 {
+        let mut w = 0u32;
+        for (i, c) in s.chars().enumerate() {
+            if c == '1' {
+                w |= 1 << i;
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn codebook_matches_standard_table() {
+        for (s, reference) in REFERENCE.iter().enumerate() {
+            assert_eq!(
+                CODEBOOK[s],
+                parse(reference),
+                "codebook mismatch at symbol {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn codebook_entries_are_distinct() {
+        for i in 0..NUM_SYMBOLS {
+            for j in (i + 1)..NUM_SYMBOLS {
+                assert_ne!(CODEBOOK[i], CODEBOOK[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_is_twelve() {
+        assert_eq!(min_codeword_distance(), 12);
+    }
+
+    #[test]
+    fn decide_is_identity_on_clean_codewords() {
+        for s in 0..NUM_SYMBOLS {
+            let d = decide(CODEBOOK[s]);
+            assert_eq!(d.symbol as usize, s);
+            assert_eq!(d.distance, 0);
+        }
+    }
+
+    #[test]
+    fn decide_tolerates_small_corruption() {
+        // Flip 3 chips of every codeword: decode must still be exact and
+        // the reported hint must equal the number of flips (3 < 12/2).
+        for s in 0..NUM_SYMBOLS {
+            let corrupted = CODEBOOK[s] ^ 0b1001_0000_0000_0000_0100_0000_0000_0000;
+            let d = decide(corrupted);
+            assert_eq!(d.symbol as usize, s, "symbol {s} misdecoded");
+            assert_eq!(d.distance, 3);
+        }
+    }
+
+    #[test]
+    fn hamming_is_symmetric_and_zero_on_equal() {
+        assert_eq!(hamming(0xdead_beef, 0xdead_beef), 0);
+        assert_eq!(hamming(0x0, 0xffff_ffff), 32);
+        assert_eq!(hamming(0x1234_5678, 0x8765_4321), hamming(0x8765_4321, 0x1234_5678));
+    }
+
+    #[test]
+    fn chips_roundtrip_through_pack() {
+        for s in 0..NUM_SYMBOLS {
+            let collected: Vec<bool> = chips_of(CODEBOOK[s]).collect();
+            assert_eq!(collected.len(), CHIPS_PER_SYMBOL);
+            let mut repacked = 0u32;
+            for (i, c) in collected.iter().enumerate() {
+                if *c {
+                    repacked |= 1 << i;
+                }
+            }
+            assert_eq!(repacked, CODEBOOK[s]);
+        }
+    }
+
+    #[test]
+    fn symbol_timing_constants_are_consistent() {
+        assert_eq!(SYMBOL_RATE_HZ, 62_500);
+        assert_eq!(PEAK_BIT_RATE, 250_000);
+        // 32 chips at 2 Mchip/s = 16 µs per codeword.
+        assert_eq!(
+            CHIPS_PER_SYMBOL as u64 * 1_000_000 / CHIP_RATE_HZ,
+            SYMBOL_TIME_US
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # `ppr-phy` — 802.15.4 DSSS/MSK software modem with SoftPHY hints
+//!
+//! This crate is the physical-layer substrate of the PPR reproduction
+//! (Jamieson & Balakrishnan, SIGCOMM 2007): a software implementation of
+//! the CC2420-style 2.4 GHz 802.15.4 PHY the paper's testbed used, with
+//! the receiver structure of the paper's Fig. 1.
+//!
+//! ## Transmit path
+//!
+//! bytes → 4-bit symbols ([`spread::bytes_to_symbols`]) → 32-chip
+//! codewords ([`chips::CODEBOOK`]) → MSK waveform
+//! ([`modem::MskModem::modulate`]), framed by a preamble and — PPR's
+//! addition — a **postamble** ([`sync`]).
+//!
+//! ## Receive path
+//!
+//! samples → timing recovery ([`timing`]) → matched filter
+//! ([`modem::MskModem::demodulate`]) → hard chip decisions → delimiter
+//! sync ([`sync::SyncPattern`]) → nearest-codeword despreading with a
+//! **Hamming-distance SoftPHY hint** per symbol
+//! ([`frame_rx::ChipReceiver::despread`] → [`softphy::SoftSpan`]).
+//!
+//! The circular [`sample_buf::SampleBuffer`] retains one max-packet of
+//! samples so a postamble detection can *roll back in time* and decode a
+//! packet whose preamble was destroyed by a collision.
+//!
+//! Network-scale experiments bypass the waveform and work on chip streams
+//! directly (see `ppr-channel`'s fast backend); the two paths share all
+//! code from hard chip decisions upward.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chips;
+pub mod complex;
+pub mod frame_rx;
+pub mod modem;
+pub mod pulse;
+pub mod sample_buf;
+pub mod softphy;
+pub mod sova;
+pub mod spread;
+pub mod sync;
+pub mod timing;
+
+pub use chips::{Decision, BITS_PER_SYMBOL, CHIPS_PER_SYMBOL, CHIP_RATE_HZ, SYMBOL_RATE_HZ};
+pub use complex::Complex32;
+pub use frame_rx::{ChipReceiver, ChipStream, SampleReceiver};
+pub use modem::MskModem;
+pub use sample_buf::SampleBuffer;
+pub use softphy::{SoftSpan, SoftSymbol};
+pub use sync::{SyncHit, SyncKind, SyncPattern};

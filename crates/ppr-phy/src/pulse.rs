@@ -1,0 +1,122 @@
+//! Half-sine pulse shaping for O-QPSK / MSK.
+//!
+//! The CC2420 transmits O-QPSK with half-sine pulse shaping, which is
+//! mathematically identical to minimum-shift keying (MSK). Each chip is
+//! carried by a half-sine pulse spanning **two** chip periods; even chips
+//! ride the I rail and odd chips the Q rail, offset by one chip period, so
+//! consecutive pulses on the same rail tile the time axis without
+//! inter-symbol interference.
+
+/// A sampled half-sine pulse, `sin(π t / (2 T_c))` for `t ∈ [0, 2 T_c)`.
+#[derive(Debug, Clone)]
+pub struct HalfSine {
+    samples: Vec<f32>,
+}
+
+impl HalfSine {
+    /// Builds the pulse table for a given oversampling factor
+    /// (`samples_per_chip` ≥ 1). The pulse spans `2 × samples_per_chip`
+    /// samples.
+    pub fn new(samples_per_chip: usize) -> Self {
+        assert!(samples_per_chip >= 1, "need at least one sample per chip");
+        let n = 2 * samples_per_chip;
+        let samples = (0..n)
+            .map(|i| (std::f32::consts::PI * i as f32 / n as f32).sin())
+            .collect();
+        HalfSine { samples }
+    }
+
+    /// The pulse samples (length `2 × samples_per_chip`).
+    #[inline]
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Length of the pulse in samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the pulse table is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Energy of the pulse, `Σ p[i]²`. Used to normalize matched-filter
+    /// outputs so chip soft values are amplitude-comparable across
+    /// oversampling factors.
+    pub fn energy(&self) -> f32 {
+        self.samples.iter().map(|s| s * s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_spans_two_chip_periods() {
+        for sps in [1, 2, 4, 8] {
+            assert_eq!(HalfSine::new(sps).len(), 2 * sps);
+        }
+    }
+
+    #[test]
+    fn pulse_starts_at_zero_and_peaks_mid() {
+        let p = HalfSine::new(8);
+        assert!(p.samples()[0].abs() < 1e-6);
+        // Peak (value 1.0) is at the midpoint, sample index 8.
+        assert!((p.samples()[8] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pulse_is_symmetric() {
+        let p = HalfSine::new(16);
+        let s = p.samples();
+        for i in 1..s.len() {
+            // sin(π i/n) = sin(π (n-i)/n)
+            assert!((s[i] - s[s.len() - i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn energy_is_half_pulse_length() {
+        // ∫ sin² over a half period = n/2 for the discrete sum.
+        let p = HalfSine::new(32);
+        assert!((p.energy() - p.len() as f32 / 2.0).abs() < 0.51);
+    }
+
+    #[test]
+    fn tiled_pulses_have_constant_envelope() {
+        // MSK property: I pulses at even chips plus Q pulses at odd chips
+        // (all-ones chips) give a constant-envelope signal. With I²+Q²
+        // sampled at chip offsets, sin²+cos² = 1.
+        let sps = 8;
+        let p = HalfSine::new(sps);
+        // I rail: pulses starting at 0, 2Tc, 4Tc... Q rail offset by Tc.
+        let total = 8 * sps;
+        let mut i_rail = vec![0.0f32; total + 2 * sps];
+        let mut q_rail = vec![0.0f32; total + 2 * sps];
+        let mut t = 0;
+        while t < total {
+            for (k, v) in p.samples().iter().enumerate() {
+                i_rail[t + k] += v;
+            }
+            t += 2 * sps;
+        }
+        let mut t = sps;
+        while t < total {
+            for (k, v) in p.samples().iter().enumerate() {
+                q_rail[t + k] += v;
+            }
+            t += 2 * sps;
+        }
+        // Check the steady-state interior region.
+        for t in (2 * sps)..(total - 2 * sps) {
+            let env = i_rail[t] * i_rail[t] + q_rail[t] * q_rail[t];
+            assert!((env - 1.0).abs() < 1e-4, "envelope at {t} = {env}");
+        }
+    }
+}

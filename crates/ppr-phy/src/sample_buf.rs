@@ -1,0 +1,168 @@
+//! Circular sample buffer for postamble rollback.
+//!
+//! Postamble decoding (§4) requires the receiver to "maintain a circular
+//! buffer of samples of previously-received symbols even when it has not
+//! heard a preamble", sized to one maximally-sized packet. When a
+//! postamble is detected, the receiver rolls back through this buffer to
+//! recover the body of the packet whose preamble it missed.
+//!
+//! The buffer tracks an *absolute* sample clock: `push` assigns each
+//! sample a monotonically increasing index, and ranges are requested in
+//! absolute indices, which makes "roll back N symbols from the postamble"
+//! a plain subtraction for the caller.
+
+use crate::complex::Complex32;
+
+/// Fixed-capacity circular buffer of complex samples with absolute
+/// indexing.
+#[derive(Debug, Clone)]
+pub struct SampleBuffer {
+    buf: Vec<Complex32>,
+    capacity: usize,
+    /// Absolute index of the *next* sample to be pushed.
+    next: u64,
+}
+
+impl SampleBuffer {
+    /// Creates a buffer holding the last `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sample buffer capacity must be positive");
+        SampleBuffer { buf: vec![Complex32::ZERO; capacity], capacity, next: 0 }
+    }
+
+    /// Capacity in samples.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Absolute index of the next sample to be written (== total samples
+    /// pushed so far).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.next
+    }
+
+    /// Absolute index of the oldest sample still retained.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.next.saturating_sub(self.capacity as u64)
+    }
+
+    /// Appends one sample.
+    #[inline]
+    pub fn push(&mut self, s: Complex32) {
+        let idx = (self.next % self.capacity as u64) as usize;
+        self.buf[idx] = s;
+        self.next += 1;
+    }
+
+    /// Appends a slice of samples.
+    pub fn extend(&mut self, samples: &[Complex32]) {
+        for &s in samples {
+            self.push(s);
+        }
+    }
+
+    /// Returns the sample at absolute index `idx`, or `None` if it has
+    /// been overwritten or not yet written.
+    pub fn get(&self, idx: u64) -> Option<Complex32> {
+        if idx >= self.next || idx < self.start() {
+            return None;
+        }
+        Some(self.buf[(idx % self.capacity as u64) as usize])
+    }
+
+    /// Copies the absolute range `[from, to)` out of the buffer.
+    ///
+    /// Returns `None` when any part of the range has been evicted or not
+    /// yet written — a partial rollback is worse than a reported failure,
+    /// because despreading garbage samples would fabricate confident
+    /// codewords.
+    pub fn range(&self, from: u64, to: u64) -> Option<Vec<Complex32>> {
+        if from > to || to > self.next || from < self.start() {
+            return None;
+        }
+        Some(((from)..(to)).map(|i| self.buf[(i % self.capacity as u64) as usize]).collect())
+    }
+
+    /// Copies the most recent `n` samples (or fewer if the buffer holds
+    /// fewer).
+    pub fn latest(&self, n: usize) -> Vec<Complex32> {
+        let from = self.next.saturating_sub(n as u64).max(self.start());
+        self.range(from, self.next).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f32) -> Complex32 {
+        Complex32::new(v, -v)
+    }
+
+    #[test]
+    fn push_and_get_within_capacity() {
+        let mut b = SampleBuffer::new(8);
+        for i in 0..5 {
+            b.push(s(i as f32));
+        }
+        assert_eq!(b.end(), 5);
+        assert_eq!(b.start(), 0);
+        for i in 0..5u64 {
+            assert_eq!(b.get(i), Some(s(i as f32)));
+        }
+        assert_eq!(b.get(5), None);
+    }
+
+    #[test]
+    fn old_samples_are_evicted() {
+        let mut b = SampleBuffer::new(4);
+        for i in 0..10 {
+            b.push(s(i as f32));
+        }
+        assert_eq!(b.start(), 6);
+        assert_eq!(b.get(5), None, "evicted sample must not be readable");
+        assert_eq!(b.get(6), Some(s(6.0)));
+        assert_eq!(b.get(9), Some(s(9.0)));
+    }
+
+    #[test]
+    fn range_rejects_evicted_spans() {
+        let mut b = SampleBuffer::new(4);
+        for i in 0..10 {
+            b.push(s(i as f32));
+        }
+        assert!(b.range(4, 8).is_none(), "partially evicted");
+        assert_eq!(b.range(6, 10).unwrap(), vec![s(6.0), s(7.0), s(8.0), s(9.0)]);
+        assert!(b.range(8, 12).is_none(), "not yet written");
+        assert_eq!(b.range(7, 7).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn latest_clamps_to_available() {
+        let mut b = SampleBuffer::new(16);
+        for i in 0..3 {
+            b.push(s(i as f32));
+        }
+        assert_eq!(b.latest(100), vec![s(0.0), s(1.0), s(2.0)]);
+        assert_eq!(b.latest(2), vec![s(1.0), s(2.0)]);
+    }
+
+    #[test]
+    fn extend_matches_repeated_push() {
+        let mut a = SampleBuffer::new(8);
+        let mut b = SampleBuffer::new(8);
+        let data: Vec<Complex32> = (0..20).map(|i| s(i as f32)).collect();
+        a.extend(&data);
+        for &x in &data {
+            b.push(x);
+        }
+        assert_eq!(a.end(), b.end());
+        assert_eq!(a.latest(8), b.latest(8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared experiment machinery: standard runs, per-link aggregation, and
+//! the experiment parameter conventions used across figures.
+
+use crate::metrics::Cdf;
+use crate::network::{
+    generate_timeline, process_receptions, RadioEnv, Reception, RxArm, SimConfig, Transmission,
+};
+use crate::rxpath::Acquisition;
+use ppr_mac::schemes::DeliveryScheme;
+
+/// The paper's offered loads, kbit/s/node.
+pub const LOADS: [f64; 3] = [3.5, 6.9, 13.8];
+
+/// The Table 2 optimum fragment size, bytes.
+pub const FRAG_BYTES: usize = 50;
+
+/// The paper's SoftPHY threshold.
+pub const ETA: u8 = 6;
+
+/// Default experiment duration, seconds. Override with the
+/// `PPR_DURATION` environment variable (e.g. `PPR_DURATION=20` for a
+/// quick pass).
+pub fn default_duration() -> f64 {
+    std::env::var("PPR_DURATION").ok().and_then(|v| v.parse().ok()).unwrap_or(90.0)
+}
+
+/// Master seed shared by all experiments (reproducibility).
+pub const SEED: u64 = 0x5050_52;
+
+/// The three delivery schemes under their standard parameters.
+pub fn standard_schemes() -> [DeliveryScheme; 3] {
+    [
+        DeliveryScheme::PacketCrc,
+        DeliveryScheme::FragmentedCrc { frag_payload: FRAG_BYTES },
+        DeliveryScheme::Ppr { eta: ETA },
+    ]
+}
+
+/// One standard capacity run: environment + timeline, reusable across
+/// arms (the trace-post-processing methodology).
+pub struct CapacityRun {
+    /// The radio environment.
+    pub env: RadioEnv,
+    /// The run configuration.
+    pub cfg: SimConfig,
+    /// The generated transmission timeline.
+    pub timeline: Vec<Transmission>,
+}
+
+impl CapacityRun {
+    /// Builds a run at the given load and carrier-sense arm.
+    pub fn new(load_kbps: f64, carrier_sense: bool, duration_s: f64) -> Self {
+        let env = RadioEnv::new(SEED);
+        let cfg = SimConfig {
+            load_kbps,
+            body_bytes: 1500,
+            carrier_sense,
+            duration_s,
+            seed: SEED,
+        };
+        let timeline = generate_timeline(&env, &cfg);
+        CapacityRun { env, cfg, timeline }
+    }
+
+    /// Evaluates one receiver arm over the shared timeline.
+    pub fn receptions(&self, arm: &RxArm) -> Vec<Reception> {
+        process_receptions(&self.env, &self.cfg, &self.timeline, arm)
+    }
+}
+
+/// Per-link aggregation of reception outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Frames transmitted on the link (evaluated receptions).
+    pub frames: usize,
+    /// Frames acquired via preamble.
+    pub via_preamble: usize,
+    /// Frames acquired via postamble.
+    pub via_postamble: usize,
+    /// Total correct bytes delivered.
+    pub delivered_correct: usize,
+    /// Total scheme payload bytes offered.
+    pub payload_offered: usize,
+}
+
+impl LinkStats {
+    /// Equivalent frame delivery rate: correct delivered bytes per
+    /// airtime-equivalent byte (the 1500 B body), so scheme overhead is
+    /// charged (§7.2.2).
+    pub fn fdr(&self, body_bytes: usize) -> f64 {
+        if self.frames == 0 {
+            return f64::NAN;
+        }
+        self.delivered_correct as f64 / (self.frames * body_bytes) as f64
+    }
+
+    /// Delivered throughput over the run, kbit/s.
+    pub fn throughput_kbps(&self, duration_s: f64) -> f64 {
+        self.delivered_correct as f64 * 8.0 / duration_s / 1000.0
+    }
+}
+
+/// Groups receptions by usable link, returning stats per (sender,
+/// receiver) link in `env.links()` order.
+pub fn per_link_stats(env: &RadioEnv, recs: &[Reception]) -> Vec<((usize, usize), LinkStats)> {
+    let links = env.links();
+    let mut stats: Vec<LinkStats> = vec![LinkStats::default(); links.len()];
+    let index: std::collections::HashMap<(usize, usize), usize> =
+        links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    for rec in recs {
+        let Some(&i) = index.get(&(rec.sender, rec.receiver)) else { continue };
+        let s = &mut stats[i];
+        s.frames += 1;
+        s.payload_offered += rec.payload_len;
+        s.delivered_correct += rec.delivered_correct;
+        match rec.acquisition {
+            Acquisition::Preamble => s.via_preamble += 1,
+            Acquisition::Postamble => s.via_postamble += 1,
+            Acquisition::None => {}
+        }
+    }
+    links.into_iter().zip(stats).collect()
+}
+
+/// Per-link FDR samples for a reception set.
+pub fn fdr_cdf(env: &RadioEnv, recs: &[Reception], body_bytes: usize) -> Cdf {
+    let samples = per_link_stats(env, recs)
+        .into_iter()
+        .filter(|(_, s)| s.frames > 0)
+        .map(|(_, s)| s.fdr(body_bytes))
+        .collect();
+    Cdf::from_samples(samples)
+}
+
+/// Per-link throughput samples (kbit/s) for a reception set.
+pub fn throughput_cdf(env: &RadioEnv, recs: &[Reception], duration_s: f64) -> Cdf {
+    let samples = per_link_stats(env, recs)
+        .into_iter()
+        .filter(|(_, s)| s.frames > 0)
+        .map(|(_, s)| s.throughput_kbps(duration_s))
+        .collect();
+    Cdf::from_samples(samples)
+}
+
+/// The six arm combinations of Figs. 8–10: three schemes × postamble
+/// on/off, in the paper's legend order.
+pub fn six_arms() -> Vec<(String, RxArm)> {
+    let mut out = Vec::new();
+    for postamble in [false, true] {
+        for scheme in standard_schemes() {
+            let label = format!(
+                "{}, {}",
+                scheme.name(),
+                if postamble { "postamble decoding" } else { "no postamble decoding" }
+            );
+            out.push((label, RxArm { scheme, postamble, collect_symbols: false }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_capacity_run_produces_links_and_stats() {
+        let run = CapacityRun::new(13.8, false, 4.0);
+        assert!(!run.timeline.is_empty());
+        let arm = RxArm {
+            scheme: DeliveryScheme::Ppr { eta: ETA },
+            postamble: true,
+            collect_symbols: false,
+        };
+        let recs = run.receptions(&arm);
+        let stats = per_link_stats(&run.env, &recs);
+        assert!(!stats.is_empty());
+        let with_frames = stats.iter().filter(|(_, s)| s.frames > 0).count();
+        assert!(with_frames > 5, "only {with_frames} active links");
+        for (_, s) in &stats {
+            if s.frames > 0 {
+                let fdr = s.fdr(1500);
+                assert!((0.0..=1.0).contains(&fdr), "fdr {fdr}");
+            }
+        }
+    }
+
+    #[test]
+    fn six_arms_cover_schemes_and_postamble() {
+        let arms = six_arms();
+        assert_eq!(arms.len(), 6);
+        assert_eq!(arms.iter().filter(|(_, a)| a.postamble).count(), 3);
+        assert!(arms[0].0.contains("Packet CRC"));
+    }
+}

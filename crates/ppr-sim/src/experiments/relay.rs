@@ -1,0 +1,264 @@
+//! Extension (§8.4): partial-packet forwarding for mesh routing.
+//!
+//! The paper sketches integrating SoftPHY with opportunistic routing:
+//! "nodes need only forward … symbols (groups of bits) that are likely
+//! to be correct, and avoid wasting network capacity on incorrect
+//! data". This experiment builds the minimal mesh: a source S, a relay
+//! R, and a destination D, with marginal S→D and better S→R / R→D
+//! links. Three forwarding policies are compared on identical channel
+//! draws:
+//!
+//! * **Packet forwarding** (status quo): R forwards a packet only when
+//!   its CRC-32 passes; D accepts only CRC-passing copies.
+//! * **PPR forwarding**: R re-encodes and forwards only the bytes it
+//!   labeled good (bad spans are sent as zero filler and *marked* by a
+//!   forwarded hint mask); D combines its direct reception with R's
+//!   forwarded copy by hint preference.
+//! * **Direct only**: no relay — the baseline floor.
+//!
+//! Metric: end-to-end correct bytes delivered to D per source packet.
+
+use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
+use ppr_mac::frame::Frame;
+use ppr_mac::rx::RxFrame;
+use ppr_mac::schemes::DEFAULT_ETA;
+use crate::rxpath::{Acquisition, FastRx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One hop's channel quality: base chip error rate plus burst behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct HopQuality {
+    /// Baseline chip error probability.
+    pub base: f64,
+    /// Probability a frame suffers an additional collision burst.
+    pub burst_prob: f64,
+    /// Chip error probability inside the burst.
+    pub burst_p: f64,
+}
+
+impl HopQuality {
+    /// A marginal hop: frequent partial corruption.
+    pub fn marginal() -> Self {
+        HopQuality { base: 0.02, burst_prob: 0.8, burst_p: 0.4 }
+    }
+
+    /// A decent hop: occasional bursts.
+    pub fn decent() -> Self {
+        HopQuality { base: 2e-3, burst_prob: 0.35, burst_p: 0.4 }
+    }
+}
+
+/// Sends `frame` over a hop, returning the receiver's view.
+fn send_over(
+    frame: &Frame,
+    q: HopQuality,
+    rx: &FastRx,
+    rng: &mut StdRng,
+) -> (Acquisition, Option<RxFrame>) {
+    let chips = frame.chips();
+    let total = chips.len() as u64;
+    let mut pieces = vec![(0u64, total, q.base)];
+    if rng.gen::<f64>() < q.burst_prob {
+        let len = rng.gen_range(total / 8..total / 2);
+        let start = rng.gen_range(0..total - len);
+        pieces = vec![
+            (0, start, q.base),
+            (start, start + len, q.burst_p),
+            (start + len, total, q.base),
+        ];
+    }
+    let profile = ErrorProfile::from_pieces(pieces);
+    let corrupted = corrupt_chips(&chips, &profile, rng);
+    rx.receive(frame, &corrupted, true)
+}
+
+/// Per-policy tally of end-to-end correct bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelayResult {
+    /// Packets sent by the source.
+    pub packets: usize,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Correct bytes at D, direct reception only.
+    pub direct_only: usize,
+    /// Correct bytes at D with CRC-gated packet forwarding.
+    pub packet_forwarding: usize,
+    /// Correct bytes at D with PPR partial forwarding + hint combining.
+    pub ppr_forwarding: usize,
+}
+
+/// Runs `n_packets` source packets through the three policies.
+pub fn collect(n_packets: usize, payload_len: usize, seed: u64) -> RelayResult {
+    let rx = FastRx::new(true);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s_d = HopQuality::marginal();
+    let s_r = HopQuality::decent();
+    let r_d = HopQuality::decent();
+
+    let mut result =
+        RelayResult { packets: n_packets, payload: payload_len, ..Default::default() };
+
+    for seq in 0..n_packets as u16 {
+        let payload: Vec<u8> =
+            (0..payload_len).map(|i| (i as u8).wrapping_mul(29).wrapping_add(seq as u8)).collect();
+        let frame = Frame::new(3, 1, seq, payload.clone());
+
+        // One broadcast: D and R hear independent corruptions.
+        let (_, d_rx) = send_over(&frame, s_d, &rx, &mut rng);
+        let (_, r_rx) = send_over(&frame, s_r, &rx, &mut rng);
+
+        // Direct-only tally (PPR delivery at D).
+        let direct = delivered_map(&d_rx, &payload);
+        result.direct_only += count_correct(&direct, &payload);
+
+        // Packet forwarding: R forwards iff CRC passes; D takes its own
+        // CRC-passing copy, else the relayed CRC-passing copy.
+        let d_crc_ok = d_rx.as_ref().map(|f| f.pkt_crc_ok()).unwrap_or(false);
+        let mut pkt_bytes = 0;
+        if d_crc_ok {
+            pkt_bytes = payload.len();
+        } else if r_rx.as_ref().map(|f| f.pkt_crc_ok()).unwrap_or(false) {
+            // Relay transmits a fresh frame over R→D.
+            let relay_frame = Frame::new(3, 2, seq, payload.clone());
+            let (_, d2) = send_over(&relay_frame, r_d, &rx, &mut rng);
+            if d2.map(|f| f.pkt_crc_ok()).unwrap_or(false) {
+                pkt_bytes = payload.len();
+            }
+        }
+        result.packet_forwarding += pkt_bytes;
+
+        // PPR forwarding: R forwards its good-labeled bytes (bad spans
+        // zero-filled; the hint mask rides along conceptually — here the
+        // relay's hints gate what D may accept from the relayed copy).
+        let r_map = delivered_map(&r_rx, &payload);
+        let mut relayed_map = vec![None; payload.len()];
+        if r_map.iter().any(Option::is_some) {
+            let fwd_payload: Vec<u8> =
+                r_map.iter().map(|b| b.unwrap_or(0)).collect();
+            let relay_frame = Frame::new(3, 2, seq, fwd_payload);
+            let (_, d2) = send_over(&relay_frame, r_d, &rx, &mut rng);
+            let hop2 = delivered_map_raw(&d2);
+            // A relayed byte is usable only if R labeled it good AND it
+            // survived the R→D hop with a good hint.
+            for i in 0..payload.len() {
+                if r_map[i].is_some() {
+                    if let Some(Some(b)) = hop2.get(i) {
+                        relayed_map[i] = Some(*b);
+                    }
+                }
+            }
+        }
+        // D combines: direct good bytes win, relayed fill the gaps.
+        let mut combined = direct.clone();
+        for i in 0..payload.len() {
+            if combined[i].is_none() {
+                combined[i] = relayed_map[i];
+            }
+        }
+        result.ppr_forwarding += count_correct(&combined, &payload);
+    }
+    result
+}
+
+/// D's view of the payload under PPR delivery: `Some(byte)` where the
+/// hint passed the threshold, `None` elsewhere. Checked against nothing
+/// — correctness is tallied separately.
+fn delivered_map(rx: &Option<RxFrame>, payload: &[u8]) -> Vec<Option<u8>> {
+    let mut out = vec![None; payload.len()];
+    if let Some(f) = rx {
+        if let (Some(body), Some(hints)) = (f.body_bytes(), f.body_byte_hints()) {
+            for i in 0..payload.len().min(body.len()) {
+                if hints[i] <= DEFAULT_ETA {
+                    out[i] = Some(body[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Like [`delivered_map`] but sized from the frame itself.
+fn delivered_map_raw(rx: &Option<RxFrame>) -> Vec<Option<u8>> {
+    match rx {
+        Some(f) => match (f.body_bytes(), f.body_byte_hints()) {
+            (Some(body), Some(hints)) => body
+                .iter()
+                .zip(&hints)
+                .map(|(&b, &h)| if h <= DEFAULT_ETA { Some(b) } else { None })
+                .collect(),
+            _ => Vec::new(),
+        },
+        None => Vec::new(),
+    }
+}
+
+fn count_correct(map: &[Option<u8>], truth: &[u8]) -> usize {
+    map.iter().zip(truth).filter(|(m, t)| m.as_ref() == Some(t)).count()
+}
+
+/// Renders the comparison.
+pub fn render(r: &RelayResult) -> String {
+    let total = (r.packets * r.payload) as f64;
+    format!(
+        "Extension: partial-packet forwarding over a 2-hop mesh (8.4)\n\n\
+         {} packets x {} B, marginal S->D, decent S->R and R->D\n\n\
+         policy                        end-to-end correct bytes   fraction\n\
+         ------------------------------------------------------------------\n\
+         direct only (PPR delivery)    {:>10}                 {:.3}\n\
+         packet fwd (CRC end-to-end)   {:>10}                 {:.3}\n\
+         PPR forwarding                {:>10}                 {:.3}\n\n\
+         Expected: PPR forwarding far above the CRC-gated status quo —\n\
+         the relay salvages good fragments of packets whose CRC failed\n\
+         everywhere (the 8.4 capacity argument) — and above direct-only,\n\
+         since relayed fragments fill the direct reception's gaps.\n",
+        r.packets,
+        r.payload,
+        r.direct_only,
+        r.direct_only as f64 / total,
+        r.packet_forwarding,
+        r.packet_forwarding as f64 / total,
+        r.ppr_forwarding,
+        r.ppr_forwarding as f64 / total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppr_forwarding_beats_packet_forwarding_beats_direct() {
+        let r = collect(60, 200, 0xE20);
+        assert_eq!(r.packets, 60);
+        assert!(
+            r.ppr_forwarding > r.packet_forwarding,
+            "ppr {} <= packet {}",
+            r.ppr_forwarding,
+            r.packet_forwarding
+        );
+        assert!(
+            r.ppr_forwarding > r.direct_only,
+            "ppr {} <= direct {}",
+            r.ppr_forwarding,
+            r.direct_only
+        );
+        // PPR forwarding must deliver a substantial fraction.
+        let frac = r.ppr_forwarding as f64 / (r.packets * r.payload) as f64;
+        assert!(frac > 0.5, "fraction {frac}");
+    }
+
+    #[test]
+    fn combining_prefers_direct_bytes() {
+        // With a perfect direct link, the relay adds nothing and the
+        // result equals the full payload.
+        let rx = FastRx::new(true);
+        let mut rng = StdRng::seed_from_u64(1);
+        let payload: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let frame = Frame::new(3, 1, 0, payload.clone());
+        let clean = HopQuality { base: 0.0, burst_prob: 0.0, burst_p: 0.0 };
+        let (_, d_rx) = send_over(&frame, clean, &rx, &mut rng);
+        let map = delivered_map(&d_rx, &payload);
+        assert_eq!(count_correct(&map, &payload), payload.len());
+    }
+}

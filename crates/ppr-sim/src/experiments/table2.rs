@@ -1,0 +1,94 @@
+//! Table 2: fragmented-CRC aggregate throughput vs chunk count.
+//!
+//! The paper sweeps the number of CRC chunks per 1500 B packet over
+//! {1, 10, 30, 100, 300}: tiny chunks drown in checksum overhead, huge
+//! chunks lose whole fragments to every error burst. The optimum lands
+//! at ~30 chunks (50 B fragments), which the capacity experiments then
+//! use.
+
+use super::common::{per_link_stats, CapacityRun};
+use crate::network::RxArm;
+use crate::report::{fmt, Table};
+use ppr_mac::schemes::DeliveryScheme;
+
+/// The paper's chunk counts.
+pub const CHUNK_COUNTS: [usize; 5] = [1, 10, 30, 100, 300];
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Number of chunks per packet.
+    pub chunks: usize,
+    /// Fragment payload size, bytes.
+    pub frag_bytes: usize,
+    /// Aggregate delivered throughput across all links, kbit/s.
+    pub aggregate_kbps: f64,
+}
+
+/// Runs the sweep at high load (where the trade-off is sharpest).
+pub fn collect(duration_s: f64) -> Vec<Row> {
+    let run = CapacityRun::new(13.8, false, duration_s);
+    CHUNK_COUNTS
+        .iter()
+        .map(|&chunks| {
+            // `chunks` fragments must fit in the 1500 B body including
+            // their 4 B CRCs.
+            let frag_bytes = (1500 / chunks).saturating_sub(4).max(1);
+            let arm = RxArm {
+                scheme: DeliveryScheme::FragmentedCrc { frag_payload: frag_bytes },
+                postamble: true,
+                collect_symbols: false,
+            };
+            let recs = run.receptions(&arm);
+            let aggregate: f64 = per_link_stats(&run.env, &recs)
+                .iter()
+                .map(|(_, s)| s.throughput_kbps(duration_s))
+                .sum();
+            Row { chunks, frag_bytes, aggregate_kbps: aggregate }
+        })
+        .collect()
+}
+
+/// Renders the Table 2 analogue.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 2: fragmented-CRC aggregate throughput vs chunk count\n\
+         (1500 B packets, 13.8 kbit/s/node, carrier sense disabled)\n\n",
+    );
+    let mut t = Table::new(&["chunks", "frag bytes", "aggregate kbit/s"]);
+    for r in rows {
+        t.row(&[r.chunks.to_string(), r.frag_bytes.to_string(), fmt(r.aggregate_kbps)]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nShape target: unimodal in chunk count, peaking near 30 chunks\n\
+         (paper: 26 / 85 / 96 / 80 / 15 kbit/s).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_unimodal_with_interior_peak() {
+        let rows = collect(5.0);
+        assert_eq!(rows.len(), 5);
+        let best = rows
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.aggregate_kbps.partial_cmp(&b.1.aggregate_kbps).unwrap())
+            .unwrap()
+            .0;
+        // The peak must not sit at either extreme (the paper's central
+        // claim about the overhead/robustness trade-off).
+        assert!(best != 0, "peak at 1 chunk: {rows:?}");
+        assert!(best != rows.len() - 1, "peak at 300 chunks: {rows:?}");
+        // 300 tiny chunks must pay visible overhead vs the peak.
+        assert!(
+            rows[4].aggregate_kbps < rows[best].aggregate_kbps,
+            "no overhead penalty visible: {rows:?}"
+        );
+    }
+}

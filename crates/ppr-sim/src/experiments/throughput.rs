@@ -1,0 +1,192 @@
+//! Figures 11–12: end-to-end per-link throughput.
+//!
+//! * Fig. 11 — per-link throughput CDF at 6.9 kbit/s/node (near channel
+//!   saturation), carrier sense disabled, six scheme/postamble arms.
+//! * Fig. 12 — scatter of PPR and packet-CRC per-link throughput against
+//!   fragmented CRC (the x-axis baseline), at all three loads.
+//!
+//! Expected shape: PPR sits a roughly constant factor above fragmented
+//! CRC; fragmented CRC far outperforms packet CRC; the spread of link
+//! quality narrows for the finer-granularity schemes.
+
+use super::common::{per_link_stats, six_arms, standard_schemes, CapacityRun, LOADS};
+use crate::metrics::Cdf;
+use crate::network::RxArm;
+use crate::report::{fmt, series, Table};
+
+/// One Fig. 11 curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// Per-link throughput distribution, kbit/s.
+    pub cdf: Cdf,
+}
+
+/// Fig. 11: throughput CDFs for the six arms at one load.
+pub fn collect_fig11(load_kbps: f64, duration_s: f64) -> Vec<Curve> {
+    let run = CapacityRun::new(load_kbps, false, duration_s);
+    six_arms()
+        .into_iter()
+        .map(|(label, arm)| {
+            let recs = run.receptions(&arm);
+            let samples = per_link_stats(&run.env, &recs)
+                .into_iter()
+                .filter(|(_, s)| s.frames > 0)
+                .map(|(_, s)| s.throughput_kbps(duration_s))
+                .collect();
+            Curve { label, cdf: Cdf::from_samples(samples) }
+        })
+        .collect()
+}
+
+/// Renders Fig. 11.
+pub fn render_fig11(load_kbps: f64, curves: &[Curve]) -> String {
+    let mut out = format!(
+        "Figure 11: end-to-end per-link throughput CDF\n\
+         (offered load {load_kbps} kbit/s/node, carrier sense disabled)\n\n"
+    );
+    let mut t = Table::new(&["scheme / arm", "links", "median kbit/s", "p90 kbit/s"]);
+    for c in curves {
+        t.row(&[
+            c.label.clone(),
+            c.cdf.len().to_string(),
+            fmt(c.cdf.median()),
+            fmt(c.cdf.quantile(0.9)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let hi = curves.iter().map(|c| c.cdf.quantile(1.0)).fold(1.0f64, f64::max);
+    for c in curves {
+        out.push_str(&series(&c.label, &c.cdf.series(0.0, hi, 17)));
+        out.push('\n');
+    }
+    out
+}
+
+/// One Fig. 12 scatter point: per-link throughputs under the three
+/// schemes at one load.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterPoint {
+    /// Offered load, kbit/s/node.
+    pub load_kbps: f64,
+    /// Link identity.
+    pub link: (usize, usize),
+    /// Fragmented CRC throughput (x-axis), kbit/s.
+    pub frag: f64,
+    /// Packet CRC throughput, kbit/s.
+    pub packet: f64,
+    /// PPR throughput, kbit/s.
+    pub ppr: f64,
+}
+
+/// Fig. 12: per-link (fragmented CRC, packet CRC, PPR) throughput
+/// triples at every load. Postamble decoding enabled for all (the
+/// paper's default receiver).
+pub fn collect_fig12(duration_s: f64) -> Vec<ScatterPoint> {
+    let mut out = Vec::new();
+    for &load in &LOADS {
+        let run = CapacityRun::new(load, false, duration_s);
+        let [pkt, frag, ppr] = standard_schemes();
+        let arms = [pkt, frag, ppr].map(|scheme| RxArm {
+            scheme,
+            postamble: true,
+            collect_symbols: false,
+        });
+        let stats: Vec<_> =
+            arms.iter().map(|arm| per_link_stats(&run.env, &run.receptions(arm))).collect();
+        for i in 0..stats[0].len() {
+            let link = stats[0][i].0;
+            if stats[0][i].1.frames == 0 {
+                continue;
+            }
+            out.push(ScatterPoint {
+                load_kbps: load,
+                link,
+                packet: stats[0][i].1.throughput_kbps(duration_s),
+                frag: stats[1][i].1.throughput_kbps(duration_s),
+                ppr: stats[2][i].1.throughput_kbps(duration_s),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 12 scatter as rows.
+pub fn render_fig12(points: &[ScatterPoint]) -> String {
+    let mut out = String::from(
+        "Figure 12: per-link throughput, fragmented CRC (x) vs packet CRC\n\
+         and PPR (y), all loads, carrier sense disabled\n\n",
+    );
+    let mut t = Table::new(&[
+        "load", "link s->r", "fragCRC kbit/s", "packetCRC kbit/s", "PPR kbit/s",
+    ]);
+    for p in points {
+        t.row(&[
+            format!("{}", p.load_kbps),
+            format!("{}->{}", p.link.0, p.link.1),
+            fmt(p.frag),
+            fmt(p.packet),
+            fmt(p.ppr),
+        ]);
+    }
+    out.push_str(&t.render());
+    // Summary ratios (geometric mean over links with nonzero frag).
+    let mut ppr_ratios = Vec::new();
+    let mut pkt_ratios = Vec::new();
+    for p in points {
+        if p.frag > 0.01 {
+            ppr_ratios.push(p.ppr / p.frag);
+            if p.packet > 0.0 {
+                pkt_ratios.push(p.packet / p.frag);
+            }
+        }
+    }
+    let gm = |v: &[f64]| -> f64 {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    out.push_str(&format!(
+        "\nGeometric-mean ratio PPR/fragCRC: {}   packetCRC/fragCRC: {}\n\
+         (paper: PPR a roughly constant factor above fragmented CRC;\n\
+          packet CRC far below it)\n",
+        fmt(gm(&ppr_ratios)),
+        fmt(gm(&pkt_ratios)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_ordering_ppr_over_frag_over_packet() {
+        let points = collect_fig12(4.0);
+        assert!(!points.is_empty());
+        let tot = |f: fn(&ScatterPoint) -> f64| points.iter().map(f).sum::<f64>();
+        let (pkt, frag, ppr) =
+            (tot(|p| p.packet), tot(|p| p.frag), tot(|p| p.ppr));
+        assert!(ppr >= frag, "ppr {ppr} < frag {frag}");
+        assert!(frag > pkt, "frag {frag} <= pkt {pkt}");
+    }
+
+    #[test]
+    fn fig11_throughput_bounded_by_offered_load() {
+        let curves = collect_fig11(6.9, 4.0);
+        for c in &curves {
+            // No link can deliver much more than the offered load;
+            // allow generous slack for Poisson burstiness on a short
+            // test run (the window holds only a handful of packets).
+            assert!(
+                c.cdf.quantile(1.0) <= 6.9 * 3.5,
+                "{}: max {}",
+                c.label,
+                c.cdf.quantile(1.0)
+            );
+        }
+    }
+}

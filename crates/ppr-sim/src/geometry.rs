@@ -1,0 +1,168 @@
+//! The testbed floor plan (paper Fig. 7).
+//!
+//! 27 nodes over nine rooms of an indoor office floor roughly
+//! 100 ft × 50 ft (30.5 m × 15.2 m): 23 CC2420 senders and four GNU Radio
+//! receivers R1–R4 deployed among them. The exact coordinates in the
+//! paper are not published; this layout reproduces the published
+//! structure — a 3 × 3 room grid, senders clustered 2–3 per room,
+//! receivers spread so each hears 4–8 senders at usable strength with
+//! link qualities from near-perfect to marginal.
+
+/// A planar position in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// x coordinate, meters (long axis of the floor).
+    pub x: f64,
+    /// y coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Floor dimensions, meters (≈ 100 ft × 50 ft).
+pub const FLOOR_X_M: f64 = 30.5;
+/// Floor depth, meters.
+pub const FLOOR_Y_M: f64 = 15.2;
+
+/// Number of sender nodes (Telos motes).
+pub const NUM_SENDERS: usize = 23;
+/// Number of receiver nodes (GNU Radios R1–R4).
+pub const NUM_RECEIVERS: usize = 4;
+
+/// The testbed: sender and receiver positions.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Sender positions, index = sender id.
+    pub senders: Vec<Point>,
+    /// Receiver positions, index = receiver id (R1..R4).
+    pub receivers: Vec<Point>,
+}
+
+impl Testbed {
+    /// The Fig. 7-style layout: senders spread 2–3 per room over a 3×3
+    /// room grid, receivers placed between room clusters.
+    pub fn fig7() -> Testbed {
+        // Room grid: 3 columns × 3 rows, each room ~10.2 m × 5.1 m.
+        // Senders are placed at deterministic offsets inside rooms.
+        let mut senders = Vec::with_capacity(NUM_SENDERS);
+        let offsets = [(2.0, 1.2), (6.5, 3.8), (8.9, 1.8)];
+        let mut count = 0;
+        'outer: for row in 0..3 {
+            for col in 0..3 {
+                let room_x = col as f64 * (FLOOR_X_M / 3.0);
+                let room_y = row as f64 * (FLOOR_Y_M / 3.0);
+                for &(ox, oy) in &offsets {
+                    if count == NUM_SENDERS {
+                        break 'outer;
+                    }
+                    senders.push(Point::new(room_x + ox, room_y + oy * (FLOOR_Y_M / 15.2)));
+                    count += 1;
+                }
+            }
+        }
+        // Receivers R1–R4 spread along the floor between room clusters.
+        let receivers = vec![
+            Point::new(5.5, 7.6),
+            Point::new(13.0, 4.0),
+            Point::new(18.5, 11.0),
+            Point::new(26.0, 6.5),
+        ];
+        Testbed { senders, receivers }
+    }
+
+    /// Distance from sender `s` to receiver `r`, meters.
+    pub fn sender_receiver_distance(&self, s: usize, r: usize) -> f64 {
+        self.senders[s].distance(&self.receivers[r])
+    }
+
+    /// Distance between two senders (for carrier sensing), meters.
+    pub fn sender_sender_distance(&self, a: usize, b: usize) -> f64 {
+        self.senders[a].distance(&self.senders[b])
+    }
+
+    /// Room-grid coordinates `(col, row)` of a point (3 × 3 grid).
+    pub fn room_of(p: &Point) -> (usize, usize) {
+        let col = ((p.x / (FLOOR_X_M / 3.0)) as usize).min(2);
+        let row = ((p.y / (FLOOR_Y_M / 3.0)) as usize).min(2);
+        (col, row)
+    }
+
+    /// Approximate number of interior walls a straight path between two
+    /// points crosses: the Manhattan distance between their room-grid
+    /// cells. Wall attenuation is what keeps each sink hearing only the
+    /// 4–8 nearby senders of the paper's testbed instead of the whole
+    /// floor.
+    pub fn walls_between(a: &Point, b: &Point) -> usize {
+        let (ac, ar) = Self::room_of(a);
+        let (bc, br) = Self::room_of(b);
+        ac.abs_diff(bc) + ar.abs_diff(br)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_has_paper_node_counts() {
+        let tb = Testbed::fig7();
+        assert_eq!(tb.senders.len(), NUM_SENDERS);
+        assert_eq!(tb.receivers.len(), NUM_RECEIVERS);
+    }
+
+    #[test]
+    fn all_nodes_inside_floor() {
+        let tb = Testbed::fig7();
+        for p in tb.senders.iter().chain(&tb.receivers) {
+            assert!(p.x >= 0.0 && p.x <= FLOOR_X_M, "{p:?}");
+            assert!(p.y >= 0.0 && p.y <= FLOOR_Y_M, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn senders_are_distinct_positions() {
+        let tb = Testbed::fig7();
+        for i in 0..tb.senders.len() {
+            for j in (i + 1)..tb.senders.len() {
+                assert!(tb.senders[i].distance(&tb.senders[j]) > 0.5, "senders {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_distances_span_near_and_far() {
+        // The layout must produce both short (< 6 m) and long (> 15 m)
+        // sender→receiver links: the diversity every result depends on.
+        let tb = Testbed::fig7();
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for s in 0..NUM_SENDERS {
+            for r in 0..NUM_RECEIVERS {
+                let d = tb.sender_receiver_distance(s, r);
+                min = min.min(d);
+                max = max.max(d);
+            }
+        }
+        assert!(min < 6.0, "closest link {min}");
+        assert!(max > 15.0, "farthest link {max}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let tb = Testbed::fig7();
+        assert_eq!(tb.sender_sender_distance(0, 5), tb.sender_sender_distance(5, 0));
+        assert_eq!(tb.sender_sender_distance(3, 3), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # `ppr-sim` — the 27-node testbed as a deterministic simulation
+//!
+//! Reproduces the paper's experimental apparatus (§6–7): the Fig. 7
+//! indoor floor plan, Poisson traffic at the published offered loads,
+//! carrier-sense arms, and the full receive pipeline per (transmission,
+//! receiver) pair — then one experiment module per table and figure.
+//!
+//! Everything is seeded: the same [`network::SimConfig`] always produces
+//! the same timeline, the same chip errors and the same numbers, across
+//! schemes and postamble arms (the paper's trace post-processing
+//! methodology).
+//!
+//! * [`geometry`] — the floor plan.
+//! * [`traffic`] — Poisson packet arrivals.
+//! * [`network`] — timeline generation + reception processing.
+//! * [`rxpath`] — known-offset delimiter checks + `ppr-mac` decode.
+//! * [`metrics`] — CDF/CCDF and hint-statistics collectors.
+//! * [`experiments`] — Fig. 3 through Fig. 16 and Tables 1–2.
+//! * [`report`] — plain-text tables/series matching the paper's plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod geometry;
+pub mod metrics;
+pub mod network;
+pub mod report;
+pub mod rxpath;
+pub mod traffic;
+
+pub use geometry::{Point, Testbed};
+pub use metrics::{Cdf, HintHistogram, MissRunHistogram};
+pub use network::{
+    generate_timeline, process_receptions, RadioEnv, Reception, RxArm, SimConfig, Transmission,
+};
+pub use rxpath::{Acquisition, FastRx};

@@ -1,0 +1,111 @@
+//! Plain-text output helpers: aligned tables and gnuplot-style series,
+//! so every experiment binary prints rows directly comparable to the
+//! paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a named (x, y) series as two aligned columns — the text
+/// equivalent of one curve in a paper figure.
+pub fn series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\n");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:>10.4}  {y:>10.6}");
+    }
+    out
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else if v == 0.0 || (v.abs() >= 0.01 && v.abs() < 10_000.0) {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["scheme", "median"]);
+        t.row(&["PPR".into(), "0.93".into()]);
+        t.row(&["Packet CRC".into(), "0.41".into()]);
+        let r = t.render();
+        assert!(r.contains("scheme"));
+        assert!(r.contains("Packet CRC"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn series_has_header_and_rows() {
+        let s = series("fig-x", &[(0.0, 0.5), (1.0, 1.0)]);
+        assert!(s.starts_with("# fig-x\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_handles_extremes() {
+        assert_eq!(fmt(f64::NAN), "n/a");
+        assert_eq!(fmt(0.5), "0.500");
+        assert!(fmt(1e-6).contains('e'));
+        assert!(fmt(1e9).contains('e'));
+    }
+}

@@ -1,0 +1,81 @@
+//! PP-ARQ moving a file across a marginal, bursty radio link.
+//!
+//! Splits a 16 KiB "file" into 250-byte packets and transfers each with
+//! the full PP-ARQ protocol over the chip-level channel: every data
+//! frame, feedback packet and partial retransmission is spread to chips,
+//! corrupted, and decoded with SoftPHY hints. Compares the airtime spent
+//! against the status quo (whole-packet retransmission until CRC
+//! passes).
+//!
+//! ```text
+//! cargo run --release --example file_transfer_pparq
+//! ```
+
+use ppr::core::arq::{run_session, ArqChannel, PpArqConfig};
+use ppr::sim::experiments::fig16::RadioLinkChannel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let packet_bytes = 250usize;
+    let file_len = 16 * 1024;
+    let mut rng = StdRng::seed_from_u64(2024);
+    let file: Vec<u8> = (0..file_len).map(|_| rng.gen()).collect();
+    let packets: Vec<&[u8]> = file.chunks(packet_bytes).collect();
+    println!("transferring {} bytes as {} packets of {} B over a marginal bursty link\n",
+        file_len, packets.len(), packet_bytes);
+
+    // --- PP-ARQ ---
+    let mut channel = RadioLinkChannel::marginal(42);
+    let mut sender_bytes = 0usize;
+    let mut feedback_bytes = 0usize;
+    let mut rounds = 0usize;
+    let mut recovered = 0usize;
+    let mut retx_count = 0usize;
+    for p in &packets {
+        let stats = run_session(p, PpArqConfig::default(), &mut channel);
+        sender_bytes += stats.sender_bytes();
+        feedback_bytes += stats.receiver_bytes();
+        rounds += stats.rounds;
+        retx_count += stats.retx_sizes.len();
+        if stats.completed && stats.final_payload == *p {
+            recovered += 1;
+        }
+    }
+    println!("PP-ARQ:");
+    println!("  packets recovered:   {recovered}/{}", packets.len());
+    println!("  sender airtime:      {sender_bytes} bytes ({} retransmissions)", retx_count);
+    println!("  feedback airtime:    {feedback_bytes} bytes");
+    println!("  mean rounds/packet:  {:.2}", rounds as f64 / packets.len() as f64);
+    let pparq_total = sender_bytes;
+
+    // --- Status quo: resend the whole packet until its CRC passes ---
+    let mut channel = RadioLinkChannel::marginal(43);
+    let mut naive_bytes = 0usize;
+    let mut naive_recovered = 0usize;
+    for p in &packets {
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            let mut tx = p.to_vec();
+            ppr::mac::crc::append_crc32(&mut tx);
+            naive_bytes += tx.len();
+            let (rx, _hints) = channel.forward(&tx);
+            if rx.len() == tx.len() && ppr::mac::crc::verify_crc32_trailer(&rx) {
+                naive_recovered += 1;
+                break;
+            }
+            if tries >= 20 {
+                break;
+            }
+        }
+    }
+    println!("\nstatus quo (whole-packet ARQ):");
+    println!("  packets recovered:   {naive_recovered}/{}", packets.len());
+    println!("  sender airtime:      {naive_bytes} bytes");
+    println!(
+        "\nPP-ARQ sender airtime saving vs status quo: {:.0}%",
+        100.0 * (1.0 - pparq_total as f64 / naive_bytes as f64)
+    );
+    println!("(paper 7.5: a median factor of ~50% reduction in retransmission cost)");
+}

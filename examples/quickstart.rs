@@ -1,0 +1,84 @@
+//! Quickstart: the whole PPR story on one corrupted frame.
+//!
+//! 1. Build an 802.15.4 frame and spread it to chips.
+//! 2. Corrupt a burst of chips (a collision).
+//! 3. Receive it: SoftPHY hints flag exactly the corrupted region.
+//! 4. Compare what each delivery scheme salvages.
+//! 5. Let PP-ARQ plan the cheapest partial retransmission.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ppr::core::{PacketHints, PpArq, PpArqConfig};
+use ppr::mac::frame::Frame;
+use ppr::mac::rx::FrameReceiver;
+use ppr::mac::schemes::{correct_delivered_bytes, DeliveryScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A 200-byte payload framed for the air: preamble · header ·
+    //    body · CRC-32 · trailer · postamble.
+    let payload: Vec<u8> = (0..200u32).map(|i| (i * 37 + 11) as u8).collect();
+    let frame = Frame::new(/*dst*/ 1, /*src*/ 2, /*seq*/ 0, payload.clone());
+    let mut chips = frame.chips();
+    println!("frame: {} link bytes -> {} chips ({} us airtime)",
+        frame.link_bytes().len(), chips.len(), frame.airtime_us());
+
+    // 2. A collision wipes out ~25% of the frame mid-flight.
+    let burst_start = chips.len() / 2;
+    let burst_len = chips.len() / 4;
+    for c in chips[burst_start..burst_start + burst_len].iter_mut() {
+        *c = rng.gen();
+    }
+    println!("collision: randomized chips {burst_start}..{}", burst_start + burst_len);
+
+    // 3. Receive. The Hamming-distance SoftPHY hints light up over the
+    //    burst and stay near zero elsewhere.
+    let frames = FrameReceiver::default().receive(&chips);
+    let rx = &frames[0];
+    println!("\nsync: {:?}, header: {:?}, packet CRC ok: {}",
+        rx.sync, rx.header, rx.pkt_crc_ok());
+    let hints = rx.body_byte_hints().expect("geometry known");
+    let bad: usize = hints.iter().filter(|&&h| h > 6).count();
+    println!("SoftPHY: {bad} of {} body bytes labeled bad (eta = 6)", hints.len());
+
+    // 4. What does each scheme deliver from this single reception?
+    println!("\nscheme comparison (correct bytes delivered of {}):", payload.len());
+    for scheme in [
+        DeliveryScheme::PacketCrc,
+        DeliveryScheme::FragmentedCrc { frag_payload: 50 },
+        DeliveryScheme::Ppr { eta: 6 },
+    ] {
+        // Fragmented CRC needs its own frame layout; rebuild under the
+        // same corruption pattern for a fair comparison.
+        let sframe = Frame::new(1, 2, 0, scheme.build_body(&payload));
+        let mut schips = sframe.chips();
+        let mut r2 = StdRng::seed_from_u64(7);
+        let bs = schips.len() / 2;
+        let bl = schips.len() / 4;
+        for c in schips[bs..bs + bl].iter_mut() {
+            *c = r2.gen();
+        }
+        let rxs = FrameReceiver::default().receive(&schips);
+        let delivered = rxs
+            .first()
+            .map(|f| correct_delivered_bytes(&scheme.deliver(f), &payload))
+            .unwrap_or(0);
+        println!("  {:<16} {delivered:>4} bytes", scheme.name());
+    }
+
+    // 5. PP-ARQ plans the cheapest retransmission request from the
+    //    hints: one chunk covering the burst, not the whole packet.
+    let plan = PpArq::new(PpArqConfig::default())
+        .plan_feedback(&PacketHints::from_raw(&hints, 6));
+    println!("\nPP-ARQ plan: {} chunk(s), {:.0} feedback bits, {} bytes re-requested",
+        plan.chunks.len(), plan.cost_bits, plan.requested_units());
+    for c in &plan.chunks {
+        println!("  re-send bytes {}..{}", c.start, c.end);
+    }
+    println!("(a whole-packet retransmit would resend {} bytes)", payload.len());
+}

@@ -1,0 +1,118 @@
+//! Backend calibration: the fast chip-level channel and the sample-level
+//! DSP channel must agree on the statistics every higher layer consumes
+//! — chip error rate and codeword error rate at a given SINR.
+//!
+//! This is the test that justifies running the network experiments on
+//! the fast backend (DESIGN.md §2).
+
+use ppr::channel::ber::chip_error_prob;
+use ppr::channel::chip_channel::{codeword_flip_counts, corrupt_chips, ErrorProfile};
+use ppr::channel::sample_channel::render_single;
+use ppr::phy::modem::{pack_chip_words, unpack_chip_words, MskModem};
+use ppr::phy::spread::{despread_hard, spread_bytes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPS: usize = 4;
+
+/// Chip error rates of the two backends vs the analytic curve, at
+/// several SNRs.
+#[test]
+fn chip_error_rate_parity() {
+    let modem = MskModem::new(SPS);
+    let mut rng = StdRng::seed_from_u64(1);
+    let n_chips = 80_000;
+    let chips: Vec<bool> = (0..n_chips).map(|_| rng.gen()).collect();
+
+    for snr_db in [0.0f64, 2.0, 4.0, 6.0] {
+        let snr = 10f64.powf(snr_db / 10.0);
+        let p_analytic = chip_error_prob(snr);
+
+        // DSP backend: matched-filter chip SNR = P·E_pulse/noise.
+        let noise_mw = SPS as f64 / snr;
+        let samples = render_single(&modem, &chips, 1.0, noise_mw, &mut rng);
+        let rx_dsp = modem.demodulate_hard(&samples, 0, chips.len(), true);
+        let p_dsp = rx_dsp.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64
+            / n_chips as f64;
+
+        // Fast backend.
+        let profile = ErrorProfile::uniform(n_chips as u64, p_analytic);
+        let rx_fast = corrupt_chips(&chips, &profile, &mut rng);
+        let p_fast = rx_fast.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64
+            / n_chips as f64;
+
+        let tol = 0.15 * p_analytic + 0.0015;
+        assert!(
+            (p_dsp - p_analytic).abs() < tol,
+            "snr {snr_db} dB: dsp {p_dsp:.4} vs analytic {p_analytic:.4}"
+        );
+        assert!(
+            (p_fast - p_analytic).abs() < tol,
+            "snr {snr_db} dB: fast {p_fast:.4} vs analytic {p_analytic:.4}"
+        );
+    }
+}
+
+/// Codeword error rates and mean Hamming hints of the two backends agree
+/// — the statistics SoftPHY exposes upward.
+#[test]
+fn codeword_error_and_hint_parity() {
+    let modem = MskModem::new(SPS);
+    let mut rng = StdRng::seed_from_u64(2);
+    let payload: Vec<u8> = (0..2000).map(|_| rng.gen()).collect();
+    let words = spread_bytes(&payload);
+    let chips = unpack_chip_words(&words);
+    let tx_symbols = ppr::phy::spread::bytes_to_symbols(&payload);
+
+    for snr_db in [1.0f64, 3.0] {
+        let snr = 10f64.powf(snr_db / 10.0);
+        let p = chip_error_prob(snr);
+
+        // DSP path.
+        let noise_mw = SPS as f64 / snr;
+        let samples = render_single(&modem, &chips, 1.0, noise_mw, &mut rng);
+        let rx_chips_dsp = modem.demodulate_hard(&samples, 0, chips.len(), true);
+        let stats_dsp = decode_stats(&rx_chips_dsp, &tx_symbols);
+
+        // Fast path.
+        let profile = ErrorProfile::uniform(chips.len() as u64, p);
+        let rx_chips_fast = corrupt_chips(&chips, &profile, &mut rng);
+        let stats_fast = decode_stats(&rx_chips_fast, &tx_symbols);
+
+        // Flip counts (ground truth) also agree in the mean.
+        let flips_dsp = mean(&codeword_flip_counts(&chips, &rx_chips_dsp));
+        let flips_fast = mean(&codeword_flip_counts(&chips, &rx_chips_fast));
+        assert!(
+            (flips_dsp - flips_fast).abs() < 0.35,
+            "snr {snr_db}: flips dsp {flips_dsp:.2} fast {flips_fast:.2}"
+        );
+
+        let (cer_dsp, hint_dsp) = stats_dsp;
+        let (cer_fast, hint_fast) = stats_fast;
+        assert!(
+            (cer_dsp - cer_fast).abs() < 0.05 + 0.3 * cer_dsp.max(cer_fast),
+            "snr {snr_db}: codeword error dsp {cer_dsp:.4} fast {cer_fast:.4}"
+        );
+        assert!(
+            (hint_dsp - hint_fast).abs() < 0.4,
+            "snr {snr_db}: mean hint dsp {hint_dsp:.2} fast {hint_fast:.2}"
+        );
+    }
+}
+
+fn decode_stats(rx_chips: &[bool], tx_symbols: &[u8]) -> (f64, f64) {
+    let words = pack_chip_words(rx_chips);
+    let decisions = despread_hard(&words);
+    let errors = decisions
+        .iter()
+        .zip(tx_symbols)
+        .filter(|(d, &t)| d.symbol != t)
+        .count();
+    let mean_hint = decisions.iter().map(|d| d.distance as f64).sum::<f64>()
+        / decisions.len() as f64;
+    (errors as f64 / decisions.len() as f64, mean_hint)
+}
+
+fn mean(v: &[u8]) -> f64 {
+    v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants.
+
+use ppr::core::dp::{plan_chunks, plan_chunks_brute, CostModel};
+use ppr::core::feedback::{complement_ranges, Feedback};
+use ppr::core::runs::{RunLengths, UnitRange};
+use ppr::core::arq::{RetxPacket, Segment};
+use ppr::mac::crc::{append_crc32, crc16, crc32, verify_crc32_trailer};
+use ppr::phy::spread::{bytes_to_symbols, despread_hard, spread, symbols_to_bytes};
+use proptest::prelude::*;
+
+proptest! {
+    /// Byte ↔ symbol ↔ codeword round trip on a clean channel.
+    #[test]
+    fn spread_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let symbols = bytes_to_symbols(&data);
+        let words = spread(&symbols);
+        let decisions = despread_hard(&words);
+        prop_assert!(decisions.iter().all(|d| d.distance == 0));
+        let rx: Vec<u8> = decisions.iter().map(|d| d.symbol).collect();
+        prop_assert_eq!(symbols_to_bytes(&rx), data);
+    }
+
+    /// Any ≤5-chip corruption per codeword decodes exactly and reports
+    /// the flip count as the hint (minimum code distance is 12).
+    #[test]
+    fn hint_equals_flips_below_half_distance(
+        symbol in 0u8..16,
+        flips in proptest::collection::btree_set(0u32..32, 0..=5),
+    ) {
+        let word = ppr::phy::chips::spread_symbol(symbol);
+        let mut corrupted = word;
+        for f in &flips {
+            corrupted ^= 1 << f;
+        }
+        let d = ppr::phy::chips::decide(corrupted);
+        prop_assert_eq!(d.symbol, symbol);
+        prop_assert_eq!(d.distance as usize, flips.len());
+    }
+
+    /// Run-length representation round-trips labels exactly.
+    #[test]
+    fn run_lengths_roundtrip(labels in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let rl = RunLengths::from_labels(&labels);
+        prop_assert_eq!(rl.to_labels(), labels);
+        // Structural invariants.
+        prop_assert_eq!(rl.bad_units() + rl.good_units(), rl.total);
+        for p in &rl.pairs {
+            prop_assert!(p.bad_len >= 1);
+        }
+    }
+
+    /// The DP's cost equals the exponential brute force and its chunks
+    /// cover every bad unit, never overlap, and start/end on bad units.
+    #[test]
+    fn dp_is_optimal_and_well_formed(
+        labels in proptest::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let rl = RunLengths::from_labels(&labels);
+        prop_assume!(rl.l() <= 14); // keep the brute force tractable
+        let cost = CostModel::bytes(labels.len().max(16));
+        let dp = plan_chunks(&rl, &cost);
+        let brute = plan_chunks_brute(&rl, &cost);
+        prop_assert!((dp.cost_bits - brute.cost_bits).abs() < 1e-9,
+            "dp {} vs brute {}", dp.cost_bits, brute.cost_bits);
+        // Coverage + disjointness.
+        for (i, &good) in labels.iter().enumerate() {
+            let covering = dp.chunks.iter().filter(|c| c.covers(i)).count();
+            if !good {
+                prop_assert_eq!(covering, 1, "bad unit {} covered {} times", i, covering);
+            }
+        }
+        for w in dp.chunks.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for c in &dp.chunks {
+            prop_assert!(!labels[c.start] && !labels[c.end - 1]);
+        }
+    }
+
+    /// Feedback encoding round-trips bit-exactly for arbitrary chunk
+    /// geometries.
+    #[test]
+    fn feedback_roundtrip(
+        len in 1usize..2000,
+        raw_chunks in proptest::collection::vec((0usize..2000, 1usize..100), 0..10),
+    ) {
+        // Normalize raw chunks into sorted, disjoint, in-bounds ranges.
+        let mut chunks: Vec<UnitRange> = Vec::new();
+        let mut cursor = 0usize;
+        for (start, clen) in raw_chunks {
+            let s = cursor + start % 50;
+            let e = (s + clen).min(len);
+            if s >= len || e <= s {
+                continue;
+            }
+            chunks.push(UnitRange::new(s, e));
+            cursor = e + 1;
+        }
+        let bytes: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+        let fb = Feedback::from_plan(3, &bytes, chunks);
+        let decoded = Feedback::decode(&fb.encode());
+        prop_assert_eq!(decoded, Some(fb.clone()));
+        // Complement geometry tiles the packet with the chunks.
+        let mut covered = vec![false; len];
+        for c in &fb.chunks {
+            for i in c.start..c.end { covered[i] = true; }
+        }
+        for r in complement_ranges(len, &fb.chunks) {
+            for i in r.start..r.end {
+                prop_assert!(!covered[i]);
+                covered[i] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Retransmission packets round-trip including confirm bitmaps and
+    /// segments.
+    #[test]
+    fn retx_roundtrip(
+        confirms in proptest::collection::vec(any::<bool>(), 0..16),
+        segs in proptest::collection::vec((0usize..500, 1usize..60), 0..6),
+    ) {
+        let packet_len = 1000usize;
+        let segments: Vec<Segment> = segs
+            .into_iter()
+            .map(|(off, len)| Segment {
+                offset: off.min(packet_len - 60),
+                bytes: (0..len).map(|i| i as u8).collect(),
+            })
+            .collect();
+        let r = RetxPacket { seq: 7, packet_len, confirms: confirms.clone(), segments: segments.clone() };
+        let d = RetxPacket::decode(&r.encode()).unwrap();
+        prop_assert_eq!(d.seq, 7);
+        prop_assert_eq!(d.confirms, Some(confirms));
+        prop_assert_eq!(d.segments, segments);
+    }
+
+    /// CRC trailer verification accepts exactly the untampered buffer.
+    #[test]
+    fn crc_trailer_detects_any_single_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..100),
+        flip_byte in 0usize..104,
+        flip_bit in 0u8..8,
+    ) {
+        let mut buf = data;
+        append_crc32(&mut buf);
+        prop_assert!(verify_crc32_trailer(&buf));
+        let idx = flip_byte % buf.len();
+        buf[idx] ^= 1 << flip_bit;
+        prop_assert!(!verify_crc32_trailer(&buf));
+    }
+
+    /// CRC16/CRC32 are deterministic functions.
+    #[test]
+    fn crc_determinism(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(crc32(&data), crc32(&data));
+        prop_assert_eq!(crc16(&data), crc16(&data));
+    }
+
+    /// Frame link-bytes layout invariants hold for arbitrary bodies.
+    #[test]
+    fn frame_layout_invariants(body in proptest::collection::vec(any::<u8>(), 0..600)) {
+        use ppr::mac::frame::{Frame, FrameGeometry, Header};
+        let frame = Frame::new(5, 6, 7, body.clone());
+        let bytes = frame.link_bytes();
+        let g = FrameGeometry::for_body(body.len());
+        prop_assert_eq!(bytes.len(), g.total());
+        prop_assert_eq!(&bytes[g.body()], body.as_slice());
+        let hdr = Header::decode(&bytes[g.header()]).unwrap();
+        let trl = Header::decode(&bytes[g.trailer()]).unwrap();
+        prop_assert_eq!(hdr, trl);
+        prop_assert_eq!(hdr.len as usize, body.len());
+        prop_assert_eq!(frame.chips().len(), frame.chips_len());
+    }
+}
