@@ -51,7 +51,11 @@ fn bench_chip_channel(c: &mut Criterion) {
     let chips = vec![false; 100_000];
     let mut rng = StdRng::seed_from_u64(2);
     let mut group = c.benchmark_group("chip_channel_100k");
-    for (name, p) in [("clean_1e-6", 1e-6), ("marginal_0.05", 0.05), ("jammed_0.5", 0.5)] {
+    for (name, p) in [
+        ("clean_1e-6", 1e-6),
+        ("marginal_0.05", 0.05),
+        ("jammed_0.5", 0.5),
+    ] {
         let profile = ppr_channel::chip_channel::ErrorProfile::uniform(100_000, p);
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -68,8 +72,9 @@ fn bench_chip_channel(c: &mut Criterion) {
 
 fn bench_feedback_codec(c: &mut Criterion) {
     let bytes = vec![0xA5u8; 1500];
-    let chunks: Vec<UnitRange> =
-        (0..12).map(|i| UnitRange::new(i * 120, i * 120 + 40)).collect();
+    let chunks: Vec<UnitRange> = (0..12)
+        .map(|i| UnitRange::new(i * 120, i * 120 + 40))
+        .collect();
     let fb = Feedback::from_plan(1, &bytes, chunks);
     let encoded = fb.encode();
     c.bench_function("feedback_encode", |b| b.iter(|| black_box(&fb).encode()));
@@ -82,7 +87,11 @@ fn bench_pparq_session(c: &mut Criterion) {
     let payload = vec![0x5Au8; 250];
     c.bench_function("pparq_session_clean_250B", |b| {
         b.iter(|| {
-            run_session(black_box(&payload), PpArqConfig::default(), &mut PerfectChannel)
+            run_session(
+                black_box(&payload),
+                PpArqConfig::default(),
+                &mut PerfectChannel,
+            )
         })
     });
 }

@@ -22,8 +22,8 @@ fn bursty_labels(rng: &mut StdRng, total: usize, bursts: usize, mean_len: usize)
     for _ in 0..bursts {
         let len = 1 + (rng.gen::<f64>() * 2.0 * mean_len as f64) as usize;
         let start = rng.gen_range(0..total);
-        for i in start..(start + len).min(total) {
-            labels[i] = false;
+        for label in &mut labels[start..(start + len).min(total)] {
+            *label = false;
         }
     }
     labels
@@ -37,7 +37,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xAB1A);
 
     let mut t = Table::new(&[
-        "scenario", "L (bad runs)", "whole-packet bits", "per-run bits", "DP bits", "DP saving",
+        "scenario",
+        "L (bad runs)",
+        "whole-packet bits",
+        "per-run bits",
+        "DP bits",
+        "DP saving",
     ]);
     for (name, bursts, mean_len) in [
         ("light: 2 bursts x ~8B", 2usize, 8usize),
@@ -61,9 +66,7 @@ fn main() {
                 .pairs
                 .iter()
                 .map(|p| {
-                    log_s
-                        + (p.bad_len.max(2) as f64).log2()
-                        + ((p.good_len * 8) as f64).min(16.0)
+                    log_s + (p.bad_len.max(2) as f64).log2() + ((p.good_len * 8) as f64).min(16.0)
                 })
                 .sum::<f64>();
             // DP optimum.

@@ -53,7 +53,12 @@ fn main() {
         // DSP ground truth.
         let duration = modem.samples_for_chips(chips.len());
         let txs = vec![
-            WaveformTx { chips: chips.clone(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
+            WaveformTx {
+                chips: chips.clone(),
+                start_sample: 0,
+                power_mw: 1.0,
+                phase: 0.0,
+            },
             WaveformTx {
                 chips: i_chips.clone(),
                 start_sample: 12 * sps, // 12-chip offset: grid-misaligned
@@ -61,7 +66,13 @@ fn main() {
                 phase: 0.2,
             },
         ];
-        let samples = render(&modem, &txs, duration, noise_mw * sps as f64 / snr, &mut rng);
+        let samples = render(
+            &modem,
+            &txs,
+            duration,
+            noise_mw * sps as f64 / snr,
+            &mut rng,
+        );
         let rx_chips = modem.demodulate_hard(&samples, 0, chips.len(), true);
         // Skip the first codeword (interferer not yet present).
         let skip = 32;
@@ -78,7 +89,10 @@ fn main() {
             .filter(|(d, &t)| d.symbol != t)
             .count() as f64
             / (tx_symbols.len() - 1) as f64;
-        let hint_dsp = decisions[1..].iter().map(|d| d.distance as f64).sum::<f64>()
+        let hint_dsp = decisions[1..]
+            .iter()
+            .map(|d| d.distance as f64)
+            .sum::<f64>()
             / (decisions.len() - 1) as f64;
 
         // Analytic models (noise at the same calibrated level).

@@ -30,7 +30,11 @@ fn main() {
     }
 
     let mut t = Table::new(&[
-        "eta", "median FDR", "miss rate", "false alarms", "claimed-but-wrong frac",
+        "eta",
+        "median FDR",
+        "miss rate",
+        "false alarms",
+        "claimed-but-wrong frac",
     ]);
     for eta in [0u8, 2, 4, 6, 8, 10, 12, 16] {
         let arm = RxArm {

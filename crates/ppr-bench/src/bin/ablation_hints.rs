@@ -43,8 +43,8 @@ fn auc(correct: &[f64], incorrect: &[f64]) -> f64 {
             j += 1;
         }
         let avg_rank = (i + j + 1) as f64 / 2.0; // 1-based average rank
-        for k in i..j {
-            if !all[k].1 {
+        for entry in &all[i..j] {
+            if !entry.1 {
                 rank_sum_incorrect += avg_rank;
             }
         }
@@ -67,7 +67,11 @@ fn main() {
     let tx_symbols = ppr_phy::spread::bytes_to_symbols(&payload);
 
     let mut t = Table::new(&[
-        "SNR (dB)", "codeword err rate", "AUC hamming", "AUC soft margin", "AUC matched filter",
+        "SNR (dB)",
+        "codeword err rate",
+        "AUC hamming",
+        "AUC soft margin",
+        "AUC matched filter",
     ]);
     for snr_db in [-2.0f64, 0.0, 2.0, 4.0] {
         let snr = 10f64.powf(snr_db / 10.0);
@@ -101,8 +105,7 @@ fn main() {
             let sd = despread_soft(&arr);
             // Matched-filter confidence: mean |soft|, inverted so larger
             // = less confident (consistent hint orientation).
-            let mf: f64 =
-                -(soft_cw.iter().map(|v| v.abs() as f64).sum::<f64>() / 32.0);
+            let mf: f64 = -(soft_cw.iter().map(|v| v.abs() as f64).sum::<f64>() / 32.0);
 
             let correct = hard.symbol == tx_sym;
             if !correct {

@@ -2,8 +2,8 @@
 //! regenerated Table 1 summary.
 
 use ppr_sim::experiments::{
-    common::default_duration, fdr, fig03, fig13, fig14, fig15, fig16, mrd, relay,
-    table1_summary, table2, throughput,
+    common::default_duration, fdr, fig03, fig13, fig14, fig15, fig16, mrd, relay, table1_summary,
+    table2, throughput,
 };
 
 fn main() {
@@ -19,9 +19,11 @@ fn main() {
     print!("{}", table2::render(&rows));
     println!();
 
-    for (fig, load, cs) in
-        [("Figure 8", 3.5, true), ("Figure 9", 3.5, false), ("Figure 10", 13.8, false)]
-    {
+    for (fig, load, cs) in [
+        ("Figure 8", 3.5, true),
+        ("Figure 9", 3.5, false),
+        ("Figure 10", 13.8, false),
+    ] {
         let curves = fdr::collect(load, cs, d);
         print!("{}", fdr::render(fig, load, cs, &curves));
         println!();

@@ -15,11 +15,19 @@ fn main() {
     for (name, arm) in [
         (
             "ppr+post",
-            RxArm { scheme: DeliveryScheme::Ppr { eta: 6 }, postamble: true, collect_symbols: false },
+            RxArm {
+                scheme: DeliveryScheme::Ppr { eta: 6 },
+                postamble: true,
+                collect_symbols: false,
+            },
         ),
         (
             "pkt+nopost",
-            RxArm { scheme: DeliveryScheme::PacketCrc, postamble: false, collect_symbols: false },
+            RxArm {
+                scheme: DeliveryScheme::PacketCrc,
+                postamble: false,
+                collect_symbols: false,
+            },
         ),
         (
             "frag+post",

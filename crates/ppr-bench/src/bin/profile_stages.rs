@@ -30,8 +30,15 @@ fn main() {
         })
         .collect();
 
-    let (mut t_pattern, mut t_frame, mut t_chips, mut t_profile, mut t_corrupt, mut t_rx, mut t_deliver) =
-        (0.0f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (
+        mut t_pattern,
+        mut t_frame,
+        mut t_chips,
+        mut t_profile,
+        mut t_corrupt,
+        mut t_rx,
+        mut t_deliver,
+    ) = (0.0f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
     let mut n = 0;
     for (i, tx) in run.timeline.iter().enumerate().take(60) {
         let signal = env.s2r_mw[tx.sender][r];

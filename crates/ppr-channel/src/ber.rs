@@ -177,7 +177,10 @@ mod tests {
         let s = 1e-6;
         let gaussian = chip_error_prob(sinr(s, s, noise));
         let two_mass = chip_error_prob_dominant(s, s, 0.0, noise);
-        assert!(two_mass > 2.0 * gaussian, "two-mass {two_mass} vs gaussian {gaussian}");
+        assert!(
+            two_mass > 2.0 * gaussian,
+            "two-mass {two_mass} vs gaussian {gaussian}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl ErrorProfile {
             spans.push((s.start, s.end, p));
             len = s.end;
         }
-        ErrorProfile { spans, len_chips: len }
+        ErrorProfile {
+            spans,
+            len_chips: len,
+        }
     }
 
     /// Like [`Self::from_interference`] but with every interferer
@@ -62,12 +65,18 @@ impl ErrorProfile {
             spans.push((s.start, s.end, p));
             len = s.end;
         }
-        ErrorProfile { spans, len_chips: len }
+        ErrorProfile {
+            spans,
+            len_chips: len,
+        }
     }
 
     /// A uniform profile (single SINR for the whole frame).
     pub fn uniform(len_chips: u64, chip_error: f64) -> Self {
-        ErrorProfile { spans: vec![(0, len_chips, chip_error)], len_chips }
+        ErrorProfile {
+            spans: vec![(0, len_chips, chip_error)],
+            len_chips,
+        }
     }
 
     /// A profile from explicit `(start, end, chip_error)` pieces, in
@@ -75,7 +84,10 @@ impl ErrorProfile {
     /// directly rather than deriving them from interference powers.
     pub fn from_pieces(pieces: Vec<(u64, u64, f64)>) -> Self {
         let len_chips = pieces.last().map(|&(_, e, _)| e).unwrap_or(0);
-        ErrorProfile { spans: pieces, len_chips }
+        ErrorProfile {
+            spans: pieces,
+            len_chips,
+        }
     }
 
     /// Frame length covered, in chips.
@@ -131,7 +143,7 @@ pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R
         // rolling a Bernoulli per chip. For good links (p ~ 1e-6) this is
         // what makes minutes of simulated airtime cheap.
         let q = (-p).ln_1p(); // ln(1 - p), accurate for small p
-        // Start one position before the span so the first chip can err.
+                              // Start one position before the span so the first chip can err.
         let mut idx = lo as f64 - 1.0;
         loop {
             let u: f64 = rng.gen();
@@ -232,8 +244,18 @@ mod tests {
             signal,
             noise,
             &[
-                InterferenceSpan { start: 0, end: 100, interference_mw: 0.0, dominant_mw: 0.0 },
-                InterferenceSpan { start: 100, end: 200, interference_mw: jam, dominant_mw: jam },
+                InterferenceSpan {
+                    start: 0,
+                    end: 100,
+                    interference_mw: 0.0,
+                    dominant_mw: 0.0,
+                },
+                InterferenceSpan {
+                    start: 100,
+                    end: 200,
+                    interference_mw: jam,
+                    dominant_mw: jam,
+                },
             ],
         );
         assert!(profile.prob_at(50) < 1e-9);
@@ -258,7 +280,10 @@ mod tests {
             total += rx.iter().filter(|&&c| c).count();
         }
         let mean = total as f64 / trials as f64;
-        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} expect {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} expect {expect}"
+        );
     }
 
     #[test]

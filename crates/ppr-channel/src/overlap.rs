@@ -131,7 +131,12 @@ mod tests {
     use super::*;
 
     fn tx(id: u64, start: u64, len: u64, power: f64) -> HeardTx {
-        HeardTx { id, start_chip: start, len_chips: len, power_mw: power }
+        HeardTx {
+            id,
+            start_chip: start,
+            len_chips: len,
+            power_mw: power,
+        }
     }
 
     #[test]
@@ -151,9 +156,24 @@ mod tests {
         assert_eq!(
             spans,
             vec![
-                InterferenceSpan { start: 0, end: 40, interference_mw: 0.0, dominant_mw: 0.0 },
-                InterferenceSpan { start: 40, end: 70, interference_mw: 0.5, dominant_mw: 0.5 },
-                InterferenceSpan { start: 70, end: 100, interference_mw: 0.0, dominant_mw: 0.0 },
+                InterferenceSpan {
+                    start: 0,
+                    end: 40,
+                    interference_mw: 0.0,
+                    dominant_mw: 0.0
+                },
+                InterferenceSpan {
+                    start: 40,
+                    end: 70,
+                    interference_mw: 0.5,
+                    dominant_mw: 0.5
+                },
+                InterferenceSpan {
+                    start: 70,
+                    end: 100,
+                    interference_mw: 0.0,
+                    dominant_mw: 0.0
+                },
             ]
         );
     }
@@ -175,15 +195,32 @@ mod tests {
         let target = tx(1, 1000, 80, 1.0);
         let early = tx(2, 900, 150, 0.2); // ends at 1050 → covers [0, 50)
         let spans = interference_profile(&target, &[early]);
-        assert_eq!(spans[0], InterferenceSpan { start: 0, end: 50, interference_mw: 0.2, dominant_mw: 0.2 });
-        assert_eq!(spans[1], InterferenceSpan { start: 50, end: 80, interference_mw: 0.0, dominant_mw: 0.0 });
+        assert_eq!(
+            spans[0],
+            InterferenceSpan {
+                start: 0,
+                end: 50,
+                interference_mw: 0.2,
+                dominant_mw: 0.2
+            }
+        );
+        assert_eq!(
+            spans[1],
+            InterferenceSpan {
+                start: 50,
+                end: 80,
+                interference_mw: 0.0,
+                dominant_mw: 0.0
+            }
+        );
     }
 
     #[test]
     fn spans_tile_target_exactly() {
         let target = tx(1, 0, 1000, 1.0);
-        let heard: Vec<HeardTx> =
-            (0..20).map(|i| tx(i + 2, i * 37, 113, 0.1 * (i as f64 + 1.0))).collect();
+        let heard: Vec<HeardTx> = (0..20)
+            .map(|i| tx(i + 2, i * 37, 113, 0.1 * (i as f64 + 1.0)))
+            .collect();
         let spans = interference_profile(&target, &heard);
         let mut cursor = 0;
         for s in &spans {
@@ -213,7 +250,7 @@ mod tests {
         assert_eq!(spans.len(), 3);
         assert!((spans[1].interference_mw - 1.0).abs() < 1e-12);
         // Power level returns to zero after both end (no float residue
-    	// big enough to create a phantom span).
+        // big enough to create a phantom span).
         assert_eq!(spans[2].interference_mw, 0.0);
     }
 }

@@ -94,12 +94,20 @@ impl Link {
     /// Builds a link, drawing its shadowing from `rng`.
     pub fn new<R: Rng>(model: &PathLossModel, distance_m: f64, rng: &mut R) -> Self {
         let shadowing_db = model.draw_shadowing_db(rng);
-        Link { distance_m, shadowing_db, rx_power_mw: model.rx_power_mw(distance_m, shadowing_db) }
+        Link {
+            distance_m,
+            shadowing_db,
+            rx_power_mw: model.rx_power_mw(distance_m, shadowing_db),
+        }
     }
 
     /// Builds a link with explicit shadowing (deterministic tests).
     pub fn with_shadowing(model: &PathLossModel, distance_m: f64, shadowing_db: f64) -> Self {
-        Link { distance_m, shadowing_db, rx_power_mw: model.rx_power_mw(distance_m, shadowing_db) }
+        Link {
+            distance_m,
+            shadowing_db,
+            rx_power_mw: model.rx_power_mw(distance_m, shadowing_db),
+        }
     }
 
     /// Linear SNR of this link against a noise floor in mW.
@@ -150,7 +158,10 @@ mod tests {
 
     #[test]
     fn exponent_controls_slope() {
-        let m = PathLossModel { exponent: 3.0, ..Default::default() };
+        let m = PathLossModel {
+            exponent: 3.0,
+            ..Default::default()
+        };
         // Doubling distance adds 10·n·log10(2) ≈ 9.03 dB at n=3.
         let delta = m.mean_path_loss_db(20.0) - m.mean_path_loss_db(10.0);
         assert!((delta - 9.0309).abs() < 1e-3);
@@ -180,7 +191,11 @@ mod tests {
         let mean = draws.iter().sum::<f64>() / n as f64;
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
-        assert!((var.sqrt() - m.shadow_sigma_db).abs() < 0.2, "sigma {}", var.sqrt());
+        assert!(
+            (var.sqrt() - m.shadow_sigma_db).abs() < 0.2,
+            "sigma {}",
+            var.sqrt()
+        );
     }
 
     #[test]

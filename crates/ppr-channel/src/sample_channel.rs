@@ -73,7 +73,12 @@ pub fn render_single<R: Rng>(
     let duration = modem.samples_for_chips(chips.len());
     render(
         modem,
-        &[WaveformTx { chips: chips.to_vec(), start_sample: 0, power_mw, phase: 0.0 }],
+        &[WaveformTx {
+            chips: chips.to_vec(),
+            start_sample: 0,
+            power_mw,
+            phase: 0.0,
+        }],
         duration,
         noise_mw,
         rng,
@@ -119,7 +124,10 @@ mod tests {
         let samples = render(&modem, &[], 100_000, noise_mw, &mut rng);
         let measured: f64 =
             samples.iter().map(|s| s.norm_sqr() as f64).sum::<f64>() / samples.len() as f64;
-        assert!((measured - noise_mw).abs() / noise_mw < 0.02, "measured {measured}");
+        assert!(
+            (measured - noise_mw).abs() / noise_mw < 0.02,
+            "measured {measured}"
+        );
     }
 
     #[test]
@@ -160,11 +168,20 @@ mod tests {
         let modem = MskModem::new(4);
         let chips = unpack_chip_words(&spread_bytes(b"ph"));
         let mut rng = StdRng::seed_from_u64(5);
-        let tx = WaveformTx { chips: chips.clone(), start_sample: 0, power_mw: 1.0, phase: 1.1 };
-        let samples =
-            render(&modem, &[tx], modem.samples_for_chips(chips.len()), 0.0, &mut rng);
-        let p: f32 =
-            samples.iter().map(|s| s.norm_sqr()).sum::<f32>() / samples.len() as f32;
+        let tx = WaveformTx {
+            chips: chips.clone(),
+            start_sample: 0,
+            power_mw: 1.0,
+            phase: 1.1,
+        };
+        let samples = render(
+            &modem,
+            &[tx],
+            modem.samples_for_chips(chips.len()),
+            0.0,
+            &mut rng,
+        );
+        let p: f32 = samples.iter().map(|s| s.norm_sqr()).sum::<f32>() / samples.len() as f32;
         assert!(p > 0.5, "power {p}");
     }
 
@@ -175,8 +192,18 @@ mod tests {
         let b = unpack_chip_words(&spread_bytes(b"bbbb"));
         let mut rng = StdRng::seed_from_u64(6);
         let txs = vec![
-            WaveformTx { chips: a.clone(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
-            WaveformTx { chips: b, start_sample: 40, power_mw: 1.0, phase: 0.9 },
+            WaveformTx {
+                chips: a.clone(),
+                start_sample: 0,
+                power_mw: 1.0,
+                phase: 0.0,
+            },
+            WaveformTx {
+                chips: b,
+                start_sample: 40,
+                power_mw: 1.0,
+                phase: 0.9,
+            },
         ];
         let dur = modem.samples_for_chips(a.len()) + 400;
         let samples = render(&modem, &txs, dur, 0.0, &mut rng);
@@ -185,7 +212,11 @@ mod tests {
         let rx = modem.demodulate_hard(&samples, 0, a.len(), true);
         let head_errors = rx[..8].iter().zip(&a[..8]).filter(|(x, y)| x != y).count();
         assert_eq!(head_errors, 0);
-        let body_errors = rx[12..].iter().zip(&a[12..]).filter(|(x, y)| x != y).count();
+        let body_errors = rx[12..]
+            .iter()
+            .zip(&a[12..])
+            .filter(|(x, y)| x != y)
+            .count();
         assert!(body_errors > 0, "equal-power collision must corrupt chips");
     }
 }

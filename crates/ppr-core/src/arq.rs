@@ -162,8 +162,12 @@ impl RetxPacket {
             confirms.push(br.read_bit()?);
         }
         let claimed_crc = br.read(16)? as u16;
-        let tentative =
-            RetxPacket { seq, packet_len, confirms: confirms.clone(), segments: vec![] };
+        let tentative = RetxPacket {
+            seq,
+            packet_len,
+            confirms: confirms.clone(),
+            segments: vec![],
+        };
         let confirms_ok = tentative.confirm_crc() == claimed_crc;
 
         let mut segments = Vec::new();
@@ -179,7 +183,10 @@ impl RetxPacket {
                 }
                 let in_bounds = (offset as usize) + data.len() <= packet_len;
                 if crc16(&data) == crc as u16 && in_bounds {
-                    segments.push(Segment { offset: offset as usize, bytes: data });
+                    segments.push(Segment {
+                        offset: offset as usize,
+                        bytes: data,
+                    });
                 }
             }
         }
@@ -245,10 +252,22 @@ impl ReceiverPacket {
         } else {
             hints
                 .iter()
-                .map(|&h| if h <= config.eta { ByteState::Good } else { ByteState::Bad })
+                .map(|&h| {
+                    if h <= config.eta {
+                        ByteState::Good
+                    } else {
+                        ByteState::Bad
+                    }
+                })
                 .collect()
         };
-        ReceiverPacket { seq, bytes, state, last_feedback: None, config }
+        ReceiverPacket {
+            seq,
+            bytes,
+            state,
+            last_feedback: None,
+            config,
+        }
     }
 
     /// Current payload view (may contain unverified bytes mid-transfer).
@@ -292,7 +311,11 @@ impl ReceiverPacket {
         if let (Some(confirms), Some(fb)) = (&retx.confirms, &self.last_feedback) {
             if confirms.len() == fb.checksums.len() {
                 for (&ok, cs) in confirms.iter().zip(&fb.checksums) {
-                    let new_state = if ok { ByteState::Verified } else { ByteState::Bad };
+                    let new_state = if ok {
+                        ByteState::Verified
+                    } else {
+                        ByteState::Bad
+                    };
                     for s in &mut self.state[cs.range.start..cs.range.end] {
                         // Never downgrade a verified byte.
                         if *s != ByteState::Verified || new_state == ByteState::Verified {
@@ -345,7 +368,10 @@ impl SenderPacket {
                 seq: self.seq,
                 packet_len: self.payload.len(),
                 confirms: vec![],
-                segments: vec![Segment { offset: 0, bytes: self.payload.clone() }],
+                segments: vec![Segment {
+                    offset: 0,
+                    bytes: self.payload.clone(),
+                }],
             });
         }
         let mut confirms = Vec::with_capacity(fb.checksums.len());
@@ -373,7 +399,10 @@ impl SenderPacket {
     }
 
     fn segment(&self, r: UnitRange) -> Segment {
-        Segment { offset: r.start, bytes: self.payload[r.start..r.end].to_vec() }
+        Segment {
+            offset: r.start,
+            bytes: self.payload[r.start..r.end].to_vec(),
+        }
     }
 }
 
@@ -524,7 +553,10 @@ mod tests {
 
     impl BurstChannel {
         fn new(bursts: Vec<(usize, usize)>) -> Self {
-            BurstChannel { bursts, first_forward_done: false }
+            BurstChannel {
+                bursts,
+                first_forward_done: false,
+            }
         }
     }
 
@@ -569,7 +601,11 @@ mod tests {
         assert_eq!(stats.retx_sizes.len(), 1);
         // The retransmission is much smaller than the packet: ~30 bytes
         // of data + segment/confirm overhead, not 250.
-        assert!(stats.retx_sizes[0] < 60, "retx {} bytes", stats.retx_sizes[0]);
+        assert!(
+            stats.retx_sizes[0] < 60,
+            "retx {} bytes",
+            stats.retx_sizes[0]
+        );
     }
 
     #[test]
@@ -627,7 +663,11 @@ mod tests {
             }
         }
         let p = payload(300);
-        let stats = run_session(&p, PpArqConfig::default(), &mut TruncateChannel { done: false });
+        let stats = run_session(
+            &p,
+            PpArqConfig::default(),
+            &mut TruncateChannel { done: false },
+        );
         assert!(stats.completed);
         assert_eq!(stats.final_payload, p);
     }
@@ -665,7 +705,10 @@ mod tests {
         let stats = run_session(
             &p,
             PpArqConfig::default(),
-            &mut LossyFeedback { drop_first: true, data_done: false },
+            &mut LossyFeedback {
+                drop_first: true,
+                data_done: false,
+            },
         );
         assert!(stats.completed);
         assert_eq!(stats.final_payload, p);
@@ -706,8 +749,7 @@ mod tests {
             }
         }
         let p = payload(120);
-        let stats =
-            run_session(&p, PpArqConfig::default(), &mut CorruptRetx { forwards: 0 });
+        let stats = run_session(&p, PpArqConfig::default(), &mut CorruptRetx { forwards: 0 });
         assert!(stats.completed, "{stats:?}");
         assert_eq!(stats.final_payload, p);
         assert!(stats.rounds >= 2);
@@ -726,7 +768,10 @@ mod tests {
             }
         }
         let p = payload(80);
-        let cfg = PpArqConfig { max_rounds: 4, ..Default::default() };
+        let cfg = PpArqConfig {
+            max_rounds: 4,
+            ..Default::default()
+        };
         let stats = run_session(&p, cfg, &mut DeadChannel);
         assert!(!stats.completed);
         assert_eq!(stats.rounds, 4);
@@ -739,8 +784,14 @@ mod tests {
             packet_len: 500,
             confirms: vec![true, false, true],
             segments: vec![
-                Segment { offset: 10, bytes: vec![1, 2, 3] },
-                Segment { offset: 400, bytes: vec![9; 50] },
+                Segment {
+                    offset: 10,
+                    bytes: vec![1, 2, 3],
+                },
+                Segment {
+                    offset: 400,
+                    bytes: vec![9; 50],
+                },
             ],
         };
         let d = RetxPacket::decode(&r.encode()).unwrap();
@@ -756,7 +807,10 @@ mod tests {
             seq: 1,
             packet_len: 100,
             confirms: vec![true, true],
-            segments: vec![Segment { offset: 5, bytes: vec![7; 10] }],
+            segments: vec![Segment {
+                offset: 5,
+                bytes: vec![7; 10],
+            }],
         };
         let mut enc = r.encode();
         // Flip a confirm bit (bit 40 = first confirm bit).
@@ -772,7 +826,10 @@ mod tests {
             seq: 1,
             packet_len: 20,
             confirms: vec![],
-            segments: vec![Segment { offset: 15, bytes: vec![1; 10] }],
+            segments: vec![Segment {
+                offset: 15,
+                bytes: vec![1; 10],
+            }],
         };
         let d = RetxPacket::decode(&r.encode()).unwrap();
         assert!(d.segments.is_empty());
@@ -784,8 +841,8 @@ mod tests {
         for h in &mut hints[28..36] {
             *h = 9;
         }
-        let plan = PpArq::new(PpArqConfig::default())
-            .plan_feedback(&PacketHints::from_raw(&hints, 6));
+        let plan =
+            PpArq::new(PpArqConfig::default()).plan_feedback(&PacketHints::from_raw(&hints, 6));
         assert_eq!(plan.chunks.len(), 1);
         assert!(plan.chunks[0].covers(30));
     }

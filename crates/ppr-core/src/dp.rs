@@ -35,7 +35,11 @@ pub struct CostModel {
 impl CostModel {
     /// Model for a packet of `packet_units` byte units.
     pub fn bytes(packet_units: usize) -> Self {
-        CostModel { packet_units, bits_per_unit: 8.0, checksum_bits: 16.0 }
+        CostModel {
+            packet_units,
+            bits_per_unit: 8.0,
+            checksum_bits: 16.0,
+        }
     }
 
     /// `log₂ S`, the bits to describe an offset (or length) in the packet.
@@ -71,7 +75,10 @@ pub struct ChunkPlan {
 impl ChunkPlan {
     /// An empty plan (nothing to retransmit).
     pub fn empty() -> Self {
-        ChunkPlan { chunks: Vec::new(), cost_bits: 0.0 }
+        ChunkPlan {
+            chunks: Vec::new(),
+            cost_bits: 0.0,
+        }
     }
 
     /// Total units requested for retransmission.
@@ -90,8 +97,8 @@ pub fn plan_chunks(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
     let mut cost_table = vec![vec![0.0f64; l]; l];
     let mut split = vec![vec![usize::MAX; l]; l]; // usize::MAX = merged
 
-    for i in 0..l {
-        cost_table[i][i] = cost.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len);
+    for (i, row) in cost_table.iter_mut().enumerate() {
+        row[i] = cost.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len);
     }
     for span in 2..=l {
         for i in 0..=(l - span) {
@@ -113,7 +120,10 @@ pub fn plan_chunks(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
     let mut chunks = Vec::new();
     reconstruct(rl, &split, 0, l - 1, &mut chunks);
     chunks.sort_by_key(|c| c.start);
-    ChunkPlan { chunks, cost_bits: cost_table[0][l - 1] }
+    ChunkPlan {
+        chunks,
+        cost_bits: cost_table[0][l - 1],
+    }
 }
 
 fn reconstruct(
@@ -168,7 +178,10 @@ pub fn plan_chunks_brute(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
             start = b + 1;
         }
     }
-    ChunkPlan { chunks, cost_bits: best_cost }
+    ChunkPlan {
+        chunks,
+        cost_bits: best_cost,
+    }
 }
 
 /// Cost of one group in a partition: Eq. 4 for singletons, the merged
@@ -310,7 +323,10 @@ mod tests {
     #[test]
     fn requested_units_accounting() {
         let p = plan("gggbbgggggggggggggggggggggggggggbbbg");
-        assert_eq!(p.requested_units(), p.chunks.iter().map(|c| c.len()).sum::<usize>());
+        assert_eq!(
+            p.requested_units(),
+            p.chunks.iter().map(|c| c.len()).sum::<usize>()
+        );
         assert!(p.requested_units() >= 5);
     }
 }

@@ -47,9 +47,17 @@ impl Feedback {
     pub fn from_plan(seq: u16, rx_bytes: &[u8], chunks: Vec<UnitRange>) -> Feedback {
         let checksums = complement_ranges(rx_bytes.len(), &chunks)
             .into_iter()
-            .map(|range| RangeChecksum { range, crc: crc16(&rx_bytes[range.start..range.end]) })
+            .map(|range| RangeChecksum {
+                range,
+                crc: crc16(&rx_bytes[range.start..range.end]),
+            })
             .collect();
-        Feedback { seq, packet_len: rx_bytes.len(), chunks, checksums }
+        Feedback {
+            seq,
+            packet_len: rx_bytes.len(),
+            chunks,
+            checksums,
+        }
     }
 
     /// True when nothing is requested (ACK-shaped feedback).
@@ -109,7 +117,12 @@ impl Feedback {
             let crc = br.read(16)? as u16;
             checksums.push(RangeChecksum { range, crc });
         }
-        Some(Feedback { seq, packet_len, chunks, checksums })
+        Some(Feedback {
+            seq,
+            packet_len,
+            chunks,
+            checksums,
+        })
     }
 }
 
@@ -139,7 +152,11 @@ mod tests {
         let chunks = vec![UnitRange::new(10, 20), UnitRange::new(30, 35)];
         assert_eq!(
             complement_ranges(50, &chunks),
-            vec![UnitRange::new(0, 10), UnitRange::new(20, 30), UnitRange::new(35, 50)]
+            vec![
+                UnitRange::new(0, 10),
+                UnitRange::new(20, 30),
+                UnitRange::new(35, 50)
+            ]
         );
         assert_eq!(complement_ranges(50, &[]), vec![UnitRange::new(0, 50)]);
         assert_eq!(
@@ -180,7 +197,11 @@ mod tests {
         let fb = Feedback::from_plan(
             3,
             &bytes,
-            vec![UnitRange::new(100, 140), UnitRange::new(600, 610), UnitRange::new(1400, 1500)],
+            vec![
+                UnitRange::new(100, 140),
+                UnitRange::new(600, 610),
+                UnitRange::new(1400, 1500),
+            ],
         );
         let padded_bits = fb.encode().len() * 8;
         assert!(fb.encoded_bits() <= padded_bits);
@@ -215,7 +236,9 @@ mod tests {
         let many = Feedback::from_plan(
             0,
             &bytes,
-            (0..20).map(|i| UnitRange::new(i * 40, i * 40 + 10)).collect(),
+            (0..20)
+                .map(|i| UnitRange::new(i * 40, i * 40 + 10))
+                .collect(),
         );
         assert!(many.encoded_bits() > one.encoded_bits());
         // w = 10 bits. one: header 40 + 1 chunk (20) + 1 CRC (16) = 76.

@@ -19,7 +19,10 @@ pub struct PacketHints {
 impl PacketHints {
     /// Wraps raw per-unit hints with a threshold `η`.
     pub fn from_raw(hints: &[u8], eta: u8) -> Self {
-        PacketHints { hints: hints.to_vec(), eta }
+        PacketHints {
+            hints: hints.to_vec(),
+            eta,
+        }
     }
 
     /// The threshold in use.

@@ -104,9 +104,17 @@ impl RunLengths {
             while i < total && labels[i] {
                 i += 1;
             }
-            pairs.push(RunPair { bad_start, bad_len, good_len: i - good_start });
+            pairs.push(RunPair {
+                bad_start,
+                bad_len,
+                good_len: i - good_start,
+            });
         }
-        RunLengths { leading_good, pairs, total }
+        RunLengths {
+            leading_good,
+            pairs,
+            total,
+        }
     }
 
     /// Number of bad runs, `L`.
@@ -169,8 +177,22 @@ mod tests {
         let rl = RunLengths::from_labels(&labels("bbgggbgg"));
         assert_eq!(rl.leading_good, 0);
         assert_eq!(rl.l(), 2);
-        assert_eq!(rl.pairs[0], RunPair { bad_start: 0, bad_len: 2, good_len: 3 });
-        assert_eq!(rl.pairs[1], RunPair { bad_start: 5, bad_len: 1, good_len: 2 });
+        assert_eq!(
+            rl.pairs[0],
+            RunPair {
+                bad_start: 0,
+                bad_len: 2,
+                good_len: 3
+            }
+        );
+        assert_eq!(
+            rl.pairs[1],
+            RunPair {
+                bad_start: 5,
+                bad_len: 1,
+                good_len: 2
+            }
+        );
         assert_eq!(rl.bad_units(), 3);
         assert_eq!(rl.good_units(), 5);
     }
@@ -180,7 +202,14 @@ mod tests {
         let rl = RunLengths::from_labels(&labels("gggbbg"));
         assert_eq!(rl.leading_good, 3);
         assert_eq!(rl.l(), 1);
-        assert_eq!(rl.pairs[0], RunPair { bad_start: 3, bad_len: 2, good_len: 1 });
+        assert_eq!(
+            rl.pairs[0],
+            RunPair {
+                bad_start: 3,
+                bad_len: 2,
+                good_len: 1
+            }
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ pub fn decode_burst(bytes: &[u8]) -> Vec<Record> {
         match kind {
             KIND_DATA if body.len() >= 2 => {
                 let seq = u16::from_le_bytes([body[0], body[1]]);
-                out.push(Record::Data { seq, bytes: body[2..].to_vec() });
+                out.push(Record::Data {
+                    seq,
+                    bytes: body[2..].to_vec(),
+                });
             }
             KIND_RETX => {
                 if let Some(d) = RetxPacket::decode(body) {
@@ -140,7 +143,9 @@ pub fn decode_burst(bytes: &[u8]) -> Vec<Record> {
                 }
             }
             KIND_ACK if body.len() == 2 => {
-                out.push(Record::Ack { seq: u16::from_le_bytes([body[0], body[1]]) });
+                out.push(Record::Ack {
+                    seq: u16::from_le_bytes([body[0], body[1]]),
+                });
             }
             _ => {}
         }
@@ -232,11 +237,9 @@ pub fn run_stream_session<C: ArqChannel>(
                     let hend = (hstart + n).min(rx_hints.len());
                     let mut hints = rx_hints[hstart..hend].to_vec();
                     hints.resize(n, u8::MAX);
-                    receivers
-                        .entry(seq)
-                        .or_insert_with(|| {
-                            ReceiverPacket::from_reception(seq, body, &hints, crc_ok, config)
-                        });
+                    receivers.entry(seq).or_insert_with(|| {
+                        ReceiverPacket::from_reception(seq, body, &hints, crc_ok, config)
+                    });
                 }
                 Record::Retx(r) => {
                     if let Some(state) = receivers.get_mut(&r.seq) {
@@ -336,7 +339,13 @@ fn parse_with_offsets(bytes: &[u8]) -> Vec<(usize, Record)> {
         if kind == KIND_DATA && len >= 2 {
             let body = &bytes[body_start..body_end];
             let seq = u16::from_le_bytes([body[0], body[1]]);
-            out.push((body_start, Record::Data { seq, bytes: body[2..].to_vec() }));
+            out.push((
+                body_start,
+                Record::Data {
+                    seq,
+                    bytes: body[2..].to_vec(),
+                },
+            ));
         } else {
             let slice = &bytes[pos..body_end + 2];
             if let Some(rec) = decode_burst(slice).into_iter().next() {
@@ -354,20 +363,28 @@ mod tests {
     use crate::arq::PerfectChannel;
 
     fn payloads(n: usize, len: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| (0..len).map(|j| (i * 37 + j * 11) as u8).collect()).collect()
+        (0..n)
+            .map(|i| (0..len).map(|j| (i * 37 + j * 11) as u8).collect())
+            .collect()
     }
 
     #[test]
     fn burst_codec_roundtrip() {
         let records = vec![
-            Record::Data { seq: 1, bytes: vec![9; 40] },
+            Record::Data {
+                seq: 1,
+                bytes: vec![9; 40],
+            },
             Record::Ack { seq: 7 },
             Record::Feedback(Feedback::from_plan(3, &[1, 2, 3, 4], vec![])),
             Record::Retx(RetxPacket {
                 seq: 2,
                 packet_len: 100,
                 confirms: vec![true, false],
-                segments: vec![crate::arq::Segment { offset: 10, bytes: vec![1, 2, 3] }],
+                segments: vec![crate::arq::Segment {
+                    offset: 10,
+                    bytes: vec![1, 2, 3],
+                }],
             }),
         ];
         let decoded = decode_burst(&encode_burst(&records));
@@ -377,8 +394,14 @@ mod tests {
     #[test]
     fn corrupt_record_body_is_skipped_not_fatal() {
         let records = vec![
-            Record::Data { seq: 1, bytes: vec![9; 40] },
-            Record::Data { seq: 2, bytes: vec![8; 40] },
+            Record::Data {
+                seq: 1,
+                bytes: vec![9; 40],
+            },
+            Record::Data {
+                seq: 2,
+                bytes: vec![8; 40],
+            },
             Record::Ack { seq: 3 },
         ];
         let mut bytes = encode_burst(&records);
@@ -393,8 +416,11 @@ mod tests {
 
     #[test]
     fn corrupt_header_truncates_burst() {
-        let records =
-            vec![Record::Ack { seq: 1 }, Record::Ack { seq: 2 }, Record::Ack { seq: 3 }];
+        let records = vec![
+            Record::Ack { seq: 1 },
+            Record::Ack { seq: 2 },
+            Record::Ack { seq: 3 },
+        ];
         let mut bytes = encode_burst(&records);
         bytes[9] ^= 0x01; // second record's header region
         let decoded = decode_burst(&bytes);
@@ -404,8 +430,7 @@ mod tests {
     #[test]
     fn clean_stream_session_delivers_everything_quickly() {
         let ps = payloads(8, 120);
-        let stats =
-            run_stream_session(&ps, 4, PpArqConfig::default(), &mut PerfectChannel, 20);
+        let stats = run_stream_session(&ps, 4, PpArqConfig::default(), &mut PerfectChannel, 20);
         assert_eq!(stats.completed.len(), 8);
         for (i, p) in ps.iter().enumerate() {
             assert_eq!(stats.payloads[&(i as u16)], *p);
@@ -441,13 +466,7 @@ mod tests {
             }
         }
         let ps = payloads(6, 150);
-        let stats = run_stream_session(
-            &ps,
-            3,
-            PpArqConfig::default(),
-            &mut Bursty { n: 0 },
-            40,
-        );
+        let stats = run_stream_session(&ps, 3, PpArqConfig::default(), &mut Bursty { n: 0 }, 40);
         assert_eq!(stats.completed.len(), 6, "{stats:?}");
         for (i, p) in ps.iter().enumerate() {
             assert_eq!(stats.payloads[&(i as u16)], *p, "packet {i}");
@@ -483,8 +502,7 @@ mod tests {
     fn stream_beats_lockstep_on_reverse_overhead() {
         // The streaming mode's reason to exist: fewer, larger exchanges.
         let ps = payloads(10, 200);
-        let stream =
-            run_stream_session(&ps, 5, PpArqConfig::default(), &mut PerfectChannel, 30);
+        let stream = run_stream_session(&ps, 5, PpArqConfig::default(), &mut PerfectChannel, 30);
         let mut lockstep_reverse = 0usize;
         for p in &ps {
             let s = crate::arq::run_session(p, PpArqConfig::default(), &mut PerfectChannel);
@@ -493,7 +511,11 @@ mod tests {
         // Lockstep sends zero feedback on a perfect channel (CRC passes,
         // transfer ends) — so compare exchange counts instead: the
         // stream needs ~2 window-fills, not 10 round trips.
-        assert!(stream.exchanges < ps.len(), "{} exchanges", stream.exchanges);
+        assert!(
+            stream.exchanges < ps.len(),
+            "{} exchanges",
+            stream.exchanges
+        );
         let _ = lockstep_reverse;
         assert_eq!(stream.completed.len(), 10);
     }

@@ -15,7 +15,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -33,7 +37,11 @@ const fn crc16_table() -> [u16; 256] {
         let mut crc = (i as u16) << 8;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -113,7 +121,11 @@ mod tests {
                 let mut d = data.clone();
                 d[byte] ^= 1 << bit;
                 assert_ne!(crc32(&d), base, "flip at {byte}.{bit} undetected");
-                assert_ne!(crc16(&d), crc16(&data), "crc16 flip at {byte}.{bit} undetected");
+                assert_ne!(
+                    crc16(&d),
+                    crc16(&data),
+                    "crc16 flip at {byte}.{bit} undetected"
+                );
             }
         }
     }

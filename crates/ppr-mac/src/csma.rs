@@ -19,12 +19,18 @@ pub struct CarrierSense {
 impl CarrierSense {
     /// Carrier sense with the CC2420's default −77 dBm CCA threshold.
     pub fn enabled_default() -> Self {
-        CarrierSense { threshold_mw: 10f64.powf(-77.0 / 10.0), enabled: true }
+        CarrierSense {
+            threshold_mw: 10f64.powf(-77.0 / 10.0),
+            enabled: true,
+        }
     }
 
     /// Carrier sensing disabled: the channel always reads idle.
     pub fn disabled() -> Self {
-        CarrierSense { threshold_mw: f64::INFINITY, enabled: false }
+        CarrierSense {
+            threshold_mw: f64::INFINITY,
+            enabled: false,
+        }
     }
 
     /// Sensing decision: is the channel busy given the ongoing
@@ -51,7 +57,10 @@ mod tests {
 
     #[test]
     fn enabled_compares_total_power() {
-        let cs = CarrierSense { threshold_mw: 1e-8, enabled: true };
+        let cs = CarrierSense {
+            threshold_mw: 1e-8,
+            enabled: true,
+        };
         assert!(!cs.busy([]));
         assert!(!cs.busy([1e-9]));
         assert!(cs.busy([1e-8]));

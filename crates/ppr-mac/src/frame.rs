@@ -93,7 +93,15 @@ impl Frame {
     /// Panics if the body exceeds `u16::MAX` bytes.
     pub fn new(dst: Addr, src: Addr, seq: u16, body: Vec<u8>) -> Frame {
         assert!(body.len() <= u16::MAX as usize, "body too large");
-        Frame { header: Header { len: body.len() as u16, dst, src, seq }, body }
+        Frame {
+            header: Header {
+                len: body.len() as u16,
+                dst,
+                src,
+                seq,
+            },
+            body,
+        }
     }
 
     /// All link-layer bytes in transmit order:
@@ -137,9 +145,7 @@ impl Frame {
     /// bytes — without building the frame.
     pub fn chips_len_for_body(body_len: usize) -> usize {
         let link_bytes = 2 * HEADER_BYTES + body_len + PKT_CRC_BYTES;
-        tx_preamble_chips().len()
-            + 2 * link_bytes * CHIPS_PER_SYMBOL
-            + tx_postamble_chips().len()
+        tx_preamble_chips().len() + 2 * link_bytes * CHIPS_PER_SYMBOL + tx_postamble_chips().len()
     }
 
     /// Frame airtime in microseconds at the 802.15.4 chip rate.
@@ -195,14 +201,24 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = Header { len: 1500, dst: 0xBEEF, src: 0x0102, seq: 77 };
+        let h = Header {
+            len: 1500,
+            dst: 0xBEEF,
+            src: 0x0102,
+            seq: 77,
+        };
         let enc = h.encode();
         assert_eq!(Header::decode(&enc), Some(h));
     }
 
     #[test]
     fn header_rejects_corruption() {
-        let h = Header { len: 250, dst: 1, src: 2, seq: 3 };
+        let h = Header {
+            len: 250,
+            dst: 1,
+            src: 2,
+            seq: 3,
+        };
         let enc = h.encode();
         for i in 0..HEADER_BYTES {
             for bit in 0..8 {
@@ -230,11 +246,7 @@ mod tests {
         assert!(bytes[g.body()].iter().all(|&b| b == 0xAB));
         // Packet CRC verifies over header + body.
         let crc = crc32(&bytes[..g.pkt_crc().start]);
-        assert_eq!(
-            crc.to_le_bytes(),
-            bytes[g.pkt_crc()],
-            "packet CRC mismatch"
-        );
+        assert_eq!(crc.to_le_bytes(), bytes[g.pkt_crc()], "packet CRC mismatch");
     }
 
     #[test]

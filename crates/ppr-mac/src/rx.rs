@@ -49,7 +49,10 @@ impl RxFrame {
 
     /// Reassembled link-layer bytes (best effort; bad symbols included).
     pub fn link_bytes(&self) -> Vec<u8> {
-        SoftSpan { symbols: self.link_symbols.clone() }.to_bytes()
+        SoftSpan {
+            symbols: self.link_symbols.clone(),
+        }
+        .to_bytes()
     }
 
     /// The body bytes (scheme payload), when geometry is known.
@@ -65,7 +68,9 @@ impl RxFrame {
     /// Per-byte hints over the body (max of the two nibble hints).
     pub fn body_byte_hints(&self) -> Option<Vec<u8>> {
         let g = self.geometry()?;
-        let span = SoftSpan { symbols: self.link_symbols.clone() };
+        let span = SoftSpan {
+            symbols: self.link_symbols.clone(),
+        };
         let hints = span.byte_hints();
         if hints.len() < g.total() {
             return None;
@@ -87,7 +92,9 @@ impl RxFrame {
     /// Whole-packet CRC-32 verification (header + body against the CRC
     /// field) — the status-quo acceptance test.
     pub fn pkt_crc_ok(&self) -> bool {
-        let Some(g) = self.geometry() else { return false };
+        let Some(g) = self.geometry() else {
+            return false;
+        };
         let bytes = self.link_bytes();
         if bytes.len() < g.total() {
             return false;
@@ -111,7 +118,10 @@ pub struct RxConfig {
 
 impl Default for RxConfig {
     fn default() -> Self {
-        RxConfig { postamble_decoding: true, max_body_len: 2048 }
+        RxConfig {
+            postamble_decoding: true,
+            max_body_len: 2048,
+        }
     }
 }
 
@@ -125,7 +135,10 @@ pub struct FrameReceiver {
 impl FrameReceiver {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: RxConfig) -> Self {
-        FrameReceiver { chip_rx: ChipReceiver::default(), config }
+        FrameReceiver {
+            chip_rx: ChipReceiver::default(),
+            config,
+        }
     }
 
     /// The underlying chip-level receiver.
@@ -177,8 +190,7 @@ impl FrameReceiver {
                 SyncKind::Postamble if self.config.postamble_decoding => {
                     if let Some(frame) = self.decode_from_postamble(chips, hit.chip_offset) {
                         match frame.link_start_chip {
-                            Some(s)
-                                if claimed.contains(&(s, frame.link_symbols.len())) => {} // dup
+                            Some(s) if claimed.contains(&(s, frame.link_symbols.len())) => {} // dup
                             _ => frames.push(frame),
                         }
                     }
@@ -196,11 +208,13 @@ impl FrameReceiver {
     /// (and have verified delimiter integrity themselves) can skip the
     /// sliding sync scan.
     pub fn decode_from_preamble(&self, chips: &[bool], data_start: i64) -> RxFrame {
-        let header_span =
-            despread_clamped(&self.chip_rx, chips, data_start, 2 * HEADER_BYTES);
-        let header_bytes = SoftSpan { symbols: header_span.clone() }.to_bytes();
-        let header = Header::decode(&header_bytes)
-            .filter(|h| (h.len as usize) <= self.config.max_body_len);
+        let header_span = despread_clamped(&self.chip_rx, chips, data_start, 2 * HEADER_BYTES);
+        let header_bytes = SoftSpan {
+            symbols: header_span.clone(),
+        }
+        .to_bytes();
+        let header =
+            Header::decode(&header_bytes).filter(|h| (h.len as usize) <= self.config.max_body_len);
 
         let link_symbols = match header {
             Some(h) => {
@@ -229,9 +243,11 @@ impl FrameReceiver {
         let postamble_start = hit_offset as i64 - pattern_lead as i64;
         let trailer_start = postamble_start - (2 * HEADER_BYTES * CHIPS_PER_SYMBOL) as i64;
 
-        let trailer_span =
-            despread_clamped(&self.chip_rx, chips, trailer_start, 2 * HEADER_BYTES);
-        let trailer_bytes = SoftSpan { symbols: trailer_span }.to_bytes();
+        let trailer_span = despread_clamped(&self.chip_rx, chips, trailer_start, 2 * HEADER_BYTES);
+        let trailer_bytes = SoftSpan {
+            symbols: trailer_span,
+        }
+        .to_bytes();
         let header = Header::decode(&trailer_bytes)
             .filter(|h| (h.len as usize) <= self.config.max_body_len)?;
 
@@ -257,12 +273,17 @@ fn despread_clamped(
     chip_offset: i64,
     n_symbols: usize,
 ) -> Vec<SoftSymbol> {
-    let absent = SoftSymbol { symbol: 0, hint: HINT_NEVER_RECEIVED };
+    let absent = SoftSymbol {
+        symbol: 0,
+        hint: HINT_NEVER_RECEIVED,
+    };
     let mut out = Vec::with_capacity(n_symbols);
 
     // Leading symbols before the captured stream.
     let missing_lead = if chip_offset < 0 {
-        ((-chip_offset) as usize).div_ceil(CHIPS_PER_SYMBOL).min(n_symbols)
+        ((-chip_offset) as usize)
+            .div_ceil(CHIPS_PER_SYMBOL)
+            .min(n_symbols)
     } else {
         0
     };
@@ -339,7 +360,10 @@ mod tests {
         for c in chips[400..400 + 320].iter_mut() {
             *c = rng.gen();
         }
-        let rx = FrameReceiver::new(RxConfig { postamble_decoding: false, max_body_len: 2048 });
+        let rx = FrameReceiver::new(RxConfig {
+            postamble_decoding: false,
+            max_body_len: 2048,
+        });
         assert!(rx.receive(&chips).is_empty());
     }
 
@@ -407,7 +431,10 @@ mod tests {
     #[test]
     fn implausible_trailer_length_is_rejected() {
         // A trailer claiming a huge len must not trigger a giant rollback.
-        let rx = FrameReceiver::new(RxConfig { postamble_decoding: true, max_body_len: 100 });
+        let rx = FrameReceiver::new(RxConfig {
+            postamble_decoding: true,
+            max_body_len: 100,
+        });
         let frame = Frame::new(1, 2, 3, vec![0x99; 200]); // exceeds max
         let mut rng = StdRng::seed_from_u64(7);
         let chips = clean_capture(&frame, &mut rng);
@@ -439,7 +466,10 @@ mod tests {
         // Burst covers symbols 80..100 of the link section; body starts
         // at symbol 20, so body symbols 60..80.
         let in_burst = &hints[60..80];
-        assert!(in_burst.iter().filter(|&&h| h > 6).count() > 10, "{in_burst:?}");
+        assert!(
+            in_burst.iter().filter(|&&h| h > 6).count() > 10,
+            "{in_burst:?}"
+        );
         assert!(hints[..55].iter().all(|&h| h <= 2));
     }
 }

@@ -93,11 +93,16 @@ impl DeliveryScheme {
     /// Applies the scheme's acceptance rule to a reception, returning the
     /// delivered payload ranges.
     pub fn deliver(&self, rx: &RxFrame) -> Vec<Delivered> {
-        let Some(body) = rx.body_bytes() else { return Vec::new() };
+        let Some(body) = rx.body_bytes() else {
+            return Vec::new();
+        };
         match *self {
             DeliveryScheme::PacketCrc => {
                 if rx.pkt_crc_ok() {
-                    vec![Delivered { offset: 0, bytes: body }]
+                    vec![Delivered {
+                        offset: 0,
+                        bytes: body,
+                    }]
                 } else {
                     Vec::new()
                 }
@@ -107,9 +112,8 @@ impl DeliveryScheme {
                 let mut body_pos = 0usize;
                 let mut payload_pos = 0usize;
                 while body_pos < body.len() {
-                    let frag_len = frag_payload.min(
-                        body.len().saturating_sub(body_pos).saturating_sub(4),
-                    );
+                    let frag_len =
+                        frag_payload.min(body.len().saturating_sub(body_pos).saturating_sub(4));
                     if frag_len == 0 {
                         break;
                     }
@@ -126,7 +130,9 @@ impl DeliveryScheme {
                 out
             }
             DeliveryScheme::Ppr { eta } => {
-                let Some(hints) = rx.body_byte_hints() else { return Vec::new() };
+                let Some(hints) = rx.body_byte_hints() else {
+                    return Vec::new();
+                };
                 let mut out: Vec<Delivered> = Vec::new();
                 for (i, (&b, &h)) in body.iter().zip(&hints).enumerate() {
                     if h > eta {
@@ -134,7 +140,10 @@ impl DeliveryScheme {
                     }
                     match out.last_mut() {
                         Some(run) if run.offset + run.bytes.len() == i => run.bytes.push(b),
-                        _ => out.push(Delivered { offset: i, bytes: vec![b] }),
+                        _ => out.push(Delivered {
+                            offset: i,
+                            bytes: vec![b],
+                        }),
                     }
                 }
                 out
@@ -234,7 +243,11 @@ mod tests {
         assert_eq!(scheme.payload_len(body.len()), 120);
         for scheme_len in [1usize, 49, 50, 51, 199, 200] {
             let s = DeliveryScheme::FragmentedCrc { frag_payload: 50 };
-            assert_eq!(s.payload_len(s.body_len(scheme_len)), scheme_len, "{scheme_len}");
+            assert_eq!(
+                s.payload_len(s.body_len(scheme_len)),
+                scheme_len,
+                "{scheme_len}"
+            );
         }
     }
 
@@ -285,7 +298,11 @@ mod tests {
         assert_eq!(correct_delivered_bytes(&d, &p), total);
         // Delivered ranges exclude the jammed region's core.
         for r in &d {
-            assert!(r.offset + r.bytes.len() <= 42 || r.offset >= 58, "range {:?}", r.offset);
+            assert!(
+                r.offset + r.bytes.len() <= 42 || r.offset >= 58,
+                "range {:?}",
+                r.offset
+            );
         }
     }
 
@@ -318,7 +335,10 @@ mod tests {
     #[test]
     fn scheme_names() {
         assert_eq!(DeliveryScheme::PacketCrc.name(), "Packet CRC");
-        assert_eq!(DeliveryScheme::FragmentedCrc { frag_payload: 50 }.name(), "Fragmented CRC");
+        assert_eq!(
+            DeliveryScheme::FragmentedCrc { frag_payload: 50 }.name(),
+            "Fragmented CRC"
+        );
         assert_eq!(DeliveryScheme::Ppr { eta: 6 }.name(), "PPR");
     }
 }

@@ -117,12 +117,18 @@ pub struct Decision {
 /// hardware correlator bank.
 #[inline]
 pub fn decide(received: u32) -> Decision {
-    let mut best = Decision { symbol: 0, distance: hamming(received, CODEBOOK[0]) as u8 };
+    let mut best = Decision {
+        symbol: 0,
+        distance: hamming(received, CODEBOOK[0]) as u8,
+    };
     let mut s = 1;
     while s < NUM_SYMBOLS {
         let d = hamming(received, CODEBOOK[s]) as u8;
         if d < best.distance {
-            best = Decision { symbol: s as u8, distance: d };
+            best = Decision {
+                symbol: s as u8,
+                distance: d,
+            };
         }
         s += 1;
     }
@@ -145,9 +151,9 @@ pub fn spread_symbol(symbol: u8) -> u32 {
 /// decode — the geometric fact behind the paper's threshold `η = 6`.
 pub fn min_codeword_distance() -> u32 {
     let mut min = u32::MAX;
-    for i in 0..NUM_SYMBOLS {
-        for j in (i + 1)..NUM_SYMBOLS {
-            min = min.min(hamming(CODEBOOK[i], CODEBOOK[j]));
+    for (i, &a) in CODEBOOK.iter().enumerate() {
+        for &b in &CODEBOOK[i + 1..] {
+            min = min.min(hamming(a, b));
         }
     }
     min
@@ -206,9 +212,9 @@ mod tests {
 
     #[test]
     fn codebook_entries_are_distinct() {
-        for i in 0..NUM_SYMBOLS {
-            for j in (i + 1)..NUM_SYMBOLS {
-                assert_ne!(CODEBOOK[i], CODEBOOK[j]);
+        for (i, &a) in CODEBOOK.iter().enumerate() {
+            for &b in &CODEBOOK[i + 1..] {
+                assert_ne!(a, b);
             }
         }
     }
@@ -220,8 +226,8 @@ mod tests {
 
     #[test]
     fn decide_is_identity_on_clean_codewords() {
-        for s in 0..NUM_SYMBOLS {
-            let d = decide(CODEBOOK[s]);
+        for (s, &word) in CODEBOOK.iter().enumerate() {
+            let d = decide(word);
             assert_eq!(d.symbol as usize, s);
             assert_eq!(d.distance, 0);
         }
@@ -231,8 +237,8 @@ mod tests {
     fn decide_tolerates_small_corruption() {
         // Flip 3 chips of every codeword: decode must still be exact and
         // the reported hint must equal the number of flips (3 < 12/2).
-        for s in 0..NUM_SYMBOLS {
-            let corrupted = CODEBOOK[s] ^ 0b1001_0000_0000_0000_0100_0000_0000_0000;
+        for (s, &word) in CODEBOOK.iter().enumerate() {
+            let corrupted = word ^ 0b1001_0000_0000_0000_0100_0000_0000_0000;
             let d = decide(corrupted);
             assert_eq!(d.symbol as usize, s, "symbol {s} misdecoded");
             assert_eq!(d.distance, 3);
@@ -243,13 +249,16 @@ mod tests {
     fn hamming_is_symmetric_and_zero_on_equal() {
         assert_eq!(hamming(0xdead_beef, 0xdead_beef), 0);
         assert_eq!(hamming(0x0, 0xffff_ffff), 32);
-        assert_eq!(hamming(0x1234_5678, 0x8765_4321), hamming(0x8765_4321, 0x1234_5678));
+        assert_eq!(
+            hamming(0x1234_5678, 0x8765_4321),
+            hamming(0x8765_4321, 0x1234_5678)
+        );
     }
 
     #[test]
     fn chips_roundtrip_through_pack() {
-        for s in 0..NUM_SYMBOLS {
-            let collected: Vec<bool> = chips_of(CODEBOOK[s]).collect();
+        for &word in CODEBOOK.iter() {
+            let collected: Vec<bool> = chips_of(word).collect();
             assert_eq!(collected.len(), CHIPS_PER_SYMBOL);
             let mut repacked = 0u32;
             for (i, c) in collected.iter().enumerate() {
@@ -257,7 +266,7 @@ mod tests {
                     repacked |= 1 << i;
                 }
             }
-            assert_eq!(repacked, CODEBOOK[s]);
+            assert_eq!(repacked, word);
         }
     }
 

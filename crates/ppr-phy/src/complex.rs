@@ -29,13 +29,19 @@ impl Complex32 {
     /// Creates a sample from polar coordinates (magnitude, phase in radians).
     #[inline]
     pub fn from_polar(mag: f32, phase: f32) -> Self {
-        Complex32 { re: mag * phase.cos(), im: mag * phase.sin() }
+        Complex32 {
+            re: mag * phase.cos(),
+            im: mag * phase.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex32 { re: self.re, im: -self.im }
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` — the instantaneous power of the sample.
@@ -59,7 +65,10 @@ impl Complex32 {
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, k: f32) -> Self {
-        Complex32 { re: self.re * k, im: self.im * k }
+        Complex32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -67,7 +76,10 @@ impl Add for Complex32 {
     type Output = Complex32;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Complex32 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex32 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -83,7 +95,10 @@ impl Sub for Complex32 {
     type Output = Complex32;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Complex32 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex32 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -91,7 +106,10 @@ impl Neg for Complex32 {
     type Output = Complex32;
     #[inline]
     fn neg(self) -> Self {
-        Complex32 { re: -self.re, im: -self.im }
+        Complex32 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -117,7 +117,10 @@ pub struct SampleReceiver {
 impl SampleReceiver {
     /// Creates a sample receiver with the given oversampling factor.
     pub fn new(samples_per_chip: usize) -> Self {
-        SampleReceiver { modem: MskModem::new(samples_per_chip), chip_rx: ChipReceiver::default() }
+        SampleReceiver {
+            modem: MskModem::new(samples_per_chip),
+            chip_rx: ChipReceiver::default(),
+        }
     }
 
     /// The chip-level receiver this front end feeds.
@@ -137,17 +140,25 @@ impl SampleReceiver {
     pub fn acquire(&self, samples: &[Complex32]) -> (ChipStream, Vec<SyncHit>) {
         let sps = self.modem.samples_per_chip();
         let window = 64.min(samples.len() / sps / 2);
-        let timing = estimate_timing(&self.modem, samples, 0, window)
-            .unwrap_or(crate::timing::TimingEstimate { offset: 0, quality: 0.0 });
+        let timing = estimate_timing(&self.modem, samples, 0, window).unwrap_or(
+            crate::timing::TimingEstimate {
+                offset: 0,
+                quality: 0.0,
+            },
+        );
         let n_chips = (samples.len().saturating_sub(timing.offset)) / sps;
 
         let mut best: Option<(ChipStream, Vec<SyncHit>)> = None;
         for parity in [true, false] {
-            let chips =
-                self.modem.demodulate_hard(samples, timing.offset, n_chips, parity);
+            let chips = self
+                .modem
+                .demodulate_hard(samples, timing.offset, n_chips, parity);
             let hits = self.chip_rx.scan(&chips);
-            let stream =
-                ChipStream { chips, timing_offset: timing.offset, even_parity: parity };
+            let stream = ChipStream {
+                chips,
+                timing_offset: timing.offset,
+                even_parity: parity,
+            };
             let better = match &best {
                 None => true,
                 Some((_, best_hits)) => score(&hits) > score(best_hits),
@@ -177,7 +188,9 @@ fn score(hits: &[SyncHit]) -> (usize, i64) {
 /// block for `ppr-mac`'s frame builder).
 pub fn frame_chips(symbols: &[u8]) -> Vec<bool> {
     let mut chips = crate::sync::tx_preamble_chips();
-    chips.extend(crate::modem::unpack_chip_words(&crate::spread::spread(symbols)));
+    chips.extend(crate::modem::unpack_chip_words(&crate::spread::spread(
+        symbols,
+    )));
     chips.extend(crate::sync::tx_postamble_chips());
     chips
 }
@@ -209,8 +222,14 @@ mod tests {
 
         let rx = ChipReceiver::default();
         let hits = rx.scan(&stream);
-        let pre: Vec<_> = hits.iter().filter(|h| h.kind == SyncKind::Preamble).collect();
-        let post: Vec<_> = hits.iter().filter(|h| h.kind == SyncKind::Postamble).collect();
+        let pre: Vec<_> = hits
+            .iter()
+            .filter(|h| h.kind == SyncKind::Preamble)
+            .collect();
+        let post: Vec<_> = hits
+            .iter()
+            .filter(|h| h.kind == SyncKind::Postamble)
+            .collect();
         assert_eq!(pre.len(), 1);
         assert_eq!(post.len(), 1);
 
@@ -231,7 +250,10 @@ mod tests {
 
         let rx = SampleReceiver::new(4);
         let (stream, hits) = rx.acquire(&samples);
-        let pre: Vec<_> = hits.iter().filter(|h| h.kind == SyncKind::Preamble).collect();
+        let pre: Vec<_> = hits
+            .iter()
+            .filter(|h| h.kind == SyncKind::Preamble)
+            .collect();
         assert_eq!(pre.len(), 1, "hits: {hits:?}");
         let data_start = rx.chip_receiver().data_start_after(pre[0]);
         let span = rx.despread(&stream, data_start, symbols.len());
@@ -261,8 +283,8 @@ mod tests {
         // Postamble hit is 2 zero-symbols into the postamble run... the
         // pattern starts at (POSTAMBLE_ZERO_SYMBOLS - 2) symbols after the
         // postamble begins.
-        let postamble_start = post.chip_offset
-            - (crate::sync::POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
+        let postamble_start =
+            post.chip_offset - (crate::sync::POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
         let data_start = postamble_start - data_chips;
         assert_eq!(data_start, pre_len);
         let span = rx.despread(&chips, data_start, symbols.len());

@@ -33,7 +33,10 @@ impl MskModem {
     /// # Panics
     /// Panics if `samples_per_chip == 0`.
     pub fn new(samples_per_chip: usize) -> Self {
-        MskModem { sps: samples_per_chip, pulse: HalfSine::new(samples_per_chip) }
+        MskModem {
+            sps: samples_per_chip,
+            pulse: HalfSine::new(samples_per_chip),
+        }
     }
 
     /// Oversampling factor (samples per chip).
@@ -76,14 +79,23 @@ impl MskModem {
     /// −1 for a clean chip 0). Samples beyond the end of `samples` are
     /// treated as zero, so a truncated reception degrades gracefully
     /// instead of panicking — essential for decoding partial packets.
-    pub fn chip_soft_value(&self, samples: &[Complex32], chip_start: usize, even_rail: bool) -> f32 {
+    pub fn chip_soft_value(
+        &self,
+        samples: &[Complex32],
+        chip_start: usize,
+        even_rail: bool,
+    ) -> f32 {
         let mut acc = 0.0f32;
         for (i, &p) in self.pulse.samples().iter().enumerate() {
             let idx = chip_start + i;
             if idx >= samples.len() {
                 break;
             }
-            let s = if even_rail { samples[idx].re } else { samples[idx].im };
+            let s = if even_rail {
+                samples[idx].re
+            } else {
+                samples[idx].im
+            };
             acc += s * p;
         }
         acc / self.pulse.energy()
@@ -182,7 +194,12 @@ mod tests {
         let chips = unpack_chip_words(&spread_bytes(b"envelope"));
         let samples = modem.modulate(&chips);
         let sps = modem.samples_per_chip();
-        for (t, s) in samples.iter().enumerate().skip(2 * sps).take(samples.len() - 4 * sps) {
+        for (t, s) in samples
+            .iter()
+            .enumerate()
+            .skip(2 * sps)
+            .take(samples.len() - 4 * sps)
+        {
             let p = s.norm_sqr();
             assert!((p - 1.0).abs() < 1e-3, "power at {t} = {p}");
         }
@@ -223,6 +240,9 @@ mod tests {
             .zip(&chips)
             .filter(|(v, &c)| (**v >= 0.0) != c)
             .count();
-        assert!(errors > chips.len() / 4, "only {errors} errors with wrong parity");
+        assert!(
+            errors > chips.len() / 4,
+            "only {errors} errors with wrong parity"
+        );
     }
 }

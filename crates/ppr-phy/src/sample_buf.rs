@@ -30,7 +30,11 @@ impl SampleBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "sample buffer capacity must be positive");
-        SampleBuffer { buf: vec![Complex32::ZERO; capacity], capacity, next: 0 }
+        SampleBuffer {
+            buf: vec![Complex32::ZERO; capacity],
+            capacity,
+            next: 0,
+        }
     }
 
     /// Capacity in samples.
@@ -86,7 +90,11 @@ impl SampleBuffer {
         if from > to || to > self.next || from < self.start() {
             return None;
         }
-        Some(((from)..(to)).map(|i| self.buf[(i % self.capacity as u64) as usize]).collect())
+        Some(
+            ((from)..(to))
+                .map(|i| self.buf[(i % self.capacity as u64) as usize])
+                .collect(),
+        )
     }
 
     /// Copies the most recent `n` samples (or fewer if the buffer holds
@@ -138,7 +146,10 @@ mod tests {
             b.push(s(i as f32));
         }
         assert!(b.range(4, 8).is_none(), "partially evicted");
-        assert_eq!(b.range(6, 10).unwrap(), vec![s(6.0), s(7.0), s(8.0), s(9.0)]);
+        assert_eq!(
+            b.range(6, 10).unwrap(),
+            vec![s(6.0), s(7.0), s(8.0), s(9.0)]
+        );
         assert!(b.range(8, 12).is_none(), "not yet written");
         assert_eq!(b.range(7, 7).unwrap(), vec![]);
     }

@@ -27,7 +27,10 @@ pub struct SoftSymbol {
 
 impl From<Decision> for SoftSymbol {
     fn from(d: Decision) -> Self {
-        SoftSymbol { symbol: d.symbol, hint: d.distance }
+        SoftSymbol {
+            symbol: d.symbol,
+            hint: d.distance,
+        }
     }
 }
 
@@ -42,7 +45,9 @@ pub struct SoftSpan {
 impl SoftSpan {
     /// Wraps a vector of decisions.
     pub fn from_decisions(decisions: Vec<Decision>) -> Self {
-        SoftSpan { symbols: decisions.into_iter().map(SoftSymbol::from).collect() }
+        SoftSpan {
+            symbols: decisions.into_iter().map(SoftSymbol::from).collect(),
+        }
     }
 
     /// Number of symbols in the span.
@@ -97,7 +102,13 @@ mod tests {
 
     fn span(hints: &[u8]) -> SoftSpan {
         SoftSpan {
-            symbols: hints.iter().map(|&h| SoftSymbol { symbol: 0xA, hint: h }).collect(),
+            symbols: hints
+                .iter()
+                .map(|&h| SoftSymbol {
+                    symbol: 0xA,
+                    hint: h,
+                })
+                .collect(),
         }
     }
 
@@ -133,8 +144,14 @@ mod tests {
     fn to_bytes_matches_nibble_order() {
         let s = SoftSpan {
             symbols: vec![
-                SoftSymbol { symbol: 0x7, hint: 0 },
-                SoftSymbol { symbol: 0xA, hint: 0 },
+                SoftSymbol {
+                    symbol: 0x7,
+                    hint: 0,
+                },
+                SoftSymbol {
+                    symbol: 0xA,
+                    hint: 0,
+                },
             ],
         };
         assert_eq!(s.to_bytes(), vec![0xA7]);
@@ -142,7 +159,10 @@ mod tests {
 
     #[test]
     fn from_decision_preserves_fields() {
-        let d = Decision { symbol: 5, distance: 4 };
+        let d = Decision {
+            symbol: 5,
+            distance: 4,
+        };
         let s: SoftSymbol = d.into();
         assert_eq!(s.symbol, 5);
         assert_eq!(s.hint, 4);

@@ -31,7 +31,10 @@ const GENERATORS: [u8; 2] = [0b111, 0b101];
 pub fn encode(bits: &[bool]) -> Vec<bool> {
     let mut state = 0u8; // (K-1)-bit shift register
     let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
-    for &b in bits.iter().chain(std::iter::repeat_n(&false, CONSTRAINT - 1)) {
+    for &b in bits
+        .iter()
+        .chain(std::iter::repeat_n(&false, CONSTRAINT - 1))
+    {
         let reg = ((b as u8) << (CONSTRAINT - 1)) | state;
         for g in GENERATORS {
             out.push((reg & g).count_ones() % 2 == 1);
@@ -137,13 +140,13 @@ pub fn decode(soft: &[f32]) -> Option<Vec<SovaBit>> {
     for t in 0..n_info {
         let r = [soft[2 * t], soft[2 * t + 1]];
         let mut best = [NEG_INF; 2];
-        for s in 0..STATES {
-            if alpha[t][s] <= NEG_INF {
+        for (s, &a) in alpha[t].iter().enumerate() {
+            if a <= NEG_INF {
                 continue;
             }
             for b in [false, true] {
                 let (ns, coded) = branch(s, b);
-                let cand = alpha[t][s] + metric(&r, &coded) + beta[t + 1][ns];
+                let cand = a + metric(&r, &coded) + beta[t + 1][ns];
                 if cand > best[b as usize] {
                     best[b as usize] = cand;
                 }
@@ -168,7 +171,10 @@ fn metric(r: &[f32; 2], coded: &[bool; 2]) -> f32 {
 /// Encodes bits and maps them to clean antipodal soft values (±1) —
 /// test/demo helper for driving [`decode`].
 pub fn modulate_coded(bits: &[bool]) -> Vec<f32> {
-    encode(bits).into_iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+    encode(bits)
+        .into_iter()
+        .map(|b| if b { 1.0 } else { -1.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -224,8 +230,8 @@ mod tests {
         let bits = info_bits(&mut rng, 100);
         let mut soft = modulate_coded(&bits);
         // Weaken (don't flip) the coded bits of info bit ~50.
-        for i in 96..104 {
-            soft[i] *= 0.1;
+        for v in &mut soft[96..104] {
+            *v *= 0.1;
         }
         let decoded = decode(&soft).unwrap();
         let far = decoded[10].reliability;
@@ -257,7 +263,11 @@ mod tests {
                 }
             }
         }
-        assert!(rel_wrong.len() > 50, "want decode errors, got {}", rel_wrong.len());
+        assert!(
+            rel_wrong.len() > 50,
+            "want decode errors, got {}",
+            rel_wrong.len()
+        );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&rel_correct) > 2.0 * mean(&rel_wrong),
@@ -275,8 +285,14 @@ mod tests {
 
     #[test]
     fn to_hint_orientation() {
-        let confident = SovaBit { bit: true, reliability: 40.0 };
-        let shaky = SovaBit { bit: true, reliability: 0.5 };
+        let confident = SovaBit {
+            bit: true,
+            reliability: 40.0,
+        };
+        let shaky = SovaBit {
+            bit: true,
+            reliability: 0.5,
+        };
         assert!(confident.to_hint(1.0, 32) < shaky.to_hint(1.0, 32));
         assert_eq!(confident.to_hint(1.0, 32), 0);
     }

@@ -93,7 +93,11 @@ pub fn despread_soft(soft_chips: &[f32; CHIPS_PER_SYMBOL]) -> SoftDecision {
             second = m;
         }
     }
-    SoftDecision { symbol: best_sym, metric: best, runner_up: second }
+    SoftDecision {
+        symbol: best_sym,
+        metric: best,
+        runner_up: second,
+    }
 }
 
 /// Number of codewords needed to carry `n_bytes` bytes.
@@ -148,8 +152,8 @@ mod tests {
         for sym in 0..16u8 {
             let word = spread_symbol(sym);
             let mut soft = [0.0f32; CHIPS_PER_SYMBOL];
-            for j in 0..CHIPS_PER_SYMBOL {
-                soft[j] = if (word >> j) & 1 == 1 { 1.0 } else { -1.0 };
+            for (j, v) in soft.iter_mut().enumerate() {
+                *v = if (word >> j) & 1 == 1 { 1.0 } else { -1.0 };
             }
             let sd = despread_soft(&soft);
             assert_eq!(sd.symbol, sym);
@@ -162,8 +166,8 @@ mod tests {
     fn correlation_metric_is_linear_in_amplitude() {
         let word = spread_symbol(3);
         let mut soft = [0.0f32; CHIPS_PER_SYMBOL];
-        for j in 0..CHIPS_PER_SYMBOL {
-            soft[j] = if (word >> j) & 1 == 1 { 0.5 } else { -0.5 };
+        for (j, v) in soft.iter_mut().enumerate() {
+            *v = if (word >> j) & 1 == 1 { 0.5 } else { -0.5 };
         }
         let m = correlation_metric(&soft, 3);
         assert!((m - 16.0).abs() < 1e-4);
@@ -176,11 +180,11 @@ mod tests {
         let sym = 9u8;
         let word = spread_symbol(sym);
         let mut soft = [0.0f32; CHIPS_PER_SYMBOL];
-        for j in 0..CHIPS_PER_SYMBOL {
+        for (j, v) in soft.iter_mut().enumerate() {
             let clean = if (word >> j) & 1 == 1 { 1.0 } else { -1.0 };
             // ±0.4 perturbation alternating sign.
             let pert = if j % 2 == 0 { 0.4 } else { -0.4 };
-            soft[j] = clean + pert;
+            *v = clean + pert;
         }
         let sd = despread_soft(&soft);
         assert_eq!(sd.symbol, sym);

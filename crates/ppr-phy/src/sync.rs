@@ -75,14 +75,20 @@ impl SyncPattern {
     pub fn preamble() -> Self {
         let mut symbols = vec![0u8; 2];
         symbols.extend(bytes_to_symbols(&[SFD]));
-        SyncPattern { chips: unpack_chip_words(&spread(&symbols)), kind: SyncKind::Preamble }
+        SyncPattern {
+            chips: unpack_chip_words(&spread(&symbols)),
+            kind: SyncKind::Preamble,
+        }
     }
 
     /// The postamble pattern: two zero symbols followed by [`POST_SFD`].
     pub fn postamble() -> Self {
         let mut symbols = vec![0u8; 2];
         symbols.extend(bytes_to_symbols(&[POST_SFD]));
-        SyncPattern { chips: unpack_chip_words(&spread(&symbols)), kind: SyncKind::Postamble }
+        SyncPattern {
+            chips: unpack_chip_words(&spread(&symbols)),
+            kind: SyncKind::Postamble,
+        }
     }
 
     /// Pattern length in chips.
@@ -129,10 +135,18 @@ impl SyncPattern {
             match hits.last_mut() {
                 Some(prev) if offset - prev.chip_offset < CHIPS_PER_SYMBOL => {
                     if d < prev.distance {
-                        *prev = SyncHit { chip_offset: offset, distance: d, kind: self.kind };
+                        *prev = SyncHit {
+                            chip_offset: offset,
+                            distance: d,
+                            kind: self.kind,
+                        };
                     }
                 }
-                _ => hits.push(SyncHit { chip_offset: offset, distance: d, kind: self.kind }),
+                _ => hits.push(SyncHit {
+                    chip_offset: offset,
+                    distance: d,
+                    kind: self.kind,
+                }),
             }
         }
         hits
@@ -199,7 +213,10 @@ mod tests {
         stream.splice(100..100 + post.len(), post.iter().copied());
         let pre_hits = SyncPattern::preamble().scan(&stream, DEFAULT_SYNC_THRESHOLD);
         let post_hits = SyncPattern::postamble().scan(&stream, DEFAULT_SYNC_THRESHOLD);
-        assert!(pre_hits.is_empty(), "postamble must not trigger preamble sync");
+        assert!(
+            pre_hits.is_empty(),
+            "postamble must not trigger preamble sync"
+        );
         assert_eq!(post_hits.len(), 1);
         assert_eq!(
             post_hits[0].chip_offset,
@@ -245,8 +262,12 @@ mod tests {
     fn no_false_locks_in_long_random_stream() {
         let mut rng = StdRng::seed_from_u64(5);
         let stream = random_chips(&mut rng, 100_000);
-        assert!(SyncPattern::preamble().scan(&stream, DEFAULT_SYNC_THRESHOLD).is_empty());
-        assert!(SyncPattern::postamble().scan(&stream, DEFAULT_SYNC_THRESHOLD).is_empty());
+        assert!(SyncPattern::preamble()
+            .scan(&stream, DEFAULT_SYNC_THRESHOLD)
+            .is_empty());
+        assert!(SyncPattern::postamble()
+            .scan(&stream, DEFAULT_SYNC_THRESHOLD)
+            .is_empty());
     }
 
     #[test]

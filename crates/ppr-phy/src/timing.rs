@@ -44,7 +44,10 @@ pub fn estimate_timing(
     if needed > samples.len() || window_chips == 0 {
         return None;
     }
-    let mut best = TimingEstimate { offset: 0, quality: f32::NEG_INFINITY };
+    let mut best = TimingEstimate {
+        offset: 0,
+        quality: f32::NEG_INFINITY,
+    };
     for tau in 0..sps {
         let mut energy = 0.0f32;
         for k in 0..window_chips {
@@ -57,7 +60,10 @@ pub fn estimate_timing(
         }
         let quality = energy / window_chips as f32;
         if quality > best.quality {
-            best = TimingEstimate { offset: tau, quality };
+            best = TimingEstimate {
+                offset: tau,
+                quality,
+            };
         }
     }
     Some(best)

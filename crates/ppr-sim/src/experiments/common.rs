@@ -21,17 +21,22 @@ pub const ETA: u8 = 6;
 /// `PPR_DURATION` environment variable (e.g. `PPR_DURATION=20` for a
 /// quick pass).
 pub fn default_duration() -> f64 {
-    std::env::var("PPR_DURATION").ok().and_then(|v| v.parse().ok()).unwrap_or(90.0)
+    std::env::var("PPR_DURATION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(90.0)
 }
 
 /// Master seed shared by all experiments (reproducibility).
-pub const SEED: u64 = 0x5050_52;
+pub const SEED: u64 = 0x0050_5052;
 
 /// The three delivery schemes under their standard parameters.
 pub fn standard_schemes() -> [DeliveryScheme; 3] {
     [
         DeliveryScheme::PacketCrc,
-        DeliveryScheme::FragmentedCrc { frag_payload: FRAG_BYTES },
+        DeliveryScheme::FragmentedCrc {
+            frag_payload: FRAG_BYTES,
+        },
         DeliveryScheme::Ppr { eta: ETA },
     ]
 }
@@ -108,7 +113,9 @@ pub fn per_link_stats(env: &RadioEnv, recs: &[Reception]) -> Vec<((usize, usize)
     let index: std::collections::HashMap<(usize, usize), usize> =
         links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     for rec in recs {
-        let Some(&i) = index.get(&(rec.sender, rec.receiver)) else { continue };
+        let Some(&i) = index.get(&(rec.sender, rec.receiver)) else {
+            continue;
+        };
         let s = &mut stats[i];
         s.frames += 1;
         s.payload_offered += rec.payload_len;
@@ -151,9 +158,20 @@ pub fn six_arms() -> Vec<(String, RxArm)> {
             let label = format!(
                 "{}, {}",
                 scheme.name(),
-                if postamble { "postamble decoding" } else { "no postamble decoding" }
+                if postamble {
+                    "postamble decoding"
+                } else {
+                    "no postamble decoding"
+                }
             );
-            out.push((label, RxArm { scheme, postamble, collect_symbols: false }));
+            out.push((
+                label,
+                RxArm {
+                    scheme,
+                    postamble,
+                    collect_symbols: false,
+                },
+            ));
         }
     }
     out

@@ -30,7 +30,10 @@ pub fn collect(load_kbps: f64, carrier_sense: bool, duration_s: f64) -> Vec<Curv
         .into_iter()
         .map(|(label, arm)| {
             let recs = run.receptions(&arm);
-            Curve { label, cdf: fdr_cdf(&run.env, &recs, run.cfg.body_bytes) }
+            Curve {
+                label,
+                cdf: fdr_cdf(&run.env, &recs, run.cfg.body_bytes),
+            }
         })
         .collect()
 }
@@ -71,7 +74,12 @@ mod tests {
     fn scheme_ordering_holds_at_high_load() {
         let curves = collect(13.8, false, 5.0);
         let median = |label: &str| -> f64 {
-            curves.iter().find(|c| c.label.contains(label)).unwrap().cdf.median()
+            curves
+                .iter()
+                .find(|c| c.label.contains(label))
+                .unwrap()
+                .cdf
+                .median()
         };
         let pkt_post = median("Packet CRC, postamble");
         let frag_post = median("Fragmented CRC, postamble");

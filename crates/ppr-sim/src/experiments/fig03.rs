@@ -42,7 +42,10 @@ pub fn collect(duration_s: f64) -> Vec<LoadHints> {
                     hist.record(h, c);
                 }
             }
-            LoadHints { load_kbps: load, hist }
+            LoadHints {
+                load_kbps: load,
+                hist,
+            }
         })
         .collect()
 }
@@ -55,12 +58,23 @@ pub fn render(data: &[LoadHints]) -> String {
          split by decode correctness (cf. paper Fig. 3)\n\n",
     );
     let mut t = Table::new(&[
-        "load (kbit/s)", "codewords", "d<=0", "d<=1", "d<=3", "d<=6", "d<=9", "d<=12",
+        "load (kbit/s)",
+        "codewords",
+        "d<=0",
+        "d<=1",
+        "d<=3",
+        "d<=6",
+        "d<=9",
+        "d<=12",
     ]);
     for lh in data {
         for correct in [true, false] {
             let cdf = lh.hist.cdf(correct);
-            let n = if correct { lh.hist.total_correct() } else { lh.hist.total_incorrect() };
+            let n = if correct {
+                lh.hist.total_correct()
+            } else {
+                lh.hist.total_incorrect()
+            };
             t.row(&[
                 format!(
                     "{} {}",

@@ -75,14 +75,24 @@ pub fn collect() -> CollisionAnatomy {
     assert!(p2_start_chip + p2_chips.len() < p1_chips.len() - 2000);
 
     let txs = vec![
-        WaveformTx { chips: p1_chips.clone(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
+        WaveformTx {
+            chips: p1_chips.clone(),
+            start_sample: 0,
+            power_mw: 1.0,
+            phase: 0.0,
+        },
         WaveformTx {
             chips: p2_chips.clone(),
             start_sample: p2_start_chip * sps,
             power_mw: 6.0, // ~8 dB above packet 1
             phase: 0.15,
         },
-        WaveformTx { chips: jammer.chips(), start_sample: 0, power_mw: 1.5, phase: 0.25 },
+        WaveformTx {
+            chips: jammer.chips(),
+            start_sample: 0,
+            power_mw: 1.5,
+            phase: 0.25,
+        },
     ];
     let duration = (p1_chips.len() + 64) * sps;
     // ~17 dB SNR for packet 1 against thermal noise alone.
@@ -104,7 +114,9 @@ pub fn collect() -> CollisionAnatomy {
     let p2_overlap = (0usize, p2.link_symbols()); // fully inside packet 1
 
     let mut packets = Vec::new();
-    for (index, (frame, overlap)) in [(&p1, p1_overlap), (&p2, p2_overlap)].into_iter().enumerate()
+    for (index, (frame, overlap)) in [(&p1, p1_overlap), (&p2, p2_overlap)]
+        .into_iter()
+        .enumerate()
     {
         let tx_symbols = bytes_to_symbols(&frame.link_bytes());
         let found = frames
@@ -120,13 +132,21 @@ pub fn collect() -> CollisionAnatomy {
             .zip(&tx_symbols)
             .map(|(a, b)| a.symbol == *b && a.hint < 33)
             .collect();
-        packets.push(PacketTrace { index, sync, hamming, correct, overlap_symbols: overlap });
+        packets.push(PacketTrace {
+            index,
+            sync,
+            hamming,
+            correct,
+            overlap_symbols: overlap,
+        });
     }
     CollisionAnatomy { packets }
 }
 
 fn test_payload(len: usize, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag))
+        .collect()
 }
 
 /// Renders the two traces (codeword index, Hamming distance, correct?).
@@ -204,7 +224,10 @@ mod tests {
         let tail_h = &p1.hamming[(o_end + 10).min(p1.hamming.len() - 1)..];
         let mean_tail = tail_h.iter().map(|&h| h as f64).sum::<f64>() / tail_h.len() as f64;
         assert!(mean_tail < 1.0, "tail mean hamming {mean_tail}");
-        assert!(mean_mid > 4.0 * mean_tail, "overlap/tail separation too weak");
+        assert!(
+            mean_mid > 4.0 * mean_tail,
+            "overlap/tail separation too weak"
+        );
 
         // Packet 2: stronger → preamble sync, clean decode throughout.
         assert_eq!(p2.sync, Some(SyncKind::Preamble), "packet 2 sync");

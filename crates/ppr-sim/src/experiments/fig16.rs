@@ -136,7 +136,11 @@ pub fn collect(n_packets: usize) -> PpArqRun {
         retx_sizes.extend(stats.retx_sizes.iter().copied());
         sessions.push(stats);
     }
-    PpArqRun { retx_sizes, sessions, packet_bytes }
+    PpArqRun {
+        retx_sizes,
+        sessions,
+        packet_bytes,
+    }
 }
 
 /// Renders the Fig. 16 CDF.
@@ -152,9 +156,15 @@ pub fn render(run: &PpArqRun) -> String {
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["retransmission packets".into(), cdf.len().to_string()]);
     t.row(&["median size (bytes)".into(), fmt(cdf.median())]);
-    t.row(&["p25 / p75".into(), format!("{} / {}", fmt(cdf.quantile(0.25)), fmt(cdf.quantile(0.75)))]);
+    t.row(&[
+        "p25 / p75".into(),
+        format!("{} / {}", fmt(cdf.quantile(0.25)), fmt(cdf.quantile(0.75))),
+    ]);
     let completed = run.sessions.iter().filter(|s| s.completed).count();
-    t.row(&["sessions completed".into(), format!("{completed}/{}", run.sessions.len())]);
+    t.row(&[
+        "sessions completed".into(),
+        format!("{completed}/{}", run.sessions.len()),
+    ]);
     let mean_rounds = run.sessions.iter().map(|s| s.rounds as f64).sum::<f64>()
         / run.sessions.len().max(1) as f64;
     t.row(&["mean rounds".into(), fmt(mean_rounds)]);
@@ -176,7 +186,10 @@ mod tests {
     fn sessions_complete_and_retx_is_partial() {
         let run = collect(30);
         let completed = run.sessions.iter().filter(|s| s.completed).count();
-        assert!(completed * 10 >= run.sessions.len() * 9, "{completed}/30 completed");
+        assert!(
+            completed * 10 >= run.sessions.len() * 9,
+            "{completed}/30 completed"
+        );
         // Transfers must be correct.
         for (i, s) in run.sessions.iter().enumerate() {
             if s.completed {

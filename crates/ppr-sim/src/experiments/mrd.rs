@@ -46,7 +46,11 @@ pub fn collect(duration_s: f64) -> MrdResult {
     let cfg = &run.cfg;
     let noise = env.model.noise_mw();
     let scheme = DeliveryScheme::Ppr { eta: ETA };
-    let arm = RxArm { scheme, postamble: true, collect_symbols: false };
+    let arm = RxArm {
+        scheme,
+        postamble: true,
+        collect_symbols: false,
+    };
     let _ = arm;
     let fast = FastRx::new(true);
     let payload_len = scheme.payload_len(cfg.body_bytes);
@@ -94,10 +98,8 @@ pub fn collect(duration_s: f64) -> MrdResult {
             }
             if let Some(rx) = rx_frame {
                 if rx.header.is_some() {
-                    let delivered = ppr_mac::schemes::correct_delivered_bytes(
-                        &scheme.deliver(&rx),
-                        &payload,
-                    );
+                    let delivered =
+                        ppr_mac::schemes::correct_delivered_bytes(&scheme.deliver(&rx), &payload);
                     singles.push(delivered);
                     copies.push(rx.link_symbols.clone());
                 }
@@ -113,13 +115,7 @@ pub fn collect(duration_s: f64) -> MrdResult {
         // Min-hint combining over the link-symbol streams.
         let n = copies.iter().map(|c| c.len()).min().unwrap();
         let combined: Vec<SoftSymbol> = (0..n)
-            .map(|k| {
-                copies
-                    .iter()
-                    .map(|c| c[k])
-                    .min_by_key(|s| s.hint)
-                    .unwrap()
-            })
+            .map(|k| copies.iter().map(|c| c[k]).min_by_key(|s| s.hint).unwrap())
             .collect();
         // Evaluate the combined stream with the same PPR delivery rule:
         // a byte is delivered when both nibble copies pass the

@@ -18,11 +18,11 @@
 //!
 //! Metric: end-to-end correct bytes delivered to D per source packet.
 
+use crate::rxpath::{Acquisition, FastRx};
 use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr_mac::frame::Frame;
 use ppr_mac::rx::RxFrame;
 use ppr_mac::schemes::DEFAULT_ETA;
-use crate::rxpath::{Acquisition, FastRx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,12 +40,20 @@ pub struct HopQuality {
 impl HopQuality {
     /// A marginal hop: frequent partial corruption.
     pub fn marginal() -> Self {
-        HopQuality { base: 0.02, burst_prob: 0.8, burst_p: 0.4 }
+        HopQuality {
+            base: 0.02,
+            burst_prob: 0.8,
+            burst_p: 0.4,
+        }
     }
 
     /// A decent hop: occasional bursts.
     pub fn decent() -> Self {
-        HopQuality { base: 2e-3, burst_prob: 0.35, burst_p: 0.4 }
+        HopQuality {
+            base: 2e-3,
+            burst_prob: 0.35,
+            burst_p: 0.4,
+        }
     }
 }
 
@@ -96,12 +104,16 @@ pub fn collect(n_packets: usize, payload_len: usize, seed: u64) -> RelayResult {
     let s_r = HopQuality::decent();
     let r_d = HopQuality::decent();
 
-    let mut result =
-        RelayResult { packets: n_packets, payload: payload_len, ..Default::default() };
+    let mut result = RelayResult {
+        packets: n_packets,
+        payload: payload_len,
+        ..Default::default()
+    };
 
     for seq in 0..n_packets as u16 {
-        let payload: Vec<u8> =
-            (0..payload_len).map(|i| (i as u8).wrapping_mul(29).wrapping_add(seq as u8)).collect();
+        let payload: Vec<u8> = (0..payload_len)
+            .map(|i| (i as u8).wrapping_mul(29).wrapping_add(seq as u8))
+            .collect();
         let frame = Frame::new(3, 1, seq, payload.clone());
 
         // One broadcast: D and R hear independent corruptions.
@@ -134,8 +146,7 @@ pub fn collect(n_packets: usize, payload_len: usize, seed: u64) -> RelayResult {
         let r_map = delivered_map(&r_rx, &payload);
         let mut relayed_map = vec![None; payload.len()];
         if r_map.iter().any(Option::is_some) {
-            let fwd_payload: Vec<u8> =
-                r_map.iter().map(|b| b.unwrap_or(0)).collect();
+            let fwd_payload: Vec<u8> = r_map.iter().map(|b| b.unwrap_or(0)).collect();
             let relay_frame = Frame::new(3, 2, seq, fwd_payload);
             let (_, d2) = send_over(&relay_frame, r_d, &rx, &mut rng);
             let hop2 = delivered_map_raw(&d2);
@@ -194,7 +205,10 @@ fn delivered_map_raw(rx: &Option<RxFrame>) -> Vec<Option<u8>> {
 }
 
 fn count_correct(map: &[Option<u8>], truth: &[u8]) -> usize {
-    map.iter().zip(truth).filter(|(m, t)| m.as_ref() == Some(t)).count()
+    map.iter()
+        .zip(truth)
+        .filter(|(m, t)| m.as_ref() == Some(t))
+        .count()
 }
 
 /// Renders the comparison.
@@ -256,7 +270,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let payload: Vec<u8> = (0..100).map(|i| i as u8).collect();
         let frame = Frame::new(3, 1, 0, payload.clone());
-        let clean = HopQuality { base: 0.0, burst_prob: 0.0, burst_p: 0.0 };
+        let clean = HopQuality {
+            base: 0.0,
+            burst_prob: 0.0,
+            burst_p: 0.0,
+        };
         let (_, d_rx) = send_over(&frame, clean, &rx, &mut rng);
         let map = delivered_map(&d_rx, &payload);
         assert_eq!(count_correct(&map, &payload), payload.len());

@@ -35,7 +35,9 @@ pub fn collect(duration_s: f64) -> Vec<Row> {
             // their 4 B CRCs.
             let frag_bytes = (1500 / chunks).saturating_sub(4).max(1);
             let arm = RxArm {
-                scheme: DeliveryScheme::FragmentedCrc { frag_payload: frag_bytes },
+                scheme: DeliveryScheme::FragmentedCrc {
+                    frag_payload: frag_bytes,
+                },
                 postamble: true,
                 collect_symbols: false,
             };
@@ -44,7 +46,11 @@ pub fn collect(duration_s: f64) -> Vec<Row> {
                 .iter()
                 .map(|(_, s)| s.throughput_kbps(duration_s))
                 .sum();
-            Row { chunks, frag_bytes, aggregate_kbps: aggregate }
+            Row {
+                chunks,
+                frag_bytes,
+                aggregate_kbps: aggregate,
+            }
         })
         .collect()
 }
@@ -57,7 +63,11 @@ pub fn render(rows: &[Row]) -> String {
     );
     let mut t = Table::new(&["chunks", "frag bytes", "aggregate kbit/s"]);
     for r in rows {
-        t.row(&[r.chunks.to_string(), r.frag_bytes.to_string(), fmt(r.aggregate_kbps)]);
+        t.row(&[
+            r.chunks.to_string(),
+            r.frag_bytes.to_string(),
+            fmt(r.aggregate_kbps),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(

@@ -35,7 +35,10 @@ pub fn collect_fig11(load_kbps: f64, duration_s: f64) -> Vec<Curve> {
                 .filter(|(_, s)| s.frames > 0)
                 .map(|(_, s)| s.throughput_kbps(duration_s))
                 .collect();
-            Curve { label, cdf: Cdf::from_samples(samples) }
+            Curve {
+                label,
+                cdf: Cdf::from_samples(samples),
+            }
         })
         .collect()
 }
@@ -57,7 +60,10 @@ pub fn render_fig11(load_kbps: f64, curves: &[Curve]) -> String {
     }
     out.push_str(&t.render());
     out.push('\n');
-    let hi = curves.iter().map(|c| c.cdf.quantile(1.0)).fold(1.0f64, f64::max);
+    let hi = curves
+        .iter()
+        .map(|c| c.cdf.quantile(1.0))
+        .fold(1.0f64, f64::max);
     for c in curves {
         out.push_str(&series(&c.label, &c.cdf.series(0.0, hi, 17)));
         out.push('\n');
@@ -94,17 +100,18 @@ pub fn collect_fig12(duration_s: f64) -> Vec<ScatterPoint> {
             postamble: true,
             collect_symbols: false,
         });
-        let stats: Vec<_> =
-            arms.iter().map(|arm| per_link_stats(&run.env, &run.receptions(arm))).collect();
-        for i in 0..stats[0].len() {
-            let link = stats[0][i].0;
-            if stats[0][i].1.frames == 0 {
+        let stats: Vec<_> = arms
+            .iter()
+            .map(|arm| per_link_stats(&run.env, &run.receptions(arm)))
+            .collect();
+        for (i, &(link, ref packet_stats)) in stats[0].iter().enumerate() {
+            if packet_stats.frames == 0 {
                 continue;
             }
             out.push(ScatterPoint {
                 load_kbps: load,
                 link,
-                packet: stats[0][i].1.throughput_kbps(duration_s),
+                packet: packet_stats.throughput_kbps(duration_s),
                 frag: stats[1][i].1.throughput_kbps(duration_s),
                 ppr: stats[2][i].1.throughput_kbps(duration_s),
             });
@@ -120,7 +127,11 @@ pub fn render_fig12(points: &[ScatterPoint]) -> String {
          and PPR (y), all loads, carrier sense disabled\n\n",
     );
     let mut t = Table::new(&[
-        "load", "link s->r", "fragCRC kbit/s", "packetCRC kbit/s", "PPR kbit/s",
+        "load",
+        "link s->r",
+        "fragCRC kbit/s",
+        "packetCRC kbit/s",
+        "PPR kbit/s",
     ]);
     for p in points {
         t.row(&[
@@ -168,8 +179,7 @@ mod tests {
         let points = collect_fig12(4.0);
         assert!(!points.is_empty());
         let tot = |f: fn(&ScatterPoint) -> f64| points.iter().map(f).sum::<f64>();
-        let (pkt, frag, ppr) =
-            (tot(|p| p.packet), tot(|p| p.frag), tot(|p| p.ppr));
+        let (pkt, frag, ppr) = (tot(|p| p.packet), tot(|p| p.frag), tot(|p| p.ppr));
         assert!(ppr >= frag, "ppr {ppr} < frag {frag}");
         assert!(frag > pkt, "frag {frag} <= pkt {pkt}");
     }

@@ -136,7 +136,10 @@ mod tests {
         let tb = Testbed::fig7();
         for i in 0..tb.senders.len() {
             for j in (i + 1)..tb.senders.len() {
-                assert!(tb.senders[i].distance(&tb.senders[j]) > 0.5, "senders {i},{j}");
+                assert!(
+                    tb.senders[i].distance(&tb.senders[j]) > 0.5,
+                    "senders {i},{j}"
+                );
             }
         }
     }
@@ -162,7 +165,10 @@ mod tests {
     #[test]
     fn distance_is_symmetric() {
         let tb = Testbed::fig7();
-        assert_eq!(tb.sender_sender_distance(0, 5), tb.sender_sender_distance(5, 0));
+        assert_eq!(
+            tb.sender_sender_distance(0, 5),
+            tb.sender_sender_distance(5, 0)
+        );
         assert_eq!(tb.sender_sender_distance(3, 3), 0.0);
     }
 }

@@ -85,7 +85,10 @@ impl HintHistogram {
     /// An empty histogram over hints 0..=33 (32 chip flips + the
     /// never-received sentinel).
     pub fn new() -> Self {
-        HintHistogram { correct: vec![0; 34], incorrect: vec![0; 34] }
+        HintHistogram {
+            correct: vec![0; 34],
+            incorrect: vec![0; 34],
+        }
     }
 
     /// Records one codeword.
@@ -111,14 +114,22 @@ impl HintHistogram {
     /// CDF of hint values conditioned on correctness:
     /// `P(hint ≤ h | correct)` (Fig. 3's curves).
     pub fn cdf(&self, of_correct: bool) -> Vec<f64> {
-        let counts = if of_correct { &self.correct } else { &self.incorrect };
+        let counts = if of_correct {
+            &self.correct
+        } else {
+            &self.incorrect
+        };
         let total: u64 = counts.iter().sum();
         let mut acc = 0u64;
         counts
             .iter()
             .map(|&c| {
                 acc += c;
-                if total == 0 { f64::NAN } else { acc as f64 / total as f64 }
+                if total == 0 {
+                    f64::NAN
+                } else {
+                    acc as f64 / total as f64
+                }
             })
             .collect()
     }

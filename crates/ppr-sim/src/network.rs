@@ -117,26 +117,29 @@ impl RadioEnv {
         for (s, row) in s2r_mw.iter_mut().enumerate() {
             for (r, p) in row.iter_mut().enumerate() {
                 let d = testbed.sender_receiver_distance(s, r);
-                let walls =
-                    Testbed::walls_between(&testbed.senders[s], &testbed.receivers[r]);
-                let shadow =
-                    model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
+                let walls = Testbed::walls_between(&testbed.senders[s], &testbed.receivers[r]);
+                let shadow = model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
                 *p = model.rx_power_mw(d, shadow);
             }
         }
         let mut s2s_mw = vec![vec![0.0; ns]; ns];
+        #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
         for a in 0..ns {
             for b in (a + 1)..ns {
                 let d = testbed.sender_sender_distance(a, b);
                 let walls = Testbed::walls_between(&testbed.senders[a], &testbed.senders[b]);
-                let shadow =
-                    model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
+                let shadow = model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
                 let p = model.rx_power_mw(d, shadow);
                 s2s_mw[a][b] = p;
                 s2s_mw[b][a] = p;
             }
         }
-        RadioEnv { testbed, model, s2r_mw, s2s_mw }
+        RadioEnv {
+            testbed,
+            model,
+            s2r_mw,
+            s2s_mw,
+        }
     }
 
     /// Clean-channel SNR (linear) of link `s → r`.
@@ -225,8 +228,9 @@ pub fn generate_timeline(env: &RadioEnv, cfg: &SimConfig) -> Vec<Transmission> {
 
     // Payload rate excludes frame overhead: offered load counts payload
     // bytes, as the paper's per-node rates do.
-    let mut arrivals: Vec<PoissonArrivals> =
-        (0..ns).map(|_| PoissonArrivals::new(cfg.load_kbps, cfg.body_bytes, &mut rng)).collect();
+    let mut arrivals: Vec<PoissonArrivals> = (0..ns)
+        .map(|_| PoissonArrivals::new(cfg.load_kbps, cfg.body_bytes, &mut rng))
+        .collect();
     let mut backlog = vec![0u32; ns];
     let mut attempt_scheduled = vec![false; ns];
     let mut next_free = vec![0u64; ns];
@@ -358,8 +362,7 @@ pub struct Reception {
 /// Deterministic known test pattern for (sender, seq), as the paper's
 /// known-payload method requires.
 pub fn payload_pattern(sender: usize, seq: u16, len: usize) -> Vec<u8> {
-    let mut rng =
-        StdRng::seed_from_u64(0x7EA7_0000 ^ ((sender as u64) << 32) ^ seq as u64);
+    let mut rng = StdRng::seed_from_u64(0x7EA7_0000 ^ ((sender as u64) << 32) ^ seq as u64);
     (0..len).map(|_| rng.gen()).collect()
 }
 
@@ -408,8 +411,7 @@ pub fn process_receptions(
 
             let payload = payload_pattern(tx.sender, tx.seq, payload_len);
             let body = build_body_padded(&arm.scheme, &payload, cfg.body_bytes);
-            let frame =
-                Frame::new(r as u16, tx.sender as u16, tx.seq, body.clone());
+            let frame = Frame::new(r as u16, tx.sender as u16, tx.seq, body.clone());
             let chips = frame.chips();
 
             // Interference profile over this frame at this receiver.
@@ -448,8 +450,7 @@ pub fn process_receptions(
                     if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
                         let tx_symbols = bytes_to_symbols(&body);
                         let body_range = g.body();
-                        let rx_syms =
-                            &rx.link_symbols[body_range.start * 2..body_range.end * 2];
+                        let rx_syms = &rx.link_symbols[body_range.start * 2..body_range.end * 2];
                         rec.symbol_correct = rx_syms
                             .iter()
                             .zip(&tx_symbols)
@@ -511,7 +512,11 @@ mod tests {
         assert!(!timeline.is_empty());
         let mut last_end: Vec<u64> = vec![0; env.testbed.senders.len()];
         for tx in &timeline {
-            assert!(tx.start_chip >= last_end[tx.sender], "sender {} overlaps itself", tx.sender);
+            assert!(
+                tx.start_chip >= last_end[tx.sender],
+                "sender {} overlaps itself",
+                tx.sender
+            );
             last_end[tx.sender] = tx.end_chip();
         }
     }
@@ -551,7 +556,11 @@ mod tests {
     #[test]
     fn receptions_deliver_on_clean_links() {
         let env = RadioEnv::new(1);
-        let cfg = SimConfig { load_kbps: 3.5, duration_s: 6.0, ..tiny_cfg() };
+        let cfg = SimConfig {
+            load_kbps: 3.5,
+            duration_s: 6.0,
+            ..tiny_cfg()
+        };
         let timeline = generate_timeline(&env, &cfg);
         let arm = RxArm {
             scheme: DeliveryScheme::PacketCrc,
@@ -562,7 +571,11 @@ mod tests {
         assert!(!recs.is_empty());
         // At light load the strongest links deliver complete packets.
         let full = recs.iter().filter(|r| r.crc_ok).count();
-        assert!(full > 0, "no packet ever delivered over {} receptions", recs.len());
+        assert!(
+            full > 0,
+            "no packet ever delivered over {} receptions",
+            recs.len()
+        );
         // Delivered-correct never exceeds the payload.
         for r in &recs {
             assert!(r.delivered_correct <= r.payload_len);

@@ -80,17 +80,21 @@ impl FastRx {
         receiver_idle: bool,
     ) -> (Acquisition, Option<RxFrame>) {
         let pre_off = Self::preamble_pattern_offset();
-        let preamble_ok = receiver_idle
-            && self.preamble.distance_at(corrupted_chips, pre_off) <= self.threshold;
+        let preamble_ok =
+            receiver_idle && self.preamble.distance_at(corrupted_chips, pre_off) <= self.threshold;
         if preamble_ok {
             let data_start = (pre_off + self.preamble.len_chips()) as i64;
-            let rx = self.receiver.decode_from_preamble(corrupted_chips, data_start);
+            let rx = self
+                .receiver
+                .decode_from_preamble(corrupted_chips, data_start);
             return (Acquisition::Preamble, Some(rx));
         }
         if self.postamble_decoding {
             let post_off = Self::postamble_pattern_offset(frame.chips_len());
             if self.postamble.distance_at(corrupted_chips, post_off) <= self.threshold {
-                if let Some(rx) = self.receiver.decode_from_postamble(corrupted_chips, post_off)
+                if let Some(rx) = self
+                    .receiver
+                    .decode_from_postamble(corrupted_chips, post_off)
                 {
                     return (Acquisition::Postamble, Some(rx));
                 }
@@ -169,7 +173,10 @@ mod tests {
         let chips = frame.chips();
         let pre = SyncPattern::preamble();
         let post = SyncPattern::postamble();
-        assert_eq!(pre.distance_at(&chips, FastRx::preamble_pattern_offset()), 0);
+        assert_eq!(
+            pre.distance_at(&chips, FastRx::preamble_pattern_offset()),
+            0
+        );
         assert_eq!(
             post.distance_at(&chips, FastRx::postamble_pattern_offset(chips.len())),
             0

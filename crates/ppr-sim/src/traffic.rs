@@ -38,7 +38,10 @@ impl PoissonArrivals {
         let gap_s = bits / (load_kbps * 1000.0);
         let mean_gap_chips = gap_s * CHIP_RATE_HZ as f64;
         let first = (rng.gen::<f64>() * mean_gap_chips) as u64;
-        PoissonArrivals { mean_gap_chips, next: first }
+        PoissonArrivals {
+            mean_gap_chips,
+            next: first,
+        }
     }
 
     /// Time of the next arrival, chips.
@@ -82,7 +85,10 @@ mod tests {
         }
         let expected = 2000.0 / (1500.0 * 8.0 / 3500.0);
         let ratio = count as f64 / expected;
-        assert!((ratio - 1.0).abs() < 0.1, "count {count} expected {expected}");
+        assert!(
+            (ratio - 1.0).abs() < 0.1,
+            "count {count} expected {expected}"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ fn main() {
     let collider_start = (victim_chips.len() as f64 * 0.45) as usize;
 
     let txs = vec![
-        WaveformTx { chips: victim_chips.clone(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
+        WaveformTx {
+            chips: victim_chips.clone(),
+            start_sample: 0,
+            power_mw: 1.0,
+            phase: 0.0,
+        },
         WaveformTx {
             chips: collider.chips(),
             start_sample: collider_start * sps,
@@ -40,21 +45,37 @@ fn main() {
             phase: 0.1,
         },
         // The jammer burst covers the victim's preamble.
-        WaveformTx { chips: jammer.chips(), start_sample: 0, power_mw: 2.0, phase: 0.2 },
+        WaveformTx {
+            chips: jammer.chips(),
+            start_sample: 0,
+            power_mw: 2.0,
+            phase: 0.2,
+        },
     ];
     let duration = (victim_chips.len() + 100) * sps;
     let samples = render(&modem, &txs, duration, 0.02, &mut rng);
-    println!("rendered {} complex samples ({} transmissions superposed + AWGN)",
-        samples.len(), txs.len());
+    println!(
+        "rendered {} complex samples ({} transmissions superposed + AWGN)",
+        samples.len(),
+        txs.len()
+    );
 
     // Demodulate the continuous capture and run both receiver arms.
     let chips = modem.demodulate_hard(&samples, 0, samples.len() / sps, true);
 
     for postamble in [false, true] {
-        let receiver = FrameReceiver::new(RxConfig { postamble_decoding: postamble, max_body_len: 2048 });
+        let receiver = FrameReceiver::new(RxConfig {
+            postamble_decoding: postamble,
+            max_body_len: 2048,
+        });
         let frames = receiver.receive(&chips);
-        let victim_rx = frames.iter().find(|f| f.header.map(|h| h.src == 10).unwrap_or(false));
-        println!("\n--- postamble decoding {} ---", if postamble { "ON" } else { "OFF" });
+        let victim_rx = frames
+            .iter()
+            .find(|f| f.header.map(|h| h.src == 10).unwrap_or(false));
+        println!(
+            "\n--- postamble decoding {} ---",
+            if postamble { "ON" } else { "OFF" }
+        );
         match victim_rx {
             None => println!("victim packet: NOT RECOVERED (preamble was destroyed)"),
             Some(f) => {
@@ -62,8 +83,12 @@ fn main() {
                 let good = hints.iter().filter(|&&h| h <= 6).count();
                 println!("victim packet: recovered via {:?}", f.sync);
                 assert_eq!(f.sync, SyncKind::Postamble);
-                println!("  {} of {} body bytes labeled good; CRC ok: {}",
-                    good, hints.len(), f.pkt_crc_ok());
+                println!(
+                    "  {} of {} body bytes labeled good; CRC ok: {}",
+                    good,
+                    hints.len(),
+                    f.pkt_crc_ok()
+                );
                 let body = f.body_bytes().unwrap();
                 let truth: Vec<u8> = (0..200u32).map(|i| (i * 13) as u8).collect();
                 let good_and_correct = body
@@ -76,9 +101,15 @@ fn main() {
             }
         }
         // The strong collider is received either way.
-        let collider_rx = frames.iter().find(|f| f.header.map(|h| h.src == 11).unwrap_or(false));
+        let collider_rx = frames
+            .iter()
+            .find(|f| f.header.map(|h| h.src == 11).unwrap_or(false));
         match collider_rx {
-            Some(f) => println!("collider packet: received via {:?}, CRC ok: {}", f.sync, f.pkt_crc_ok()),
+            Some(f) => println!(
+                "collider packet: received via {:?}, CRC ok: {}",
+                f.sync,
+                f.pkt_crc_ok()
+            ),
             None => println!("collider packet: lost"),
         }
     }

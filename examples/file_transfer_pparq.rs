@@ -22,8 +22,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let file: Vec<u8> = (0..file_len).map(|_| rng.gen()).collect();
     let packets: Vec<&[u8]> = file.chunks(packet_bytes).collect();
-    println!("transferring {} bytes as {} packets of {} B over a marginal bursty link\n",
-        file_len, packets.len(), packet_bytes);
+    println!(
+        "transferring {} bytes as {} packets of {} B over a marginal bursty link\n",
+        file_len,
+        packets.len(),
+        packet_bytes
+    );
 
     // --- PP-ARQ ---
     let mut channel = RadioLinkChannel::marginal(42);
@@ -44,9 +48,15 @@ fn main() {
     }
     println!("PP-ARQ:");
     println!("  packets recovered:   {recovered}/{}", packets.len());
-    println!("  sender airtime:      {sender_bytes} bytes ({} retransmissions)", retx_count);
+    println!(
+        "  sender airtime:      {sender_bytes} bytes ({} retransmissions)",
+        retx_count
+    );
     println!("  feedback airtime:    {feedback_bytes} bytes");
-    println!("  mean rounds/packet:  {:.2}", rounds as f64 / packets.len() as f64);
+    println!(
+        "  mean rounds/packet:  {:.2}",
+        rounds as f64 / packets.len() as f64
+    );
     let pparq_total = sender_bytes;
 
     // --- Status quo: resend the whole packet until its CRC passes ---

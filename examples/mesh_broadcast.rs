@@ -26,12 +26,28 @@ fn main() {
     );
 
     for (label, scheme, postamble) in [
-        ("status quo: packet CRC, no postamble", DeliveryScheme::PacketCrc, false),
+        (
+            "status quo: packet CRC, no postamble",
+            DeliveryScheme::PacketCrc,
+            false,
+        ),
         ("packet CRC + postamble", DeliveryScheme::PacketCrc, true),
-        ("PPR (eta=6), no postamble", DeliveryScheme::Ppr { eta: 6 }, false),
-        ("PPR (eta=6) + postamble", DeliveryScheme::Ppr { eta: 6 }, true),
+        (
+            "PPR (eta=6), no postamble",
+            DeliveryScheme::Ppr { eta: 6 },
+            false,
+        ),
+        (
+            "PPR (eta=6) + postamble",
+            DeliveryScheme::Ppr { eta: 6 },
+            true,
+        ),
     ] {
-        let arm = RxArm { scheme, postamble, collect_symbols: false };
+        let arm = RxArm {
+            scheme,
+            postamble,
+            collect_symbols: false,
+        };
         let recs = run.receptions(&arm);
         let cdf = fdr_cdf(&run.env, &recs, run.cfg.body_bytes);
         let stats = per_link_stats(&run.env, &recs);

@@ -23,10 +23,19 @@ fn main() {
     // 1. A 200-byte payload framed for the air: preamble · header ·
     //    body · CRC-32 · trailer · postamble.
     let payload: Vec<u8> = (0..200u32).map(|i| (i * 37 + 11) as u8).collect();
-    let frame = Frame::new(/*dst*/ 1, /*src*/ 2, /*seq*/ 0, payload.clone());
+    let frame = Frame::new(
+        /*dst*/ 1,
+        /*src*/ 2,
+        /*seq*/ 0,
+        payload.clone(),
+    );
     let mut chips = frame.chips();
-    println!("frame: {} link bytes -> {} chips ({} us airtime)",
-        frame.link_bytes().len(), chips.len(), frame.airtime_us());
+    println!(
+        "frame: {} link bytes -> {} chips ({} us airtime)",
+        frame.link_bytes().len(),
+        chips.len(),
+        frame.airtime_us()
+    );
 
     // 2. A collision wipes out ~25% of the frame mid-flight.
     let burst_start = chips.len() / 2;
@@ -34,20 +43,33 @@ fn main() {
     for c in chips[burst_start..burst_start + burst_len].iter_mut() {
         *c = rng.gen();
     }
-    println!("collision: randomized chips {burst_start}..{}", burst_start + burst_len);
+    println!(
+        "collision: randomized chips {burst_start}..{}",
+        burst_start + burst_len
+    );
 
     // 3. Receive. The Hamming-distance SoftPHY hints light up over the
     //    burst and stay near zero elsewhere.
     let frames = FrameReceiver::default().receive(&chips);
     let rx = &frames[0];
-    println!("\nsync: {:?}, header: {:?}, packet CRC ok: {}",
-        rx.sync, rx.header, rx.pkt_crc_ok());
+    println!(
+        "\nsync: {:?}, header: {:?}, packet CRC ok: {}",
+        rx.sync,
+        rx.header,
+        rx.pkt_crc_ok()
+    );
     let hints = rx.body_byte_hints().expect("geometry known");
     let bad: usize = hints.iter().filter(|&&h| h > 6).count();
-    println!("SoftPHY: {bad} of {} body bytes labeled bad (eta = 6)", hints.len());
+    println!(
+        "SoftPHY: {bad} of {} body bytes labeled bad (eta = 6)",
+        hints.len()
+    );
 
     // 4. What does each scheme deliver from this single reception?
-    println!("\nscheme comparison (correct bytes delivered of {}):", payload.len());
+    println!(
+        "\nscheme comparison (correct bytes delivered of {}):",
+        payload.len()
+    );
     for scheme in [
         DeliveryScheme::PacketCrc,
         DeliveryScheme::FragmentedCrc { frag_payload: 50 },
@@ -73,12 +95,18 @@ fn main() {
 
     // 5. PP-ARQ plans the cheapest retransmission request from the
     //    hints: one chunk covering the burst, not the whole packet.
-    let plan = PpArq::new(PpArqConfig::default())
-        .plan_feedback(&PacketHints::from_raw(&hints, 6));
-    println!("\nPP-ARQ plan: {} chunk(s), {:.0} feedback bits, {} bytes re-requested",
-        plan.chunks.len(), plan.cost_bits, plan.requested_units());
+    let plan = PpArq::new(PpArqConfig::default()).plan_feedback(&PacketHints::from_raw(&hints, 6));
+    println!(
+        "\nPP-ARQ plan: {} chunk(s), {:.0} feedback bits, {} bytes re-requested",
+        plan.chunks.len(),
+        plan.cost_bits,
+        plan.requested_units()
+    );
     for c in &plan.chunks {
         println!("  re-send bytes {}..{}", c.start, c.end);
     }
-    println!("(a whole-packet retransmit would resend {} bytes)", payload.len());
+    println!(
+        "(a whole-packet retransmit would resend {} bytes)",
+        payload.len()
+    );
 }

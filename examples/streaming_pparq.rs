@@ -45,11 +45,17 @@ fn main() {
     let n_packets = 24;
     let packet_len = 250;
     let payloads: Vec<Vec<u8>> = (0..n_packets)
-        .map(|i| (0..packet_len).map(|j| ((i * 251 + j * 13) % 256) as u8).collect())
+        .map(|i| {
+            (0..packet_len)
+                .map(|j| ((i * 251 + j * 13) % 256) as u8)
+                .collect()
+        })
         .collect();
 
     // Streaming: window of 6, bursts concatenated.
-    let mut ch = ByteBursty { rng: StdRng::seed_from_u64(1) };
+    let mut ch = ByteBursty {
+        rng: StdRng::seed_from_u64(1),
+    };
     let stream = run_stream_session(&payloads, 6, PpArqConfig::default(), &mut ch, 200);
     println!("streaming PP-ARQ (window 6):");
     println!("  delivered:      {}/{n_packets}", stream.completed.len());
@@ -63,7 +69,9 @@ fn main() {
     }
 
     // Lockstep: one session per packet over the same channel statistics.
-    let mut ch = ByteBursty { rng: StdRng::seed_from_u64(1) };
+    let mut ch = ByteBursty {
+        rng: StdRng::seed_from_u64(1),
+    };
     let mut exchanges = 0usize;
     let mut forward = 0usize;
     let mut reverse = 0usize;

@@ -32,14 +32,14 @@ fn chip_error_rate_parity() {
         let noise_mw = SPS as f64 / snr;
         let samples = render_single(&modem, &chips, 1.0, noise_mw, &mut rng);
         let rx_dsp = modem.demodulate_hard(&samples, 0, chips.len(), true);
-        let p_dsp = rx_dsp.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64
-            / n_chips as f64;
+        let p_dsp =
+            rx_dsp.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64 / n_chips as f64;
 
         // Fast backend.
         let profile = ErrorProfile::uniform(n_chips as u64, p_analytic);
         let rx_fast = corrupt_chips(&chips, &profile, &mut rng);
-        let p_fast = rx_fast.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64
-            / n_chips as f64;
+        let p_fast =
+            rx_fast.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64 / n_chips as f64;
 
         let tol = 0.15 * p_analytic + 0.0015;
         assert!(
@@ -108,8 +108,8 @@ fn decode_stats(rx_chips: &[bool], tx_symbols: &[u8]) -> (f64, f64) {
         .zip(tx_symbols)
         .filter(|(d, &t)| d.symbol != t)
         .count();
-    let mean_hint = decisions.iter().map(|d| d.distance as f64).sum::<f64>()
-        / decisions.len() as f64;
+    let mean_hint =
+        decisions.iter().map(|d| d.distance as f64).sum::<f64>() / decisions.len() as f64;
     (errors as f64 / decisions.len() as f64, mean_hint)
 }
 

@@ -49,8 +49,7 @@ fn partial_recovery_over_a_collision() {
 
     // PP-ARQ plans a compact retransmission covering the burst.
     let hints = rx.body_byte_hints().unwrap();
-    let plan = PpArq::new(PpArqConfig::default())
-        .plan_feedback(&PacketHints::from_raw(&hints, 6));
+    let plan = PpArq::new(PpArqConfig::default()).plan_feedback(&PacketHints::from_raw(&hints, 6));
     assert!(!plan.chunks.is_empty());
     let requested = plan.requested_units();
     assert!(
@@ -66,7 +65,10 @@ fn partial_recovery_over_a_collision() {
             uncovered_wrong += 1;
         }
     }
-    assert_eq!(uncovered_wrong, 0, "bad-labeled wrong bytes must be requested");
+    assert_eq!(
+        uncovered_wrong, 0,
+        "bad-labeled wrong bytes must be requested"
+    );
 }
 
 /// The full lockstep protocol over the chip-level radio channel
@@ -103,13 +105,20 @@ fn postamble_rollback_feeds_pparq() {
     assert_eq!(frames.len(), 1);
     let rx = &frames[0];
     assert_eq!(rx.sync, ppr::phy::SyncKind::Postamble);
-    assert_eq!(rx.header, Some(frame.header), "trailer must supply geometry");
+    assert_eq!(
+        rx.header,
+        Some(frame.header),
+        "trailer must supply geometry"
+    );
 
     let hints = rx.body_byte_hints().unwrap();
-    let plan = PpArq::new(PpArqConfig::default())
-        .plan_feedback(&PacketHints::from_raw(&hints, 6));
+    let plan = PpArq::new(PpArqConfig::default()).plan_feedback(&PacketHints::from_raw(&hints, 6));
     // The destroyed head must be requested; the intact tail must not.
     assert!(plan.chunks.iter().any(|c| c.covers(0) || c.start < 40));
     let tail_requested = plan.chunks.iter().any(|c| c.covers(140));
-    assert!(!tail_requested, "intact tail was re-requested: {:?}", plan.chunks);
+    assert!(
+        !tail_requested,
+        "intact tail was re-requested: {:?}",
+        plan.chunks
+    );
 }

@@ -1,10 +1,10 @@
 //! The simulator's known-offset fast receive path must agree with the
 //! faithful sliding-correlator pipeline on identical corrupted captures.
 
+use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr::mac::frame::Frame;
 use ppr::mac::rx::FrameReceiver;
 use ppr::sim::rxpath::{Acquisition, FastRx};
-use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,10 @@ fn compare_on(profile_pieces: Vec<(u64, u64, f64)>, seed: u64) {
     match (acq, slow) {
         (Acquisition::None, None) => {}
         (Acquisition::None, Some(f)) => {
-            panic!("slow path decoded ({:?}) where fast path lost the frame", f.sync);
+            panic!(
+                "slow path decoded ({:?}) where fast path lost the frame",
+                f.sync
+            );
         }
         (_, None) => {
             let fast_rx = fast_rx.unwrap();
@@ -67,7 +70,10 @@ fn parity_on_light_noise() {
 
 #[test]
 fn parity_on_mid_frame_burst() {
-    compare_on(vec![(0, 5000, 1e-4), (5000, 9000, 0.45), (9000, u64::MAX, 1e-4)], 3);
+    compare_on(
+        vec![(0, 5000, 1e-4), (5000, 9000, 0.45), (9000, u64::MAX, 1e-4)],
+        3,
+    );
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Property-based tests (proptest) for the core data structures and
 //! invariants.
 
+use ppr::core::arq::{RetxPacket, Segment};
 use ppr::core::dp::{plan_chunks, plan_chunks_brute, CostModel};
 use ppr::core::feedback::{complement_ranges, Feedback};
 use ppr::core::runs::{RunLengths, UnitRange};
-use ppr::core::arq::{RetxPacket, Segment};
 use ppr::mac::crc::{append_crc32, crc16, crc32, verify_crc32_trailer};
 use ppr::phy::spread::{bytes_to_symbols, despread_hard, spread, symbols_to_bytes};
 use proptest::prelude::*;
@@ -104,12 +104,14 @@ proptest! {
         // Complement geometry tiles the packet with the chunks.
         let mut covered = vec![false; len];
         for c in &fb.chunks {
-            for i in c.start..c.end { covered[i] = true; }
+            for v in &mut covered[c.start..c.end] {
+                *v = true;
+            }
         }
         for r in complement_ranges(len, &fb.chunks) {
-            for i in r.start..r.end {
-                prop_assert!(!covered[i]);
-                covered[i] = true;
+            for v in &mut covered[r.start..r.end] {
+                prop_assert!(!*v);
+                *v = true;
             }
         }
         prop_assert!(covered.iter().all(|&c| c));

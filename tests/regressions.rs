@@ -62,8 +62,18 @@ fn same_start_frames_are_not_deduplicated() {
     let modem = MskModem::new(4);
     let mut rng = StdRng::seed_from_u64(3);
     let txs = vec![
-        WaveformTx { chips: long.chips(), start_sample: 0, power_mw: 1.0, phase: 0.0 },
-        WaveformTx { chips: short.chips(), start_sample: 0, power_mw: 6.0, phase: 0.1 },
+        WaveformTx {
+            chips: long.chips(),
+            start_sample: 0,
+            power_mw: 1.0,
+            phase: 0.0,
+        },
+        WaveformTx {
+            chips: short.chips(),
+            start_sample: 0,
+            power_mw: 6.0,
+            phase: 0.1,
+        },
     ];
     let duration = (long.chips().len() + 64) * 4;
     let samples = render(&modem, &txs, duration, 0.01, &mut rng);
@@ -72,8 +82,12 @@ fn same_start_frames_are_not_deduplicated() {
     // The strong short frame wins the preamble; the long frame's tail
     // (clean after the short one ends) must still be recovered via its
     // postamble as a distinct frame.
-    let short_rx = frames.iter().find(|f| f.header.map(|h| h.src == 12).unwrap_or(false));
-    let long_rx = frames.iter().find(|f| f.header.map(|h| h.src == 10).unwrap_or(false));
+    let short_rx = frames
+        .iter()
+        .find(|f| f.header.map(|h| h.src == 12).unwrap_or(false));
+    let long_rx = frames
+        .iter()
+        .find(|f| f.header.map(|h| h.src == 10).unwrap_or(false));
     assert!(short_rx.is_some(), "strong frame lost");
     let long_rx = long_rx.expect("long frame must be recovered via postamble");
     assert_eq!(long_rx.sync, SyncKind::Postamble);
