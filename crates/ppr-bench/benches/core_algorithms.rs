@@ -70,6 +70,50 @@ fn bench_chip_channel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Packed (`ChipWords`) vs reference (`Vec<bool>`) chip pipeline at
+/// L ∈ {1k, 10k, 100k} chips: corruption in the sparse and jammed
+/// regimes, and full-stream despreading.
+fn bench_packed_vs_bool(c: &mut Criterion) {
+    use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+    use ppr_phy::chips::ChipWords;
+    use ppr_phy::frame_rx::ChipReceiver;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    for l in [1_000usize, 10_000, 100_000] {
+        let chips: Vec<bool> = (0..l).map(|_| rng.gen()).collect();
+        let packed = ChipWords::from_bools(&chips);
+        let mut group = c.benchmark_group(format!("packed_vs_bool_{l}"));
+        for (regime, p) in [
+            ("sparse_0.01", 0.01),
+            ("collision_0.2", 0.2),
+            ("jammed_0.5", 0.5),
+        ] {
+            let profile = ErrorProfile::uniform(l as u64, p);
+            group.bench_function(format!("corrupt_bool_{regime}"), |b| {
+                b.iter(|| corrupt_chips(black_box(&chips), black_box(&profile), &mut rng))
+            });
+            group.bench_function(format!("corrupt_packed_{regime}"), |b| {
+                b.iter(|| corrupt_chip_words(black_box(&packed), black_box(&profile), &mut rng))
+            });
+        }
+        let rx = ChipReceiver::default();
+        let n_symbols = l / 32;
+        group.bench_function("despread_bool", |b| {
+            b.iter(|| rx.despread(black_box(&chips), 0, n_symbols))
+        });
+        group.bench_function("despread_packed", |b| {
+            b.iter(|| rx.despread_words(black_box(&packed), 0, n_symbols))
+        });
+        group.finish();
+    }
+    // Frame rendering at a representative body size.
+    let frame = ppr_mac::frame::Frame::new(1, 2, 3, vec![0xA7; 1500]);
+    c.bench_function("frame_chips_bool_1500B", |b| b.iter(|| frame.chips()));
+    c.bench_function("frame_chips_packed_1500B", |b| {
+        b.iter(|| frame.chip_words())
+    });
+}
+
 fn bench_feedback_codec(c: &mut Criterion) {
     let bytes = vec![0xA5u8; 1500];
     let chunks: Vec<UnitRange> = (0..12)
@@ -113,6 +157,7 @@ criterion_group!(
     bench_chunking_dp,
     bench_despreading,
     bench_chip_channel,
+    bench_packed_vs_bool,
     bench_feedback_codec,
     bench_pparq_session,
     bench_modem,

@@ -1,0 +1,110 @@
+//! Quick-bench snapshot of the packed chip pipeline: times the
+//! packed-vs-bool stages at L ∈ {1k, 10k, 100k} chips plus a small
+//! end-to-end reception run, and writes `BENCH_packed.json` so CI can
+//! archive the perf trajectory from PR 2 onward.
+//!
+//! Timings are coarse (tens of milliseconds per entry) on purpose — this
+//! is a smoke-level trend tracker, not a statistics engine; use
+//! `cargo bench -p ppr-bench` for interactive comparisons.
+
+use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr_mac::schemes::DeliveryScheme;
+use ppr_phy::chips::ChipWords;
+use ppr_phy::frame_rx::ChipReceiver;
+use ppr_sim::network::{generate_timeline, process_receptions, RadioEnv, RxArm, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Mean ns/iteration of `f`, measured over ~20 ms after one warm-up.
+fn time_ns<R>(mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let budget = std::time::Duration::from_millis(20);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    for l in [1_000usize, 10_000, 100_000] {
+        let chips: Vec<bool> = (0..l).map(|_| rng.gen()).collect();
+        let packed = ChipWords::from_bools(&chips);
+        for (regime, p) in [
+            ("sparse_0.01", 0.01),
+            ("collision_0.2", 0.2),
+            ("jammed_0.5", 0.5),
+        ] {
+            let profile = ErrorProfile::uniform(l as u64, p);
+            entries.push((
+                format!("corrupt_bool_{regime}_{l}"),
+                time_ns(|| corrupt_chips(&chips, &profile, &mut rng)),
+            ));
+            entries.push((
+                format!("corrupt_packed_{regime}_{l}"),
+                time_ns(|| corrupt_chip_words(&packed, &profile, &mut rng)),
+            ));
+        }
+        let rx = ChipReceiver::default();
+        entries.push((
+            format!("despread_bool_{l}"),
+            time_ns(|| rx.despread(&chips, 0, l / 32)),
+        ));
+        entries.push((
+            format!("despread_packed_{l}"),
+            time_ns(|| rx.despread_words(&packed, 0, l / 32)),
+        ));
+    }
+
+    let frame = ppr_mac::frame::Frame::new(1, 2, 3, vec![0xA7; 1500]);
+    entries.push(("frame_chips_bool_1500B".into(), time_ns(|| frame.chips())));
+    entries.push((
+        "frame_chips_packed_1500B".into(),
+        time_ns(|| frame.chip_words()),
+    ));
+
+    // Small end-to-end run through the parallel packed reception loop.
+    let env = RadioEnv::new(1);
+    let cfg = SimConfig {
+        load_kbps: 13.8,
+        body_bytes: 200,
+        carrier_sense: false,
+        duration_s: 2.0,
+        seed: 42,
+    };
+    let timeline = generate_timeline(&env, &cfg);
+    let arm = RxArm {
+        scheme: DeliveryScheme::Ppr { eta: 6 },
+        postamble: true,
+        collect_symbols: false,
+    };
+    let t = Instant::now();
+    let recs = process_receptions(&env, &cfg, &timeline, &arm);
+    entries.push((
+        "process_receptions_2s_ppr_ms".into(),
+        t.elapsed().as_secs_f64() * 1e3,
+    ));
+    entries.push(("process_receptions_2s_count".into(), recs.len() as f64));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"ppr-bench-packed/v1\",\n  \"threads\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    for (i, (name, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {v:.1}{sep}\n"));
+        println!("{name:<40} {v:>14.1}");
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_packed.json", &json).expect("write BENCH_packed.json");
+    println!("wrote BENCH_packed.json ({} entries)", entries.len());
+}

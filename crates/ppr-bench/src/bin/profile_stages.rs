@@ -1,15 +1,26 @@
-//! Finer-grained probe: times each stage of one reception evaluation.
+//! Finer-grained probe: times each stage of one reception evaluation,
+//! comparing the reference `&[bool]` chip pipeline against the packed
+//! `ChipWords` fast path (which is bit-identical; see
+//! `tests/packed_parity.rs`).
 
-use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
+use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
 use ppr_mac::frame::Frame;
 use ppr_mac::schemes::DeliveryScheme;
+use ppr_phy::chips::ChipWords;
 use ppr_sim::experiments::common::CapacityRun;
 use ppr_sim::network::{build_body_padded, payload_pattern};
 use ppr_sim::rxpath::FastRx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+#[derive(Default)]
+struct Stages {
+    chips: f64,
+    corrupt: f64,
+    rx: f64,
+}
 
 fn main() {
     let run = CapacityRun::new(13.8, false, 5.0);
@@ -30,15 +41,9 @@ fn main() {
         })
         .collect();
 
-    let (
-        mut t_pattern,
-        mut t_frame,
-        mut t_chips,
-        mut t_profile,
-        mut t_corrupt,
-        mut t_rx,
-        mut t_deliver,
-    ) = (0.0f64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut t_pattern, mut t_frame, mut t_profile, mut t_deliver) = (0.0f64, 0.0, 0.0, 0.0);
+    let mut reference = Stages::default();
+    let mut packed = Stages::default();
     let mut n = 0;
     for (i, tx) in run.timeline.iter().enumerate().take(60) {
         let signal = env.s2r_mw[tx.sender][r];
@@ -56,22 +61,40 @@ fn main() {
         t_frame += t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let chips = frame.chips();
-        t_chips += t.elapsed().as_secs_f64();
-
-        let t = Instant::now();
         let spans = interference_profile(&heard[i], &heard);
         let profile = ErrorProfile::from_interference(signal, noise, &spans);
         t_profile += t.elapsed().as_secs_f64();
 
+        // Reference path: Vec<bool> end to end.
+        let t = Instant::now();
+        let chips = frame.chips();
+        reference.chips += t.elapsed().as_secs_f64();
+
         let t = Instant::now();
         let mut rng = StdRng::seed_from_u64(tx.id);
         let corrupted = corrupt_chips(&chips, &profile, &mut rng);
-        t_corrupt += t.elapsed().as_secs_f64();
+        reference.corrupt += t.elapsed().as_secs_f64();
 
         let t = Instant::now();
         let (_acq, rx_frame) = fast.receive(&frame, &corrupted, true);
-        t_rx += t.elapsed().as_secs_f64();
+        reference.rx += t.elapsed().as_secs_f64();
+
+        // Packed path: ChipWords end to end (identical RNG stream).
+        let t = Instant::now();
+        let words = frame.chip_words();
+        packed.chips += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut rng = StdRng::seed_from_u64(tx.id);
+        let corrupted_words = corrupt_chip_words(&words, &profile, &mut rng);
+        packed.corrupt += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let (_acq_w, rx_frame_w) = fast.receive_words(&frame, &corrupted_words, true);
+        packed.rx += t.elapsed().as_secs_f64();
+
+        assert_eq!(corrupted_words, ChipWords::from_bools(&corrupted));
+        assert_eq!(rx_frame, rx_frame_w);
 
         let t = Instant::now();
         if let Some(rx) = rx_frame {
@@ -84,12 +107,33 @@ fn main() {
     for (name, v) in [
         ("payload_pattern", t_pattern),
         ("frame build", t_frame),
-        ("chips", t_chips),
         ("profile", t_profile),
-        ("corrupt", t_corrupt),
-        ("receive", t_rx),
         ("deliver+crc", t_deliver),
     ] {
         println!("  {name:<16} {:8.1}", v * 1000.0);
     }
+    println!("chip stages, reference (bool) vs packed (ChipWords):");
+    let mut total_ref = 0.0;
+    let mut total_packed = 0.0;
+    for (name, a, b) in [
+        ("chips", reference.chips, packed.chips),
+        ("corrupt", reference.corrupt, packed.corrupt),
+        ("receive", reference.rx, packed.rx),
+    ] {
+        println!(
+            "  {name:<16} {:8.1} → {:8.1}   ({:4.1}×)",
+            a * 1000.0,
+            b * 1000.0,
+            a / b.max(1e-12)
+        );
+        total_ref += a;
+        total_packed += b;
+    }
+    println!(
+        "  {:<16} {:8.1} → {:8.1}   ({:4.1}×)",
+        "TOTAL",
+        total_ref * 1000.0,
+        total_packed * 1000.0,
+        total_ref / total_packed.max(1e-12)
+    );
 }

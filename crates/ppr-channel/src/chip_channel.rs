@@ -13,6 +13,7 @@
 
 use crate::ber::{chip_error_prob, chip_error_prob_dominant, sinr};
 use crate::overlap::InterferenceSpan;
+use ppr_phy::chips::ChipWords;
 use rand::Rng;
 
 /// Per-chip error-probability profile of one packet at one receiver:
@@ -120,6 +121,20 @@ impl ErrorProfile {
 ///
 /// `chips.len()` may be shorter than the profile (truncated receptions);
 /// extra profile coverage is ignored.
+///
+/// This is the reference implementation; [`corrupt_chip_words`] is the
+/// packed fast path. Both consume the RNG under the **same draw
+/// contract** so their outputs are bit-identical for a given seed
+/// (pinned by `tests/packed_parity.rs`):
+///
+/// * spans clipped to nothing, or with `p < 1e-12`, draw nothing;
+/// * a jammed span (`p ≥ 0.5`) draws one `u64` per 64-aligned chip block
+///   it touches, in ascending block order, and chip `j` takes bit
+///   `j % 64` of its block's draw;
+/// * a collision-grade span (`BLOCK_FLIP_MIN_P ≤ p < 0.5`) draws one
+///   [`bernoulli_mask64`] flip mask per 64-aligned block it touches, in
+///   ascending block order;
+/// * a sparse span draws one `f64` per geometric skip.
 pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R) -> Vec<bool> {
     let mut out = chips.to_vec();
     for &(start, end, p) in profile.spans() {
@@ -132,33 +147,182 @@ pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R
         }
         let lo = start.min(out.len() as u64) as usize;
         let hi = end.min(out.len() as u64) as usize;
-        if p >= 0.5 {
-            // Fully jammed span: each chip is an independent coin flip.
-            for c in &mut out[lo..hi] {
-                *c = rng.gen();
-            }
+        if lo >= hi {
             continue;
         }
-        // Geometric skipping: jump straight to the next error instead of
-        // rolling a Bernoulli per chip. For good links (p ~ 1e-6) this is
-        // what makes minutes of simulated airtime cheap.
-        let q = (-p).ln_1p(); // ln(1 - p), accurate for small p
-                              // Start one position before the span so the first chip can err.
-        let mut idx = lo as f64 - 1.0;
-        loop {
-            let u: f64 = rng.gen();
-            if u <= f64::MIN_POSITIVE {
-                continue;
-            }
-            idx += (u.ln() / q).floor() + 1.0;
-            if idx >= hi as f64 {
-                break;
-            }
-            let i = idx as usize;
-            out[i] = !out[i];
+        if p >= 0.5 {
+            // Fully jammed span: each chip is an independent coin flip,
+            // 64 chips per RNG word as the draw contract specifies.
+            for_each_block(lo, hi, |_, block_lo, block_hi| {
+                let draw = rng.next_u64();
+                for (j, c) in out[block_lo..block_hi].iter_mut().enumerate() {
+                    *c = (draw >> ((block_lo + j) % 64)) & 1 == 1;
+                }
+            });
+            continue;
         }
+        if p >= BLOCK_FLIP_MIN_P {
+            // Collision-grade span: lane-parallel Bernoulli flip masks,
+            // ~7 RNG words per 64 chips instead of one log() per flip.
+            let p_bits = bernoulli_p_bits(p);
+            for_each_block(lo, hi, |_, block_lo, block_hi| {
+                let mask = bernoulli_mask64(p_bits, rng);
+                for (j, c) in out[block_lo..block_hi].iter_mut().enumerate() {
+                    if (mask >> ((block_lo + j) % 64)) & 1 == 1 {
+                        *c = !*c;
+                    }
+                }
+            });
+            continue;
+        }
+        // Sparse span: geometric skips.
+        for_each_geometric_flip(lo, hi, p, rng, |i| out[i] = !out[i]);
     }
     out
+}
+
+/// Packed fast path of [`corrupt_chips`]: identical chip flips for a
+/// given seed (the shared draw contract), but jammed spans overwrite
+/// whole 64-chip lanes with one RNG word, collision-grade spans XOR one
+/// flip mask per lane, and sparse spans toggle single bits — no per-chip
+/// `Vec<bool>` traffic.
+pub fn corrupt_chip_words<R: Rng>(
+    chips: &ChipWords,
+    profile: &ErrorProfile,
+    rng: &mut R,
+) -> ChipWords {
+    let mut out = chips.clone();
+    let len = out.len();
+    for &(start, end, p) in profile.spans() {
+        if p < 1e-12 {
+            continue;
+        }
+        let lo = start.min(len as u64) as usize;
+        let hi = end.min(len as u64) as usize;
+        if lo >= hi {
+            continue;
+        }
+        if p >= 0.5 {
+            // Jammed span: one RNG word per touched 64-chip lane.
+            for_each_block(lo, hi, |w, block_lo, block_hi| {
+                let draw = rng.next_u64();
+                out.apply_mask64(w, block_mask(w, block_lo, block_hi), draw);
+            });
+            continue;
+        }
+        if p >= BLOCK_FLIP_MIN_P {
+            // Collision-grade span: XOR one Bernoulli flip mask per lane.
+            let p_bits = bernoulli_p_bits(p);
+            for_each_block(lo, hi, |w, block_lo, block_hi| {
+                let flips = bernoulli_mask64(p_bits, rng) & block_mask(w, block_lo, block_hi);
+                out.xor_word(w, flips);
+            });
+            continue;
+        }
+        // Sparse span: geometric skips, bit toggles.
+        for_each_geometric_flip(lo, hi, p, rng, |i| out.toggle(i));
+    }
+    out
+}
+
+/// Geometric-skip sampler of the sparse regime: visits each flipped chip
+/// index of `[lo, hi)` under per-chip error probability `p`, jumping
+/// straight to the next error instead of rolling a Bernoulli per chip —
+/// for good links (p ~ 1e-6) this is what makes minutes of simulated
+/// airtime cheap. One `f64` draw per skip; single-sourced here so the
+/// reference and packed corruption paths cannot drift apart.
+fn for_each_geometric_flip<R: Rng>(
+    lo: usize,
+    hi: usize,
+    p: f64,
+    rng: &mut R,
+    mut flip: impl FnMut(usize),
+) {
+    let q = (-p).ln_1p(); // ln(1 - p), accurate for small p
+                          // Start one position before the span so the first chip can err.
+    let mut idx = lo as f64 - 1.0;
+    loop {
+        let u: f64 = rng.gen();
+        if u <= f64::MIN_POSITIVE {
+            continue;
+        }
+        idx += (u.ln() / q).floor() + 1.0;
+        if idx >= hi as f64 {
+            break;
+        }
+        flip(idx as usize);
+    }
+}
+
+/// Lower edge of the block-Bernoulli regime. Below this the expected
+/// flips per 64-chip block (< ~1.3) make the geometric sampler cheaper;
+/// above it the per-flip `ln()` of the geometric sampler loses to the
+/// ~7 expected RNG words of [`bernoulli_mask64`].
+const BLOCK_FLIP_MIN_P: f64 = 0.02;
+
+/// Binary expansion of a probability `p ∈ [0, 1)` as a 64-bit fraction
+/// (bit 63 = 1/2, bit 62 = 1/4, …), the fixed-point form
+/// [`bernoulli_mask64`] compares uniform bits against.
+fn bernoulli_p_bits(p: f64) -> u64 {
+    // 2^64 as f64; the product rounds to 53 significant bits, which is
+    // already f64's own precision for p.
+    (p * 18_446_744_073_709_551_616.0) as u64
+}
+
+/// Draws 64 independent Bernoulli(`p_bits`/2⁶⁴) lanes as a bit mask.
+///
+/// Each lane compares its own uniform bit stream against the binary
+/// expansion of p, most significant bit first; a lane is decided the
+/// first time its bit differs from p's. Expected RNG words consumed:
+/// ~7.3 (each word decides half the remaining lanes); worst case 64.
+/// Draw count is part of the shared corruption contract — both the
+/// reference and packed paths call exactly this function.
+fn bernoulli_mask64<R: Rng>(p_bits: u64, rng: &mut R) -> u64 {
+    let mut undecided = u64::MAX;
+    let mut mask = 0u64;
+    let mut j = 63u32;
+    loop {
+        let r = rng.next_u64();
+        if (p_bits >> j) & 1 == 1 {
+            // Lanes whose uniform bit is 0 here are < p: flip.
+            mask |= undecided & !r;
+            undecided &= r;
+        } else {
+            // Lanes whose uniform bit is 1 here are > p: no flip.
+            undecided &= !r;
+        }
+        if undecided == 0 || j == 0 {
+            break;
+        }
+        j -= 1;
+        // All remaining p bits zero: no lane can still go below p.
+        if p_bits & ((1u64 << j << 1) - 1) == 0 {
+            break;
+        }
+    }
+    mask
+}
+
+/// Visits each 64-aligned block of `[lo, hi)` in ascending order as
+/// `(word_idx, block_lo, block_hi)` with `block_lo..block_hi` the chip
+/// range of `[lo, hi)` inside that block.
+fn for_each_block(lo: usize, hi: usize, mut f: impl FnMut(usize, usize, usize)) {
+    let mut w = lo / 64;
+    while w * 64 < hi {
+        f(w, (w * 64).max(lo), (w * 64 + 64).min(hi));
+        w += 1;
+    }
+}
+
+/// Lane mask selecting chips `block_lo..block_hi` of word `w`.
+fn block_mask(w: usize, block_lo: usize, block_hi: usize) -> u64 {
+    let a = block_lo - w * 64;
+    let width = block_hi - block_lo;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << a
+    }
 }
 
 /// Counts chip errors per 32-chip codeword between a transmitted and a
@@ -284,6 +448,28 @@ mod tests {
             (mean - expect).abs() / expect < 0.05,
             "mean {mean} expect {expect}"
         );
+    }
+
+    #[test]
+    fn packed_corruption_is_bit_identical() {
+        // Spans exercising every regime: skipped, sparse, dense, and a
+        // span running past the truncated reception.
+        let profile = ErrorProfile::from_pieces(vec![
+            (0, 500, 0.0),
+            (500, 1500, 0.02),
+            (1500, 2500, 0.7),
+            (2500, 3000, 0.3),
+            (3000, 5000, 0.9),
+        ]);
+        let chips: Vec<bool> = (0..4000).map(|i| i % 5 == 0).collect();
+        let packed = ChipWords::from_bools(&chips);
+        for seed in 0..8 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let reference = corrupt_chips(&chips, &profile, &mut rng_a);
+            let fast = corrupt_chip_words(&packed, &profile, &mut rng_b);
+            assert_eq!(fast, ChipWords::from_bools(&reference), "seed {seed}");
+        }
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //! [`crate::schemes`]).
 
 use crate::crc::{crc16, crc32};
-use ppr_phy::chips::CHIPS_PER_SYMBOL;
+use ppr_phy::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use ppr_phy::spread::bytes_to_symbols;
-use ppr_phy::sync::{tx_postamble_chips, tx_preamble_chips};
+use ppr_phy::sync::{
+    tx_postamble_chips, tx_postamble_codewords, tx_preamble_chips, tx_preamble_codewords,
+};
 
 /// A link-layer address (16-bit short address, 802.15.4 style).
 pub type Addr = u16;
@@ -119,6 +121,9 @@ impl Frame {
 
     /// Chip-level rendering of the whole frame including preamble, SFD
     /// and postamble — what the radio emits.
+    ///
+    /// Reference (`Vec<bool>`) representation; the hot path uses
+    /// [`Self::chip_words`], which is bit-identical.
     pub fn chips(&self) -> Vec<bool> {
         let mut chips = tx_preamble_chips();
         chips.extend(ppr_phy::modem::unpack_chip_words(&ppr_phy::spread::spread(
@@ -126,6 +131,18 @@ impl Frame {
         )));
         chips.extend(tx_postamble_chips());
         chips
+    }
+
+    /// Packed chip-level rendering of the whole frame: identical chips to
+    /// [`Self::chips`], built straight from the 32-chip codewords into
+    /// 64-chip lanes without materialising one `bool` per chip.
+    pub fn chip_words(&self) -> ChipWords {
+        let mut words = ChipWords::from_codewords(&tx_preamble_codewords());
+        words.extend_codewords(&ppr_phy::spread::spread(&bytes_to_symbols(
+            &self.link_bytes(),
+        )));
+        words.extend_codewords(&tx_postamble_codewords());
+        words
     }
 
     /// Number of data symbols in the link-layer section (excluding
@@ -264,6 +281,18 @@ mod tests {
             let f = Frame::new(1, 2, 0, vec![0x5A; body_len]);
             assert_eq!(f.chips().len(), f.chips_len());
             assert_eq!(f.chips_len(), Frame::chips_len_for_body(body_len));
+        }
+    }
+
+    #[test]
+    fn packed_rendering_matches_reference() {
+        for body_len in [0usize, 1, 33, 200] {
+            let f = Frame::new(3, 9, 17, vec![0xC3; body_len]);
+            assert_eq!(
+                f.chip_words(),
+                ChipWords::from_bools(&f.chips()),
+                "body {body_len}"
+            );
         }
     }
 

@@ -13,7 +13,7 @@
 //! silently shortened.
 
 use crate::frame::{FrameGeometry, Header, HEADER_BYTES};
-use ppr_phy::chips::CHIPS_PER_SYMBOL;
+use ppr_phy::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use ppr_phy::frame_rx::ChipReceiver;
 use ppr_phy::softphy::{SoftSpan, SoftSymbol};
 use ppr_phy::sync::{SyncKind, POSTAMBLE_ZERO_SYMBOLS};
@@ -24,7 +24,7 @@ use ppr_phy::sync::{SyncKind, POSTAMBLE_ZERO_SYMBOLS};
 pub const HINT_NEVER_RECEIVED: u8 = 33;
 
 /// A frame reconstructed from one sync hit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RxFrame {
     /// How the receiver synchronized onto this frame.
     pub sync: SyncKind,
@@ -208,7 +208,60 @@ impl FrameReceiver {
     /// (and have verified delimiter integrity themselves) can skip the
     /// sliding sync scan.
     pub fn decode_from_preamble(&self, chips: &[bool], data_start: i64) -> RxFrame {
-        let header_span = despread_clamped(&self.chip_rx, chips, data_start, 2 * HEADER_BYTES);
+        self.preamble_frame(
+            chips.len(),
+            |off, n| self.chip_rx.despread(chips, off, n),
+            data_start,
+        )
+    }
+
+    /// Word-wise equivalent of [`Self::decode_from_preamble`] over a
+    /// packed chip stream; bit-identical output.
+    pub fn decode_from_preamble_words(&self, chips: &ChipWords, data_start: i64) -> RxFrame {
+        self.preamble_frame(
+            chips.len(),
+            |off, n| self.chip_rx.despread_words(chips, off, n),
+            data_start,
+        )
+    }
+
+    /// Postamble path (§4): decode the trailer just before the postamble,
+    /// verify it, then roll back the full frame length.
+    ///
+    /// `hit_offset` is the chip offset where the postamble *scan pattern*
+    /// matched (two zero symbols into the postamble). Public for the same
+    /// reason as [`Self::decode_from_preamble`].
+    pub fn decode_from_postamble(&self, chips: &[bool], hit_offset: usize) -> Option<RxFrame> {
+        self.postamble_frame(
+            chips.len(),
+            |off, n| self.chip_rx.despread(chips, off, n),
+            hit_offset,
+        )
+    }
+
+    /// Word-wise equivalent of [`Self::decode_from_postamble`] over a
+    /// packed chip stream; bit-identical output.
+    pub fn decode_from_postamble_words(
+        &self,
+        chips: &ChipWords,
+        hit_offset: usize,
+    ) -> Option<RxFrame> {
+        self.postamble_frame(
+            chips.len(),
+            |off, n| self.chip_rx.despread_words(chips, off, n),
+            hit_offset,
+        )
+    }
+
+    /// Shared preamble-path logic over any chip-stream representation:
+    /// `despread(chip_offset, n_symbols)` supplies the symbols.
+    fn preamble_frame(
+        &self,
+        stream_len: usize,
+        despread: impl Fn(usize, usize) -> SoftSpan,
+        data_start: i64,
+    ) -> RxFrame {
+        let header_span = despread_clamped(stream_len, &despread, data_start, 2 * HEADER_BYTES);
         let header_bytes = SoftSpan {
             symbols: header_span.clone(),
         }
@@ -219,7 +272,7 @@ impl FrameReceiver {
         let link_symbols = match header {
             Some(h) => {
                 let g = FrameGeometry::for_body(h.len as usize);
-                despread_clamped(&self.chip_rx, chips, data_start, 2 * g.total())
+                despread_clamped(stream_len, &despread, data_start, 2 * g.total())
             }
             None => Vec::new(),
         };
@@ -231,19 +284,19 @@ impl FrameReceiver {
         }
     }
 
-    /// Postamble path (§4): decode the trailer just before the postamble,
-    /// verify it, then roll back the full frame length.
-    ///
-    /// `hit_offset` is the chip offset where the postamble *scan pattern*
-    /// matched (two zero symbols into the postamble). Public for the same
-    /// reason as [`Self::decode_from_preamble`].
-    pub fn decode_from_postamble(&self, chips: &[bool], hit_offset: usize) -> Option<RxFrame> {
+    /// Shared postamble-path logic over any chip-stream representation.
+    fn postamble_frame(
+        &self,
+        stream_len: usize,
+        despread: impl Fn(usize, usize) -> SoftSpan,
+        hit_offset: usize,
+    ) -> Option<RxFrame> {
         // The scan pattern begins 2 zero-symbols into the postamble.
         let pattern_lead = (POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
         let postamble_start = hit_offset as i64 - pattern_lead as i64;
         let trailer_start = postamble_start - (2 * HEADER_BYTES * CHIPS_PER_SYMBOL) as i64;
 
-        let trailer_span = despread_clamped(&self.chip_rx, chips, trailer_start, 2 * HEADER_BYTES);
+        let trailer_span = despread_clamped(stream_len, &despread, trailer_start, 2 * HEADER_BYTES);
         let trailer_bytes = SoftSpan {
             symbols: trailer_span,
         }
@@ -253,7 +306,7 @@ impl FrameReceiver {
 
         let g = FrameGeometry::for_body(header.len as usize);
         let link_start = postamble_start - (2 * g.total() * CHIPS_PER_SYMBOL) as i64;
-        let link_symbols = despread_clamped(&self.chip_rx, chips, link_start, 2 * g.total());
+        let link_symbols = despread_clamped(stream_len, &despread, link_start, 2 * g.total());
         Some(RxFrame {
             sync: SyncKind::Postamble,
             header: Some(header),
@@ -268,8 +321,8 @@ impl FrameReceiver {
 /// [`HINT_NEVER_RECEIVED`] so the result always has exactly `n_symbols`
 /// entries.
 fn despread_clamped(
-    rx: &ChipReceiver,
-    chips: &[bool],
+    stream_len: usize,
+    despread: impl Fn(usize, usize) -> SoftSpan,
     chip_offset: i64,
     n_symbols: usize,
 ) -> Vec<SoftSymbol> {
@@ -291,8 +344,8 @@ fn despread_clamped(
 
     let start = chip_offset + (missing_lead * CHIPS_PER_SYMBOL) as i64;
     let remaining = n_symbols - missing_lead;
-    if remaining > 0 && (start as usize) < chips.len() {
-        let span = rx.despread(chips, start as usize, remaining);
+    if remaining > 0 && (start as usize) < stream_len {
+        let span = despread(start as usize, remaining);
         out.extend(span.symbols);
     }
     // Trailing symbols past the captured stream.
@@ -397,6 +450,41 @@ mod tests {
         assert!(hints.first().unwrap() == &HINT_NEVER_RECEIVED);
         assert_eq!(*hints.last().unwrap(), 0);
         assert!(!rx.pkt_crc_ok(), "missing head must fail whole-packet CRC");
+    }
+
+    #[test]
+    fn packed_decode_paths_match_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let frame = Frame::new(6, 2, 11, vec![0x3E; 90]);
+        let mut chips = clean_capture(&frame, &mut rng);
+        // Light corruption so hints vary.
+        for _ in 0..150 {
+            let i = rng.gen_range(0..chips.len());
+            chips[i] = !chips[i];
+        }
+        let packed = ChipWords::from_bools(&chips);
+        let rx = FrameReceiver::default();
+
+        let data_start = (400 + ppr_phy::sync::tx_preamble_chips().len()) as i64;
+        assert_eq!(
+            rx.decode_from_preamble(&chips, data_start),
+            rx.decode_from_preamble_words(&packed, data_start)
+        );
+        // Postamble pattern offset inside the capture.
+        let post_off = 400 + frame.chips_len() - ppr_phy::sync::tx_postamble_chips().len()
+            + (POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
+        assert_eq!(
+            rx.decode_from_postamble(&chips, post_off),
+            rx.decode_from_postamble_words(&packed, post_off)
+        );
+        // Truncated reception (frame runs off the end of the capture).
+        let cut = 400 + frame.chips_len() / 2;
+        let truncated = &chips[..cut];
+        let packed_truncated = ChipWords::from_bools(truncated);
+        assert_eq!(
+            rx.decode_from_preamble(truncated, data_start),
+            rx.decode_from_preamble_words(&packed_truncated, data_start)
+        );
     }
 
     #[test]

@@ -117,22 +117,33 @@ pub struct Decision {
 /// hardware correlator bank.
 #[inline]
 pub fn decide(received: u32) -> Decision {
-    let mut best = Decision {
-        symbol: 0,
-        distance: hamming(received, CODEBOOK[0]) as u8,
-    };
-    let mut s = 1;
-    while s < NUM_SYMBOLS {
-        let d = hamming(received, CODEBOOK[s]) as u8;
-        if d < best.distance {
-            best = Decision {
-                symbol: s as u8,
-                distance: d,
-            };
-        }
-        s += 1;
+    // Branchless min-fold over (distance, symbol) keys: the scan is the
+    // inner loop of despreading, and data-dependent early exits
+    // mispredict on exactly the noisy frames the simulator spends its
+    // time on. Packing the distance above the symbol index makes the
+    // numeric minimum select the smallest distance with ties broken
+    // toward the lowest symbol index — the deterministic hardware
+    // correlator bank's behavior. Four independent accumulator chains
+    // keep the fold from serializing on min latency.
+    //
+    // The unroll reads CODEBOOK[s..s+4] and the key packs the symbol
+    // into 4 bits; guard both against a future codebook reshape.
+    const _: () = assert!(NUM_SYMBOLS <= 16 && NUM_SYMBOLS.is_multiple_of(4));
+    let key = |s: u32| (hamming(received, CODEBOOK[s as usize]) << 4) | s;
+    let (mut a, mut b, mut c, mut d) = (u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+    let mut s = 0;
+    while s < NUM_SYMBOLS as u32 {
+        a = a.min(key(s));
+        b = b.min(key(s + 1));
+        c = c.min(key(s + 2));
+        d = d.min(key(s + 3));
+        s += 4;
     }
-    best
+    let best = a.min(b).min(c.min(d));
+    Decision {
+        symbol: (best & 0xF) as u8,
+        distance: (best >> 4) as u8,
+    }
 }
 
 /// Returns the codeword for a 4-bit data symbol.
@@ -162,6 +173,277 @@ pub fn min_codeword_distance() -> u32 {
 /// Iterator over the chips of a codeword, chip 0 first.
 pub fn chips_of(word: u32) -> impl Iterator<Item = bool> {
     (0..CHIPS_PER_SYMBOL).map(move |i| (word >> i) & 1 == 1)
+}
+
+/// A bit-packed chip stream: 64 chips per `u64` lane, chip `i` stored in
+/// bit `i % 64` of word `i / 64` (LSB-first, matching the codeword
+/// packing convention of [`CODEBOOK`]).
+///
+/// This is the hot-path representation of chip streams: spreading,
+/// corruption and despreading all operate word-wise (XOR + `count_ones`)
+/// instead of chip-by-chip over a `Vec<bool>`. The `&[bool]` API remains
+/// the reference implementation; `tests/packed_parity.rs` at the
+/// workspace root proves the two produce bit-identical results.
+///
+/// **Invariant**: bits at positions `>= len` in the last word are zero
+/// (the canonical form), so `PartialEq` and [`Self::count_ones`] work on
+/// raw words and [`Self::extract_u64`] zero-pads past the end for free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipWords {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ChipWords {
+    /// An empty chip stream.
+    pub fn new() -> Self {
+        ChipWords::default()
+    }
+
+    /// A stream of `len` zero chips.
+    pub fn zeros(len: usize) -> Self {
+        ChipWords {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Packs a `&[bool]` chip stream.
+    pub fn from_bools(chips: &[bool]) -> Self {
+        let mut words = vec![0u64; chips.len().div_ceil(64)];
+        for (i, &c) in chips.iter().enumerate() {
+            if c {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        ChipWords {
+            words,
+            len: chips.len(),
+        }
+    }
+
+    /// Packs a sequence of 32-chip codewords (chip 0 of each codeword in
+    /// its LSB), two codewords per `u64` lane.
+    pub fn from_codewords(codewords: &[u32]) -> Self {
+        let mut out = ChipWords::new();
+        out.extend_codewords(codewords);
+        out
+    }
+
+    /// Unpacks to the reference `Vec<bool>` representation.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of chips.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the stream holds no chips.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw 64-chip lanes (tail bits past `len` are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Chip `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "chip index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets chip `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, chip: bool) {
+        assert!(i < self.len, "chip index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if chip {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips chip `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < self.len, "chip index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Appends one chip.
+    pub fn push(&mut self, chip: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if chip {
+            self.words[self.len / 64] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends one 32-chip codeword.
+    pub fn push_codeword(&mut self, codeword: u32) {
+        let b = self.len % 64;
+        let v = codeword as u64;
+        if b == 0 {
+            self.words.push(v);
+        } else {
+            *self.words.last_mut().expect("len % 64 != 0 implies a word") |= v << b;
+            if b > 32 {
+                self.words.push(v >> (64 - b));
+            }
+        }
+        self.len += CHIPS_PER_SYMBOL;
+    }
+
+    /// Appends a sequence of 32-chip codewords.
+    pub fn extend_codewords(&mut self, codewords: &[u32]) {
+        self.words
+            .reserve(codewords.len().div_ceil(2).saturating_sub(1));
+        for &cw in codewords {
+            self.push_codeword(cw);
+        }
+    }
+
+    /// 64 chips starting at chip `offset`, zero-padded past the end.
+    #[inline]
+    pub fn extract_u64(&self, offset: usize) -> u64 {
+        let w = offset / 64;
+        let b = offset % 64;
+        let lo = self.words.get(w).copied().unwrap_or(0) >> b;
+        if b == 0 {
+            lo
+        } else {
+            lo | (self.words.get(w + 1).copied().unwrap_or(0) << (64 - b))
+        }
+    }
+
+    /// 32 chips (one codeword) starting at chip `offset`, zero-padded
+    /// past the end.
+    #[inline]
+    pub fn extract_u32(&self, offset: usize) -> u32 {
+        let w = offset / 64;
+        let b = offset % 64;
+        let lo = self.words.get(w).copied().unwrap_or(0) >> b;
+        if b <= 32 {
+            // The whole codeword lives in one lane (the codeword-aligned
+            // hot case: b is 0 or 32).
+            lo as u32
+        } else {
+            (lo | (self.words.get(w + 1).copied().unwrap_or(0) << (64 - b))) as u32
+        }
+    }
+
+    /// Total number of 1-chips.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another stream of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn hamming_to(&self, other: &ChipWords) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Shortens the stream to `len` chips (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.len = len;
+        self.words.truncate(len.div_ceil(64));
+        self.mask_tail();
+    }
+
+    /// Overwrites the chips of 64-chip lane `word_idx` selected by `mask`
+    /// with the corresponding bits of `bits`. Mask bits past the end of
+    /// the stream are ignored, preserving the canonical-tail invariant.
+    ///
+    /// This is the dense-corruption primitive: one RNG word replaces a
+    /// whole jammed 64-chip block.
+    ///
+    /// # Panics
+    /// Panics if `word_idx` is out of range.
+    #[inline]
+    pub fn apply_mask64(&mut self, word_idx: usize, mask: u64, bits: u64) {
+        let mask = mask & self.tail_mask(word_idx);
+        let w = &mut self.words[word_idx];
+        *w = (*w & !mask) | (bits & mask);
+    }
+
+    /// XORs a flip mask into 64-chip lane `word_idx`. Mask bits past the
+    /// end of the stream are ignored, preserving the canonical-tail
+    /// invariant.
+    ///
+    /// # Panics
+    /// Panics if `word_idx` is out of range.
+    #[inline]
+    pub fn xor_word(&mut self, word_idx: usize, flips: u64) {
+        self.words[word_idx] ^= flips & self.tail_mask(word_idx);
+    }
+
+    /// Iterator over chips, chip 0 first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Valid-bit mask of lane `word_idx` (all ones except past-`len`
+    /// tail bits of the last word).
+    #[inline]
+    fn tail_mask(&self, word_idx: usize) -> u64 {
+        let lane_end = (word_idx + 1) * 64;
+        if lane_end <= self.len {
+            u64::MAX
+        } else {
+            let valid = self.len - word_idx * 64;
+            if valid == 0 {
+                0
+            } else {
+                u64::MAX >> (64 - valid)
+            }
+        }
+    }
+
+    /// Zeroes any bits past `len` in the last word.
+    fn mask_tail(&mut self) {
+        let Some(idx) = self.words.len().checked_sub(1) else {
+            return;
+        };
+        if idx * 64 + 64 > self.len {
+            let valid = self.len - idx * 64;
+            let mask = if valid == 0 {
+                0
+            } else {
+                u64::MAX >> (64 - valid)
+            };
+            self.words[idx] &= mask;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +550,114 @@ mod tests {
             }
             assert_eq!(repacked, word);
         }
+    }
+
+    #[test]
+    fn chip_words_roundtrip_bools() {
+        let mut rng_state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for len in [0usize, 1, 31, 32, 63, 64, 65, 100, 127, 128, 1000] {
+            let chips: Vec<bool> = (0..len).map(|_| next() & 1 == 1).collect();
+            let packed = ChipWords::from_bools(&chips);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.to_bools(), chips);
+            assert_eq!(
+                packed.count_ones(),
+                chips.iter().filter(|&&c| c).count(),
+                "len {len}"
+            );
+            let collected: Vec<bool> = packed.iter().collect();
+            assert_eq!(collected, chips);
+        }
+    }
+
+    #[test]
+    fn chip_words_from_codewords_matches_unpacked() {
+        let codewords: Vec<u32> = CODEBOOK.to_vec();
+        let packed = ChipWords::from_codewords(&codewords);
+        assert_eq!(packed.len(), codewords.len() * CHIPS_PER_SYMBOL);
+        let bools: Vec<bool> = codewords.iter().flat_map(|&w| chips_of(w)).collect();
+        assert_eq!(packed, ChipWords::from_bools(&bools));
+        // Aligned extraction returns the original codewords.
+        for (s, &w) in codewords.iter().enumerate() {
+            assert_eq!(packed.extract_u32(s * CHIPS_PER_SYMBOL), w);
+        }
+    }
+
+    #[test]
+    fn push_codeword_handles_unaligned_tails() {
+        // Start from an odd chip count so codeword appends straddle word
+        // boundaries at every phase.
+        for lead in [0usize, 1, 17, 32, 33, 63] {
+            let mut packed = ChipWords::zeros(lead);
+            let mut reference = vec![false; lead];
+            for &w in CODEBOOK.iter().take(5) {
+                packed.push_codeword(w);
+                reference.extend(chips_of(w));
+            }
+            assert_eq!(packed, ChipWords::from_bools(&reference), "lead {lead}");
+        }
+    }
+
+    #[test]
+    fn extract_zero_pads_past_end() {
+        let packed = ChipWords::from_bools(&[true; 40]);
+        assert_eq!(packed.extract_u64(0), (1u64 << 40) - 1);
+        assert_eq!(packed.extract_u64(8), (1u64 << 32) - 1);
+        assert_eq!(packed.extract_u64(40), 0);
+        assert_eq!(packed.extract_u64(1000), 0);
+        assert_eq!(packed.extract_u32(16), 0x00FF_FFFF);
+    }
+
+    #[test]
+    fn set_toggle_push_maintain_canonical_tail() {
+        let mut packed = ChipWords::zeros(70);
+        packed.set(69, true);
+        packed.toggle(0);
+        packed.toggle(69); // back to 0
+        assert_eq!(packed.count_ones(), 1);
+        assert!(packed.get(0));
+        packed.push(true);
+        assert_eq!(packed.len(), 71);
+        assert!(packed.get(70));
+        // Equality is structural: rebuilding from bools matches.
+        assert_eq!(packed, ChipWords::from_bools(&packed.to_bools()));
+    }
+
+    #[test]
+    fn truncate_clears_tail_bits() {
+        let mut packed = ChipWords::from_bools(&[true; 128]);
+        packed.truncate(70);
+        assert_eq!(packed.len(), 70);
+        assert_eq!(packed.count_ones(), 70);
+        assert_eq!(packed, ChipWords::from_bools(&[true; 70]));
+        // extract past the new end zero-pads.
+        assert_eq!(packed.extract_u64(64), (1 << 6) - 1);
+    }
+
+    #[test]
+    fn apply_mask64_respects_mask_and_tail() {
+        let mut packed = ChipWords::zeros(96);
+        packed.apply_mask64(0, 0x0000_0000_0000_FF00, u64::MAX);
+        assert_eq!(packed.count_ones(), 8);
+        // Second lane only has 32 valid chips; mask bits past len are
+        // dropped.
+        packed.apply_mask64(1, u64::MAX, u64::MAX);
+        assert_eq!(packed.count_ones(), 8 + 32);
+        assert_eq!(packed, ChipWords::from_bools(&packed.to_bools()));
+    }
+
+    #[test]
+    fn hamming_to_counts_differences() {
+        let a = ChipWords::from_bools(&[true, false, true, false, true]);
+        let b = ChipWords::from_bools(&[true, true, true, true, true]);
+        assert_eq!(a.hamming_to(&b), 2);
+        assert_eq!(a.hamming_to(&a), 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! matched-filter demodulation (resolving the I/Q rail-parity ambiguity by
 //! trying both) and then the same chip-level machinery.
 
-use crate::chips::CHIPS_PER_SYMBOL;
+use crate::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use crate::complex::Complex32;
 use crate::modem::{pack_chip_words, MskModem};
 use crate::softphy::SoftSpan;
@@ -90,6 +90,30 @@ impl ChipReceiver {
             words.push(w);
         }
         SoftSpan::from_decisions(despread_hard(&words))
+    }
+
+    /// Word-wise equivalent of [`Self::despread`] over a packed chip
+    /// stream: each codeword is a single 32-bit extraction instead of a
+    /// 32-iteration bit-assembly loop, decoded straight to a
+    /// [`SoftSymbol`](crate::softphy::SoftSymbol) with no intermediate
+    /// word/decision buffers. Chips past the end of the stream read as
+    /// zero and symbols whose first chip is past the end are not
+    /// emitted, exactly as in the reference implementation.
+    pub fn despread_words(
+        &self,
+        stream: &ChipWords,
+        chip_offset: usize,
+        n_symbols: usize,
+    ) -> SoftSpan {
+        let mut symbols = Vec::with_capacity(n_symbols);
+        for s in 0..n_symbols {
+            let start = chip_offset + s * CHIPS_PER_SYMBOL;
+            if start >= stream.len() {
+                break;
+            }
+            symbols.push(crate::chips::decide(stream.extract_u32(start)).into());
+        }
+        SoftSpan { symbols }
     }
 }
 
@@ -311,6 +335,34 @@ mod tests {
         assert_eq!(span.len(), 9);
         assert_eq!(&span.hints()[..8], &[0; 8]);
         assert!(span.hints()[8] > 0);
+    }
+
+    #[test]
+    fn despread_words_matches_reference() {
+        use crate::chips::ChipWords;
+        let symbols = bytes_to_symbols(b"packed despread parity");
+        let mut chips = frame_chips(&symbols);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Corrupt a sprinkling of chips so hints are non-trivial.
+        for _ in 0..200 {
+            let i = rng.gen_range(0..chips.len());
+            chips[i] = !chips[i];
+        }
+        let packed = ChipWords::from_bools(&chips);
+        let rx = ChipReceiver::default();
+        let data_start = crate::sync::tx_preamble_chips().len();
+        // Whole section, truncated section, unaligned offset, and a
+        // request running past the end of the stream.
+        for (off, n) in [
+            (data_start, symbols.len()),
+            (data_start + 7, symbols.len()),
+            (0, symbols.len() + 40),
+            (chips.len() - 10, 4),
+        ] {
+            let a = rx.despread(&chips, off, n);
+            let b = rx.despread_words(&packed, off, n);
+            assert_eq!(a, b, "offset {off} n {n}");
+        }
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod spread;
 pub mod sync;
 pub mod timing;
 
-pub use chips::{Decision, BITS_PER_SYMBOL, CHIPS_PER_SYMBOL, CHIP_RATE_HZ, SYMBOL_RATE_HZ};
+pub use chips::{
+    ChipWords, Decision, BITS_PER_SYMBOL, CHIPS_PER_SYMBOL, CHIP_RATE_HZ, SYMBOL_RATE_HZ,
+};
 pub use complex::Complex32;
 pub use frame_rx::{ChipReceiver, ChipStream, SampleReceiver};
 pub use modem::MskModem;

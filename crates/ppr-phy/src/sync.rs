@@ -13,7 +13,7 @@
 //! distance is below a threshold. Overlapping candidate hits within one
 //! codeword are merged, keeping the best.
 
-use crate::chips::CHIPS_PER_SYMBOL;
+use crate::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use crate::modem::unpack_chip_words;
 use crate::spread::{bytes_to_symbols, spread};
 
@@ -64,6 +64,7 @@ impl SyncHit {
 #[derive(Debug, Clone)]
 pub struct SyncPattern {
     chips: Vec<bool>,
+    packed: ChipWords,
     kind: SyncKind,
 }
 
@@ -75,19 +76,21 @@ impl SyncPattern {
     pub fn preamble() -> Self {
         let mut symbols = vec![0u8; 2];
         symbols.extend(bytes_to_symbols(&[SFD]));
-        SyncPattern {
-            chips: unpack_chip_words(&spread(&symbols)),
-            kind: SyncKind::Preamble,
-        }
+        Self::from_codewords(spread(&symbols), SyncKind::Preamble)
     }
 
     /// The postamble pattern: two zero symbols followed by [`POST_SFD`].
     pub fn postamble() -> Self {
         let mut symbols = vec![0u8; 2];
         symbols.extend(bytes_to_symbols(&[POST_SFD]));
+        Self::from_codewords(spread(&symbols), SyncKind::Postamble)
+    }
+
+    fn from_codewords(codewords: Vec<u32>, kind: SyncKind) -> Self {
         SyncPattern {
-            chips: unpack_chip_words(&spread(&symbols)),
-            kind: SyncKind::Postamble,
+            chips: unpack_chip_words(&codewords),
+            packed: ChipWords::from_codewords(&codewords),
+            kind,
         }
     }
 
@@ -114,6 +117,31 @@ impl SyncPattern {
                 Some(&c) if c == p => {}
                 _ => d += 1,
             }
+        }
+        d
+    }
+
+    /// Word-wise equivalent of [`Self::distance_at`] over a packed chip
+    /// stream: XOR + `count_ones` per 64-chip lane instead of a per-chip
+    /// loop. Positions past the end of the stream count as mismatches,
+    /// exactly as in the reference implementation.
+    pub fn distance_at_words(&self, stream: &ChipWords, offset: usize) -> u32 {
+        let n = self.packed.len();
+        let mut d = 0u32;
+        let mut done = 0usize;
+        for &pw in self.packed.words() {
+            let bits = (n - done).min(64);
+            let base = offset + done;
+            let avail = stream.len().saturating_sub(base).min(bits);
+            let sw = stream.extract_u64(base);
+            let mask = if avail == 64 {
+                u64::MAX
+            } else {
+                (1u64 << avail) - 1
+            };
+            d += ((pw ^ sw) & mask).count_ones();
+            d += (bits - avail) as u32; // missing chips mismatch
+            done += bits;
         }
         d
     }
@@ -164,17 +192,28 @@ pub const DEFAULT_SYNC_THRESHOLD: u32 = 20;
 /// Builds the full transmitted preamble chip sequence (eight zero symbols
 /// + SFD), as the sender emits it.
 pub fn tx_preamble_chips() -> Vec<bool> {
-    let mut symbols = vec![0u8; PREAMBLE_ZERO_SYMBOLS];
-    symbols.extend(bytes_to_symbols(&[SFD]));
-    unpack_chip_words(&spread(&symbols))
+    unpack_chip_words(&tx_preamble_codewords())
 }
 
 /// Builds the full transmitted postamble chip sequence (four zero symbols
 /// + POST_SFD).
 pub fn tx_postamble_chips() -> Vec<bool> {
+    unpack_chip_words(&tx_postamble_codewords())
+}
+
+/// The transmitted preamble as 32-chip codewords (the packed rendering
+/// building block).
+pub fn tx_preamble_codewords() -> Vec<u32> {
+    let mut symbols = vec![0u8; PREAMBLE_ZERO_SYMBOLS];
+    symbols.extend(bytes_to_symbols(&[SFD]));
+    spread(&symbols)
+}
+
+/// The transmitted postamble as 32-chip codewords.
+pub fn tx_postamble_codewords() -> Vec<u32> {
     let mut symbols = vec![0u8; POSTAMBLE_ZERO_SYMBOLS];
     symbols.extend(bytes_to_symbols(&[POST_SFD]));
-    unpack_chip_words(&spread(&symbols))
+    spread(&symbols)
 }
 
 #[cfg(test)]
@@ -291,5 +330,26 @@ mod tests {
         // missing chips rather than panic.
         let d = pat.distance_at(&stream, 5);
         assert!(d >= (pat.len_chips() - 5) as u32 / 2);
+    }
+
+    #[test]
+    fn packed_distance_matches_reference_at_every_offset() {
+        use crate::chips::ChipWords;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stream = random_chips(&mut rng, 700);
+        let full = tx_preamble_chips();
+        stream.splice(150..150 + full.len(), full.iter().copied());
+        let packed = ChipWords::from_bools(&stream);
+        for pat in [SyncPattern::preamble(), SyncPattern::postamble()] {
+            // Offsets spanning in-stream, straddling the end, and fully
+            // past the end.
+            for offset in (0..stream.len() + 200).step_by(7) {
+                assert_eq!(
+                    pat.distance_at(&stream, offset),
+                    pat.distance_at_words(&packed, offset),
+                    "offset {offset}"
+                );
+            }
+        }
     }
 }

@@ -17,14 +17,40 @@ pub const FRAG_BYTES: usize = 50;
 /// The paper's SoftPHY threshold.
 pub const ETA: u8 = 6;
 
+/// The default experiment duration when `PPR_DURATION` is unset or
+/// invalid, seconds.
+pub const DEFAULT_DURATION_S: f64 = 90.0;
+
 /// Default experiment duration, seconds. Override with the
 /// `PPR_DURATION` environment variable (e.g. `PPR_DURATION=20` for a
-/// quick pass).
+/// quick pass). A value that does not parse as a positive, finite
+/// number of seconds is rejected with a warning on stderr — a typo'd
+/// duration must not silently run the full 90 s default.
 pub fn default_duration() -> f64 {
-    std::env::var("PPR_DURATION")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(90.0)
+    match parse_duration(std::env::var("PPR_DURATION").ok().as_deref()) {
+        Ok(d) => d,
+        Err(raw) => {
+            eprintln!(
+                "warning: ignoring invalid PPR_DURATION={raw:?} \
+                 (want a positive number of seconds); using the default \
+                 {DEFAULT_DURATION_S} s"
+            );
+            DEFAULT_DURATION_S
+        }
+    }
+}
+
+/// Parses an optional `PPR_DURATION` value. `Ok` carries the duration to
+/// use (the default when unset); `Err` carries the rejected raw value so
+/// the caller can warn.
+fn parse_duration(raw: Option<&str>) -> Result<f64, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_DURATION_S);
+    };
+    match raw.trim().parse::<f64>() {
+        Ok(d) if d.is_finite() && d > 0.0 => Ok(d),
+        _ => Err(raw.to_string()),
+    }
 }
 
 /// Master seed shared by all experiments (reproducibility).
@@ -200,6 +226,24 @@ mod tests {
                 let fdr = s.fdr(1500);
                 assert!((0.0..=1.0).contains(&fdr), "fdr {fdr}");
             }
+        }
+    }
+
+    #[test]
+    fn duration_parsing_covers_valid_invalid_and_unset() {
+        // Unset: the default, no warning path.
+        assert_eq!(parse_duration(None), Ok(DEFAULT_DURATION_S));
+        // Valid values, including surrounding whitespace.
+        assert_eq!(parse_duration(Some("20")), Ok(20.0));
+        assert_eq!(parse_duration(Some("0.5")), Ok(0.5));
+        assert_eq!(parse_duration(Some(" 42.25 ")), Ok(42.25));
+        // Invalid values are rejected (and reported back verbatim).
+        for bad in ["", "abc", "20s", "1e999", "nan", "inf", "-5", "0"] {
+            assert_eq!(
+                parse_duration(Some(bad)),
+                Err(bad.to_string()),
+                "{bad:?} must be rejected"
+            );
         }
     }
 

@@ -21,15 +21,36 @@
 //! `(seed, tx id, receiver)`, so different schemes and postamble arms see
 //! *identical* channel noise — the paper's "same trace, post-processed"
 //! methodology.
+//!
+//! ## Determinism contract of the parallel reception loop
+//!
+//! [`process_receptions`] fans per-(transmission, receiver) work across
+//! `std::thread::scope` workers. Results are bit-identical to the
+//! sequential reference ([`process_receptions_reference`]) regardless of
+//! worker count or scheduling because:
+//!
+//! 1. every reception draws its channel noise from its own RNG stream
+//!    seeded by `(seed, tx id, receiver)` — no RNG is shared between
+//!    work items;
+//! 2. the only cross-reception state — a receiver's busy/idle window —
+//!    depends solely on earlier preamble hits at that receiver, which is
+//!    resolved in a cheap sequential pass between the parallel
+//!    prepare/decode phases;
+//! 3. outputs are collected in (receiver, timeline-order) slots, not in
+//!    completion order.
+//!
+//! `PPR_THREADS=1` forces the parallel structure onto one worker (still
+//! the packed path); `tests/packed_parity.rs` pins both equalities.
 
 use crate::geometry::Testbed;
 use crate::rxpath::{Acquisition, FastRx};
 use crate::traffic::{secs_to_chips, PoissonArrivals};
-use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
+use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
 use ppr_channel::pathloss::PathLossModel;
 use ppr_mac::frame::Frame;
 use ppr_mac::schemes::{correct_delivered_bytes, DeliveryScheme};
+use ppr_phy::chips::ChipWords;
 use ppr_phy::spread::bytes_to_symbols;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -335,7 +356,7 @@ pub struct RxArm {
 }
 
 /// The outcome of one (transmission, receiver) evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reception {
     /// Transmission id.
     pub tx_id: u64,
@@ -375,8 +396,244 @@ pub fn build_body_padded(scheme: &DeliveryScheme, payload: &[u8], body_bytes: us
     body
 }
 
+/// One unit of reception work: the transmission at `timeline[idx]`
+/// evaluated at receiver `r`.
+#[derive(Debug, Clone, Copy)]
+struct RxJob {
+    r: usize,
+    idx: usize,
+}
+
+/// Phase-A output for one job: everything a reception needs that does
+/// not depend on the receiver's busy/idle state.
+struct PreparedRx {
+    frame: Frame,
+    payload: Vec<u8>,
+    corrupted: ChipWords,
+    pre_hit: bool,
+}
+
+/// Worker-thread count for the reception loop: `PPR_THREADS` override,
+/// else the machine's available parallelism, capped by the job count.
+/// An invalid override is rejected with a warning on stderr — a typo'd
+/// thread count must not silently run on all cores. The environment is
+/// resolved once per process so the warning prints a single time, not
+/// once per `process_receptions` call.
+fn worker_threads(jobs: usize) -> usize {
+    static MAX_WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let max = *MAX_WORKERS.get_or_init(|| {
+        let available = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match std::env::var("PPR_THREADS").ok() {
+            None => available(),
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "warning: ignoring invalid PPR_THREADS={raw:?} \
+                         (want a positive integer); using available parallelism"
+                    );
+                    available()
+                }
+            },
+        }
+    });
+    max.min(jobs).max(1)
+}
+
+/// Maps `jobs` through `f` on `workers` scoped threads, preserving input
+/// order in the output. Falls back to an inline loop when one worker (or
+/// one job) makes spawning pointless.
+fn fan_out<J: Sync, T: Send>(workers: usize, jobs: &[J], f: impl Fn(&J) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    let chunk = jobs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (job, slot) in job_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(job));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every slot filled by its worker"))
+        .collect()
+}
+
 /// Evaluates every transmission at every receiver under one arm.
+///
+/// This is the packed, parallel fast path: chip streams are bit-packed
+/// [`ChipWords`] end to end, and per-(transmission, receiver) work runs
+/// on scoped worker threads (see the module docs for the determinism
+/// contract). Output is bit-identical to
+/// [`process_receptions_reference`].
 pub fn process_receptions(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+) -> Vec<Reception> {
+    process_receptions_with_workers(env, cfg, timeline, arm, None)
+}
+
+/// [`process_receptions`] with an explicit worker count (`None` = the
+/// `PPR_THREADS`/available-parallelism default). Public so the parity
+/// harness can exercise the threaded fan-out deterministically even on
+/// single-core machines, where the default would fall back to the
+/// inline path.
+pub fn process_receptions_with_workers(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    workers: Option<usize>,
+) -> Vec<Reception> {
+    let fast = FastRx::new(arm.postamble);
+    let noise = env.model.noise_mw();
+    let payload_len = arm.scheme.payload_len(cfg.body_bytes);
+    let nr = env.testbed.receivers.len();
+
+    // Per-receiver interference views of the whole timeline.
+    let heard: Vec<Vec<HeardTx>> = (0..nr)
+        .map(|r| {
+            timeline
+                .iter()
+                .map(|tx| HeardTx {
+                    id: tx.id,
+                    start_chip: tx.start_chip,
+                    len_chips: tx.len_chips,
+                    power_mw: env.s2r_mw[tx.sender][r],
+                })
+                .collect()
+        })
+        .collect();
+
+    // Job list in the reference evaluation order: receiver-major, then
+    // timeline order. Below-squelch links never acquire; skip them here
+    // exactly as the reference loop does.
+    let jobs: Vec<RxJob> = (0..nr)
+        .flat_map(|r| {
+            timeline
+                .iter()
+                .enumerate()
+                .filter(move |(_, tx)| env.s2r_mw[tx.sender][r] / noise >= SQUELCH_SNR)
+                .map(move |(idx, _)| RxJob { r, idx })
+        })
+        .collect();
+
+    let workers = workers
+        .unwrap_or_else(|| worker_threads(jobs.len()))
+        .clamp(1, jobs.len().max(1));
+
+    // Phase A: everything independent of the receiver's busy state.
+    let prepare = |job: &RxJob| -> PreparedRx {
+        let tx = &timeline[job.idx];
+        let signal = env.s2r_mw[tx.sender][job.r];
+        let payload = payload_pattern(tx.sender, tx.seq, payload_len);
+        let body = build_body_padded(&arm.scheme, &payload, cfg.body_bytes);
+        let frame = Frame::new(job.r as u16, tx.sender as u16, tx.seq, body);
+        let chips = frame.chip_words();
+        let profile_spans = interference_profile(&heard[job.r][job.idx], &heard[job.r]);
+        let profile = ErrorProfile::from_interference(signal, noise, &profile_spans);
+        let mut rng = StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, job.r));
+        let corrupted = corrupt_chip_words(&chips, &profile, &mut rng);
+        let pre_hit = fast.preamble_hit_words(&corrupted);
+        PreparedRx {
+            frame,
+            payload,
+            corrupted,
+            pre_hit,
+        }
+    };
+
+    // Phase C: decode + delivery under the resolved idle flag.
+    let finish = |job: &RxJob, prep: &PreparedRx, idle: bool| -> Reception {
+        let tx = &timeline[job.idx];
+        let (acq, rx_frame) = fast.receive_words(&prep.frame, &prep.corrupted, idle);
+        let mut rec = Reception {
+            tx_id: tx.id,
+            sender: tx.sender,
+            receiver: job.r,
+            acquisition: acq,
+            payload_len,
+            delivered_correct: 0,
+            delivered_claimed: 0,
+            crc_ok: false,
+            symbol_hints: Vec::new(),
+            symbol_correct: Vec::new(),
+        };
+        if let Some(rx) = rx_frame {
+            rec.crc_ok = rx.pkt_crc_ok();
+            let delivered = arm.scheme.deliver(&rx);
+            rec.delivered_claimed = delivered.iter().map(|d| d.bytes.len()).sum();
+            rec.delivered_correct = correct_delivered_bytes(&delivered, &prep.payload);
+            if arm.collect_symbols {
+                if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
+                    let tx_symbols = bytes_to_symbols(&prep.frame.body);
+                    let body_range = g.body();
+                    let rx_syms = &rx.link_symbols[body_range.start * 2..body_range.end * 2];
+                    rec.symbol_correct = rx_syms
+                        .iter()
+                        .zip(&tx_symbols)
+                        .map(|(a, b)| a.symbol == *b)
+                        .collect();
+                    rec.symbol_hints = hints;
+                }
+            }
+        }
+        rec
+    };
+
+    // Batches bound peak memory: each prepared job holds a full packed
+    // capture (~12 KB at 1500 B bodies), so only workers × 8 of them are
+    // alive at once. Phase B — the busy/idle chain — is the cheap
+    // sequential seam between the two parallel phases.
+    let mut out: Vec<Reception> = Vec::with_capacity(jobs.len());
+    let mut busy_until = vec![0u64; nr];
+    let batch_len = workers * 8;
+    for batch in jobs.chunks(batch_len.max(1)) {
+        let prepared = fan_out(workers, batch, prepare);
+        let resolved: Vec<(RxJob, PreparedRx, bool)> = batch
+            .iter()
+            .zip(prepared)
+            .map(|(&job, prep)| {
+                let tx = &timeline[job.idx];
+                let idle = busy_until[job.r] <= tx.start_chip;
+                if idle && prep.pre_hit {
+                    busy_until[job.r] = tx.end_chip();
+                }
+                (job, prep, idle)
+            })
+            .collect();
+        out.extend(fan_out(workers, &resolved, |(job, prep, idle)| {
+            finish(job, prep, *idle)
+        }));
+    }
+    out
+}
+
+/// The per-reception RNG seed: `(master seed, transmission id, receiver)`
+/// — one independent noise stream per (transmission, receiver) pair,
+/// which is what makes the parallel loop bit-identical to the sequential
+/// one.
+fn reception_rng_seed(seed: u64, tx_id: u64, receiver: usize) -> u64 {
+    seed ^ (tx_id.wrapping_mul(0x2545_F491_4F6C_DD1D)) ^ ((receiver as u64) << 56)
+}
+
+/// Sequential `&[bool]` reference implementation of
+/// [`process_receptions`] — the executable specification the packed
+/// parallel path is tested against (`tests/packed_parity.rs`). Kept
+/// simple on purpose; use [`process_receptions`] everywhere else.
+pub fn process_receptions_reference(
     env: &RadioEnv,
     cfg: &SimConfig,
     timeline: &[Transmission],
@@ -417,9 +674,7 @@ pub fn process_receptions(
             // Interference profile over this frame at this receiver.
             let profile_spans = interference_profile(&heard[i], &heard);
             let profile = ErrorProfile::from_interference(signal, noise, &profile_spans);
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ (tx.id.wrapping_mul(0x2545_F491_4F6C_DD1D)) ^ ((r as u64) << 56),
-            );
+            let mut rng = StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, r));
             let corrupted = corrupt_chips(&chips, &profile, &mut rng);
 
             let idle = busy_until <= tx.start_chip;

@@ -13,7 +13,7 @@
 
 use ppr_mac::frame::Frame;
 use ppr_mac::rx::{FrameReceiver, RxFrame};
-use ppr_phy::chips::CHIPS_PER_SYMBOL;
+use ppr_phy::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use ppr_phy::sync::{
     SyncPattern, DEFAULT_SYNC_THRESHOLD, POSTAMBLE_ZERO_SYMBOLS, PREAMBLE_ZERO_SYMBOLS,
 };
@@ -102,6 +102,49 @@ impl FastRx {
         }
         (Acquisition::None, None)
     }
+
+    /// Does the preamble pattern of a packed capture survive within the
+    /// sync threshold? This is the only per-reception fact the busy/idle
+    /// chain of a receiver needs, so the parallel reception loop can
+    /// resolve acquisition order without decoding anything.
+    pub fn preamble_hit_words(&self, corrupted_chips: &ChipWords) -> bool {
+        self.preamble
+            .distance_at_words(corrupted_chips, Self::preamble_pattern_offset())
+            <= self.threshold
+    }
+
+    /// Word-wise equivalent of [`Self::receive`] over a packed capture;
+    /// bit-identical acquisition and decode output (pinned by
+    /// `tests/packed_parity.rs`).
+    pub fn receive_words(
+        &self,
+        frame: &Frame,
+        corrupted_chips: &ChipWords,
+        receiver_idle: bool,
+    ) -> (Acquisition, Option<RxFrame>) {
+        let pre_off = Self::preamble_pattern_offset();
+        let preamble_ok = receiver_idle
+            && self.preamble.distance_at_words(corrupted_chips, pre_off) <= self.threshold;
+        if preamble_ok {
+            let data_start = (pre_off + self.preamble.len_chips()) as i64;
+            let rx = self
+                .receiver
+                .decode_from_preamble_words(corrupted_chips, data_start);
+            return (Acquisition::Preamble, Some(rx));
+        }
+        if self.postamble_decoding {
+            let post_off = Self::postamble_pattern_offset(frame.chips_len());
+            if self.postamble.distance_at_words(corrupted_chips, post_off) <= self.threshold {
+                if let Some(rx) = self
+                    .receiver
+                    .decode_from_postamble_words(corrupted_chips, post_off)
+                {
+                    return (Acquisition::Postamble, Some(rx));
+                }
+            }
+        }
+        (Acquisition::None, None)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +208,52 @@ mod tests {
         let chips: Vec<bool> = (0..frame.chips_len()).map(|_| rng.gen()).collect();
         let (acq, _) = FastRx::new(true).receive(&frame, &chips, true);
         assert_eq!(acq, Acquisition::None);
+    }
+
+    #[test]
+    fn receive_words_matches_reference_across_scenarios() {
+        let frame = Frame::new(2, 5, 9, vec![0x6B; 120]);
+        let mut rng = StdRng::seed_from_u64(33);
+        for scenario in 0..4 {
+            let mut chips = frame.chips();
+            match scenario {
+                0 => {} // clean
+                1 => {
+                    // destroyed preamble
+                    let pre_len = ppr_phy::sync::tx_preamble_chips().len();
+                    for c in chips.iter_mut().take(pre_len) {
+                        *c = rng.gen();
+                    }
+                }
+                2 => {
+                    // fully jammed
+                    for c in chips.iter_mut() {
+                        *c = rng.gen();
+                    }
+                }
+                _ => {
+                    // scattered errors
+                    for _ in 0..500 {
+                        let i = rng.gen_range(0..chips.len());
+                        chips[i] = !chips[i];
+                    }
+                }
+            }
+            let packed = ChipWords::from_bools(&chips);
+            for postamble in [false, true] {
+                let fast = FastRx::new(postamble);
+                for idle in [false, true] {
+                    let (acq_a, rx_a) = fast.receive(&frame, &chips, idle);
+                    let (acq_b, rx_b) = fast.receive_words(&frame, &packed, idle);
+                    assert_eq!(acq_a, acq_b, "scenario {scenario} idle {idle}");
+                    assert_eq!(rx_a, rx_b, "scenario {scenario} idle {idle}");
+                    assert_eq!(
+                        acq_b == Acquisition::Preamble,
+                        idle && fast.preamble_hit_words(&packed)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! the fast backend (DESIGN.md §2).
 
 use ppr::channel::ber::chip_error_prob;
-use ppr::channel::chip_channel::{codeword_flip_counts, corrupt_chips, ErrorProfile};
+use ppr::channel::chip_channel::{
+    codeword_flip_counts, corrupt_chip_words, corrupt_chips, ErrorProfile,
+};
 use ppr::channel::sample_channel::render_single;
+use ppr::phy::chips::ChipWords;
 use ppr::phy::modem::{pack_chip_words, unpack_chip_words, MskModem};
 use ppr::phy::spread::{despread_hard, spread_bytes};
 use rand::rngs::StdRng;
@@ -97,6 +100,63 @@ fn codeword_error_and_hint_parity() {
             (hint_dsp - hint_fast).abs() < 0.4,
             "snr {snr_db}: mean hint dsp {hint_dsp:.2} fast {hint_fast:.2}"
         );
+    }
+}
+
+/// The DSP backend at *frame-scale* captures (≥10k chips — two orders
+/// beyond the early small-size parity cases) across a sweep of SNRs:
+/// chip and codeword error statistics must track the analytic curve and
+/// the packed fast backend at every size.
+#[test]
+fn sample_backend_parity_at_large_frames() {
+    let modem = MskModem::new(SPS);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for n_chips in [10_000usize, 40_000] {
+        // Whole codewords so codeword stats are well-defined.
+        let n_bytes = n_chips / 64; // 2 codewords (64 chips) per byte
+        let payload: Vec<u8> = (0..n_bytes).map(|_| rng.gen()).collect();
+        let chips = unpack_chip_words(&spread_bytes(&payload));
+        let packed = ChipWords::from_bools(&chips);
+        let tx_symbols = ppr::phy::spread::bytes_to_symbols(&payload);
+
+        for snr_db in [0.0f64, 2.0, 5.0] {
+            let snr = 10f64.powf(snr_db / 10.0);
+            let p = chip_error_prob(snr);
+
+            // DSP backend: render + matched filter at frame scale.
+            let noise_mw = SPS as f64 / snr;
+            let samples = render_single(&modem, &chips, 1.0, noise_mw, &mut rng);
+            let rx_dsp = modem.demodulate_hard(&samples, 0, chips.len(), true);
+            let p_dsp = rx_dsp.iter().zip(&chips).filter(|(a, b)| a != b).count() as f64
+                / chips.len() as f64;
+            let tol = 0.15 * p + 0.002;
+            assert!(
+                (p_dsp - p).abs() < tol,
+                "{n_chips} chips, {snr_db} dB: dsp chip rate {p_dsp:.4} vs analytic {p:.4}"
+            );
+
+            // Packed fast backend at the same error probability.
+            let profile = ErrorProfile::uniform(chips.len() as u64, p);
+            let rx_fast = corrupt_chip_words(&packed, &profile, &mut rng);
+            let p_fast = rx_fast.hamming_to(&packed) as f64 / chips.len() as f64;
+            assert!(
+                (p_fast - p).abs() < tol,
+                "{n_chips} chips, {snr_db} dB: fast chip rate {p_fast:.4} vs analytic {p:.4}"
+            );
+
+            // Codeword-level statistics agree between the backends.
+            let (cer_dsp, hint_dsp) = decode_stats(&rx_dsp, &tx_symbols);
+            let (cer_fast, hint_fast) = decode_stats(&rx_fast.to_bools(), &tx_symbols);
+            assert!(
+                (cer_dsp - cer_fast).abs() < 0.04 + 0.25 * cer_dsp.max(cer_fast),
+                "{n_chips} chips, {snr_db} dB: cer dsp {cer_dsp:.4} fast {cer_fast:.4}"
+            );
+            assert!(
+                (hint_dsp - hint_fast).abs() < 0.35,
+                "{n_chips} chips, {snr_db} dB: hint dsp {hint_dsp:.2} fast {hint_fast:.2}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,270 @@
+//! Parity harness for the packed (`ChipWords`) fast path.
+//!
+//! The `&[bool]` chip APIs are the reference implementation; everything
+//! here proves the packed representation produces **bit-identical**
+//! chips and decisions across every stage of the pipeline — spreading,
+//! corruption, sync, despreading, the per-packet receive path, and full
+//! end-to-end experiment runs (sequential reference vs. packed parallel
+//! loop) — under fixed seeds and proptest-generated inputs.
+
+use ppr::channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr::mac::frame::Frame;
+use ppr::mac::rx::FrameReceiver;
+use ppr::mac::schemes::DeliveryScheme;
+use ppr::phy::chips::ChipWords;
+use ppr::phy::sync::SyncPattern;
+use ppr::phy::ChipReceiver;
+use ppr::sim::network::{
+    generate_timeline, process_receptions, process_receptions_reference,
+    process_receptions_with_workers, RadioEnv, RxArm, SimConfig,
+};
+use ppr::sim::FastRx;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spreading parity: the packed frame rendering equals the reference
+/// `Vec<bool>` rendering chip for chip, across body sizes.
+#[test]
+fn spreading_parity() {
+    for body_len in [0usize, 1, 20, 200, 1500] {
+        let frame = Frame::new(2, 7, 42, vec![0xA5; body_len]);
+        let reference = frame.chips();
+        let packed = frame.chip_words();
+        assert_eq!(packed.len(), reference.len(), "body {body_len}");
+        assert_eq!(packed, ChipWords::from_bools(&reference), "body {body_len}");
+    }
+}
+
+/// Corruption parity: packed and bool corruption flip exactly the same
+/// chips for the same seed, in every error regime including spans that
+/// straddle and overrun a truncated reception.
+#[test]
+fn corruption_parity_fixed_seeds() {
+    let chips: Vec<bool> = (0..12_345).map(|i| i % 7 < 3).collect();
+    let packed = ChipWords::from_bools(&chips);
+    let profiles = [
+        ErrorProfile::uniform(12_345, 0.0),
+        ErrorProfile::uniform(12_345, 1e-6),
+        ErrorProfile::uniform(12_345, 0.02),
+        ErrorProfile::uniform(12_345, 0.3),
+        ErrorProfile::uniform(12_345, 0.5),
+        ErrorProfile::uniform(12_345, 0.95),
+        ErrorProfile::uniform(20_000, 0.6), // overruns the reception
+        ErrorProfile::from_pieces(vec![
+            (0, 100, 0.0),
+            (100, 163, 0.8), // dense span with unaligned edges
+            (163, 5_000, 0.01),
+            (5_000, 5_001, 0.7), // single-chip dense span
+            (5_001, 13_000, 0.4),
+            (13_000, 14_000, 0.9), // fully past the reception
+        ]),
+    ];
+    for (pi, profile) in profiles.iter().enumerate() {
+        for seed in 0..5u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed * 31 + 7);
+            let mut rng_b = StdRng::seed_from_u64(seed * 31 + 7);
+            let reference = corrupt_chips(&chips, profile, &mut rng_a);
+            let fast = corrupt_chip_words(&packed, profile, &mut rng_b);
+            assert_eq!(
+                fast,
+                ChipWords::from_bools(&reference),
+                "profile {pi} seed {seed}"
+            );
+            // Both paths must also leave the RNG in the same state, or
+            // parity would silently break for the *next* consumer.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "profile {pi}");
+        }
+    }
+}
+
+/// Sync parity: packed delimiter distance equals the reference at every
+/// offset of a corrupted capture, including offsets straddling the end.
+#[test]
+fn sync_distance_parity() {
+    let frame = Frame::new(1, 3, 5, vec![0x5C; 60]);
+    let mut rng = StdRng::seed_from_u64(99);
+    let profile = ErrorProfile::uniform(frame.chips_len() as u64, 0.08);
+    let chips = corrupt_chips(&frame.chips(), &profile, &mut rng);
+    let packed = ChipWords::from_bools(&chips);
+    for pattern in [SyncPattern::preamble(), SyncPattern::postamble()] {
+        for offset in (0..chips.len() + 150).step_by(13) {
+            assert_eq!(
+                pattern.distance_at(&chips, offset),
+                pattern.distance_at_words(&packed, offset),
+                "offset {offset}"
+            );
+        }
+    }
+}
+
+/// Despreading parity: packed and reference despreading agree on whole
+/// frames, unaligned offsets, and truncated captures.
+#[test]
+fn despreading_parity() {
+    let frame = Frame::new(4, 8, 1, vec![0x99; 150]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let profile = ErrorProfile::uniform(frame.chips_len() as u64, 0.05);
+    let chips = corrupt_chips(&frame.chips(), &profile, &mut rng);
+    let packed = ChipWords::from_bools(&chips);
+    let rx = ChipReceiver::default();
+    let n_symbols = frame.link_symbols();
+    for (off, n) in [
+        (320usize, n_symbols),
+        (320 + 32, n_symbols),
+        (321, 40),             // unaligned
+        (chips.len() - 40, 8), // runs off the end
+    ] {
+        assert_eq!(
+            rx.despread(&chips, off, n),
+            rx.despread_words(&packed, off, n),
+            "off {off} n {n}"
+        );
+    }
+}
+
+/// Receive-path parity: `FastRx::receive` and `receive_words` agree on
+/// acquisition and decoded frames over seeded noisy captures, for both
+/// postamble arms and both idle states.
+#[test]
+fn receive_path_parity() {
+    let frame = Frame::new(3, 6, 2, vec![0x42; 250]);
+    let clean = frame.chips();
+    for seed in 0..6u64 {
+        // Escalating error rates cover preamble-intact, preamble-lost,
+        // and fully-lost captures.
+        let p = [1e-6, 0.02, 0.08, 0.15, 0.3, 0.5][seed as usize % 6];
+        let profile = ErrorProfile::uniform(clean.len() as u64, p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chips = corrupt_chips(&clean, &profile, &mut rng);
+        let packed = ChipWords::from_bools(&chips);
+        for postamble in [false, true] {
+            let fast = FastRx::new(postamble);
+            for idle in [false, true] {
+                let (acq_a, rx_a) = fast.receive(&frame, &chips, idle);
+                let (acq_b, rx_b) = fast.receive_words(&frame, &packed, idle);
+                assert_eq!(acq_a, acq_b, "seed {seed} p {p} idle {idle}");
+                assert_eq!(rx_a, rx_b, "seed {seed} p {p} idle {idle}");
+            }
+        }
+    }
+}
+
+/// Frame-receiver decode parity on a mid-frame wake-up (negative link
+/// start, head padding) — the rollback geometry the postamble exists for.
+#[test]
+fn rollback_decode_parity() {
+    let frame = Frame::new(4, 4, 2, vec![0x11; 80]);
+    let full = frame.chips();
+    let cut = 2 * full.len() / 3;
+    let tail = full[cut..].to_vec();
+    let packed = ChipWords::from_bools(&tail);
+    let rx = FrameReceiver::default();
+    let scan = rx.chip_receiver().scan(&tail);
+    assert!(!scan.is_empty(), "postamble must be found");
+    let hit = scan.last().unwrap();
+    assert_eq!(
+        rx.decode_from_postamble(&tail, hit.chip_offset),
+        rx.decode_from_postamble_words(&packed, hit.chip_offset)
+    );
+}
+
+/// End-to-end parity: the packed parallel reception loop produces the
+/// exact `Reception` list of the sequential `&[bool]` reference, across
+/// schemes and postamble arms (including symbol-trace collection).
+#[test]
+fn end_to_end_experiment_parity() {
+    let env = RadioEnv::new(1);
+    let cfg = SimConfig {
+        load_kbps: 13.8,
+        body_bytes: 200,
+        carrier_sense: false,
+        duration_s: 3.0,
+        seed: 42,
+    };
+    let timeline = generate_timeline(&env, &cfg);
+    assert!(!timeline.is_empty());
+    let arms = [
+        RxArm {
+            scheme: DeliveryScheme::PacketCrc,
+            postamble: false,
+            collect_symbols: false,
+        },
+        RxArm {
+            scheme: DeliveryScheme::Ppr { eta: 6 },
+            postamble: true,
+            collect_symbols: true,
+        },
+        RxArm {
+            scheme: DeliveryScheme::FragmentedCrc { frag_payload: 50 },
+            postamble: true,
+            collect_symbols: false,
+        },
+    ];
+    for arm in &arms {
+        let reference = process_receptions_reference(&env, &cfg, &timeline, arm);
+        let packed = process_receptions(&env, &cfg, &timeline, arm);
+        assert_eq!(reference.len(), packed.len(), "{arm:?}");
+        assert_eq!(reference, packed, "{arm:?}");
+        // Force the scoped-thread fan-out on explicit worker counts —
+        // on a single-core machine the default path would fall back to
+        // the inline loop and leave the threaded branch untested.
+        for workers in [2usize, 5] {
+            let threaded =
+                process_receptions_with_workers(&env, &cfg, &timeline, arm, Some(workers));
+            assert_eq!(reference, threaded, "{arm:?} workers={workers}");
+        }
+    }
+}
+
+proptest! {
+    /// Pack/unpack round-trip for arbitrary chip streams.
+    #[test]
+    fn chipwords_roundtrip(chips in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let packed = ChipWords::from_bools(&chips);
+        prop_assert_eq!(packed.len(), chips.len());
+        prop_assert_eq!(packed.to_bools(), chips);
+    }
+
+    /// Corruption parity over arbitrary piecewise profiles, stream
+    /// lengths, and seeds — including truncated receptions where the
+    /// profile overruns the chips.
+    #[test]
+    fn corruption_parity_arbitrary_profiles(
+        seed in any::<u64>(),
+        n_chips in 1usize..4000,
+        pieces in proptest::collection::vec((0u64..200, 1u64..800, 0.0f64..1.0), 1..6),
+    ) {
+        // Build monotone, gap-free-ish spans from (gap, len, p) triples.
+        let mut cursor = 0u64;
+        let mut spans = Vec::new();
+        for (gap, len, p) in pieces {
+            let start = cursor + gap;
+            spans.push((start, start + len, p));
+            cursor = start + len;
+        }
+        let profile = ErrorProfile::from_pieces(spans);
+        let chips: Vec<bool> = (0..n_chips).map(|i| i % 3 == 0).collect();
+        let packed = ChipWords::from_bools(&chips);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let reference = corrupt_chips(&chips, &profile, &mut rng_a);
+        let fast = corrupt_chip_words(&packed, &profile, &mut rng_b);
+        prop_assert_eq!(fast, ChipWords::from_bools(&reference));
+    }
+
+    /// Despreading parity at arbitrary offsets/lengths over random chips.
+    #[test]
+    fn despread_parity_arbitrary(
+        chips in proptest::collection::vec(any::<bool>(), 64..2000),
+        off in 0usize..2100,
+        n in 0usize..70,
+    ) {
+        let packed = ChipWords::from_bools(&chips);
+        let rx = ChipReceiver::default();
+        prop_assert_eq!(
+            rx.despread(&chips, off, n),
+            rx.despread_words(&packed, off, n)
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) for the core data structures and
 //! invariants.
 
+use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr::core::arq::{RetxPacket, Segment};
 use ppr::core::dp::{plan_chunks, plan_chunks_brute, CostModel};
 use ppr::core::feedback::{complement_ranges, Feedback};
@@ -8,6 +9,8 @@ use ppr::core::runs::{RunLengths, UnitRange};
 use ppr::mac::crc::{append_crc32, crc16, crc32, verify_crc32_trailer};
 use ppr::phy::spread::{bytes_to_symbols, despread_hard, spread, symbols_to_bytes};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     /// Byte ↔ symbol ↔ codeword round trip on a clean channel.
@@ -159,6 +162,93 @@ proptest! {
     fn crc_determinism(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         prop_assert_eq!(crc32(&data), crc32(&data));
         prop_assert_eq!(crc16(&data), crc16(&data));
+    }
+
+    /// `ErrorProfile::uniform` invariants: a single span covering the
+    /// whole frame, correct lookups inside and outside, and an exact
+    /// expected-error count.
+    #[test]
+    fn error_profile_uniform_invariants(
+        len in 1u64..200_000,
+        p in 0.0f64..1.0,
+        probe in 0u64..250_000,
+    ) {
+        let profile = ErrorProfile::uniform(len, p);
+        prop_assert_eq!(profile.len_chips(), len);
+        prop_assert_eq!(profile.spans(), &[(0, len, p)][..]);
+        let expect = if probe < len { p } else { 0.0 };
+        prop_assert_eq!(profile.prob_at(probe), expect);
+        prop_assert!((profile.expected_errors() - len as f64 * p).abs() < 1e-6 * len as f64);
+    }
+
+    /// `ErrorProfile::from_pieces` invariants for arbitrary monotone
+    /// piecewise profiles: the spans are preserved verbatim, offsets
+    /// stay monotone and disjoint, `len_chips` is the last span's end,
+    /// span coverage answers `prob_at`, and `expected_errors` is the
+    /// piecewise sum.
+    #[test]
+    fn error_profile_from_pieces_invariants(
+        raw in proptest::collection::vec((0u64..40, 1u64..300, 0.0f64..1.0), 0..8),
+        probe in 0u64..4000,
+    ) {
+        // Build monotone spans (possibly with gaps) from (gap, len, p).
+        let mut cursor = 0u64;
+        let mut pieces = Vec::new();
+        for (gap, len, p) in raw {
+            let start = cursor + gap;
+            pieces.push((start, start + len, p));
+            cursor = start + len;
+        }
+        let profile = ErrorProfile::from_pieces(pieces.clone());
+        prop_assert_eq!(profile.spans(), pieces.as_slice());
+        prop_assert_eq!(
+            profile.len_chips(),
+            pieces.last().map(|&(_, e, _)| e).unwrap_or(0)
+        );
+        // Monotone, disjoint offsets.
+        for w in profile.spans().windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping spans {:?}", w);
+        }
+        for &(s, e, _) in profile.spans() {
+            prop_assert!(s < e);
+        }
+        // prob_at agrees with direct span lookup (0 in gaps / past end).
+        let direct = pieces
+            .iter()
+            .find(|&&(s, e, _)| s <= probe && probe < e)
+            .map(|&(_, _, p)| p)
+            .unwrap_or(0.0);
+        prop_assert_eq!(profile.prob_at(probe), direct);
+        // Expected errors = piecewise sum.
+        let sum: f64 = pieces.iter().map(|&(s, e, p)| (e - s) as f64 * p).sum();
+        prop_assert!((profile.expected_errors() - sum).abs() < 1e-9 + 1e-12 * sum.abs());
+    }
+
+    /// Truncated receptions: corruption never grows or shrinks the chip
+    /// stream, never touches chips outside the profile's spans, and
+    /// ignores profile coverage past the reception.
+    #[test]
+    fn error_profile_truncation_handling(
+        n_chips in 1usize..3000,
+        span_len in 1u64..5000,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // A hot span in the middle half of the profile, possibly
+        // overrunning the (shorter) reception.
+        let start = span_len / 4;
+        let profile = ErrorProfile::from_pieces(vec![
+            (0, start, 0.0),
+            (start, start + span_len, p),
+        ]);
+        let chips = vec![false; n_chips];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rx = corrupt_chips(&chips, &profile, &mut rng);
+        prop_assert_eq!(rx.len(), n_chips);
+        // Chips before the hot span are untouched.
+        for (i, &c) in rx.iter().enumerate().take((start as usize).min(n_chips)) {
+            prop_assert!(!c, "chip {} outside spans flipped", i);
+        }
     }
 
     /// Frame link-bytes layout invariants hold for arbitrary bodies.

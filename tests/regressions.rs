@@ -1,8 +1,82 @@
-//! Regression tests for bugs found during development.
+//! Regression tests for bugs found during development, plus pinned
+//! decode outcomes that refactors must not silently change.
 
 use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Acquisition outcomes of the reception pipeline under a fixed seed,
+/// pinned exactly (counts *and* an order-sensitive fingerprint over
+/// every reception's acquisition, delivery and CRC verdict). The packed
+/// chip representation and the parallel reception loop of PR 2 must not
+/// change a single decode decision — and neither may any future
+/// refactor, on any worker count.
+#[test]
+fn rxpath_acquisition_outcomes_are_pinned() {
+    use ppr::mac::schemes::DeliveryScheme;
+    use ppr::sim::network::{generate_timeline, process_receptions, RadioEnv, RxArm, SimConfig};
+    use ppr::sim::Acquisition;
+
+    let env = RadioEnv::new(1);
+    let cfg = SimConfig {
+        load_kbps: 13.8,
+        body_bytes: 200,
+        carrier_sense: false,
+        duration_s: 3.0,
+        seed: 42,
+    };
+    let timeline = generate_timeline(&env, &cfg);
+
+    // (postamble arm, receptions, via-preamble, via-postamble, lost,
+    //  FNV-1a fingerprint)
+    let pinned = [
+        (
+            false,
+            1001usize,
+            622usize,
+            0usize,
+            379usize,
+            0xdaf8_c347_f764_3c7f_u64,
+        ),
+        (true, 1001, 622, 267, 112, 0x657a_b023_e99a_dc2e),
+    ];
+    for (postamble, n, pre, post, none, fingerprint) in pinned {
+        let arm = RxArm {
+            scheme: DeliveryScheme::Ppr { eta: 6 },
+            postamble,
+            collect_symbols: false,
+        };
+        let recs = process_receptions(&env, &cfg, &timeline, &arm);
+        let count = |want: Acquisition| recs.iter().filter(|r| r.acquisition == want).count();
+        assert_eq!(recs.len(), n, "postamble={postamble}");
+        assert_eq!(count(Acquisition::Preamble), pre, "postamble={postamble}");
+        assert_eq!(count(Acquisition::Postamble), post, "postamble={postamble}");
+        assert_eq!(count(Acquisition::None), none, "postamble={postamble}");
+
+        let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &recs {
+            let code = match r.acquisition {
+                Acquisition::Preamble => 1u64,
+                Acquisition::Postamble => 2,
+                Acquisition::None => 3,
+            };
+            for v in [
+                r.tx_id,
+                r.receiver as u64,
+                code,
+                r.delivered_correct as u64,
+                r.crc_ok as u64,
+            ] {
+                fp ^= v;
+                fp = fp.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        assert_eq!(
+            fp, fingerprint,
+            "postamble={postamble}: decode decisions drifted"
+        );
+    }
+}
 
 /// `corrupt_chips` once looped forever when a span's error probability
 /// was positive but below 2⁻⁵³: `ln(1 − p)` rounded to 0 and the

@@ -52,6 +52,21 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    // Floats support half-open ranges only (the vendored `rand` has no
+    // inclusive float sampling).
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
