@@ -6,15 +6,16 @@
 //! cost one codeword of retransmission each).
 
 use ppr_mac::schemes::DeliveryScheme;
-use ppr_sim::experiments::common::{default_duration, fdr_cdf, CapacityRun};
+use ppr_sim::experiments::common::{fdr_cdf, CapacityRun};
 use ppr_sim::metrics::HintHistogram;
 use ppr_sim::network::RxArm;
 use ppr_sim::report::{fmt, Table};
+use ppr_sim::scenario::ScenarioBuilder;
 
 fn main() {
     ppr_bench::banner("Ablation: SoftPHY threshold eta sweep");
-    let d = default_duration();
-    let run = CapacityRun::new(13.8, false, d);
+    let scenario = ScenarioBuilder::new().build();
+    let run = CapacityRun::from_scenario(&scenario, 13.8, false);
 
     // Hint statistics are threshold-independent: collect once.
     let stats_arm = RxArm {

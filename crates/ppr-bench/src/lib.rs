@@ -1,25 +1,24 @@
-//! # `ppr-bench` — experiment binaries and criterion benches
+//! # `ppr-bench` — ablation/profiling binaries and criterion benches
 //!
-//! One binary per paper table/figure (see `src/bin/`), each printing the
-//! rows/series the paper reports, plus criterion micro-benches for the
-//! hot algorithmic paths (the chunking DP, the despreader, the chip
-//! channel).
-//!
-//! Run everything with:
+//! The paper's figure and table experiments live in the `ppr-sim`
+//! experiment registry and run through the `ppr-cli` driver:
 //!
 //! ```text
-//! cargo run --release -p ppr-bench --bin all_experiments
+//! cargo run --release -p ppr-cli -- --list
+//! cargo run --release -p ppr-cli -- run --all
+//! cargo run --release -p ppr-cli -- run fig10 --set load=3.5,6.9,13.8 --json out/
 //! ```
 //!
-//! Individual figures: `fig03_hint_cdf`, `fig08_fdr_cs`,
-//! `fig09_fdr_nocs`, `fig10_fdr_highload`, `fig11_throughput_cdf`,
-//! `fig12_throughput_scatter`, `fig13_collision_anatomy`,
-//! `fig14_miss_lengths`, `fig15_false_alarms`, `fig16_pparq_sizes`,
-//! `table2_fragcrc_chunks`, and the ablations `ablation_eta`,
-//! `ablation_hints`, `ablation_arq_strategies`.
+//! What stays here are the binaries that are *not* registry
+//! experiments: the ablations (`ablation_eta`, `ablation_hints`,
+//! `ablation_arq_strategies`, `ablation_collision_model`), the §9
+//! spreading-factor sweep (`conclusion_rate`), the development probes
+//! (`profile_sim`, `profile_stages`), the `bench_packed` perf
+//! snapshot, plus criterion micro-benches for the hot algorithmic
+//! paths (the chunking DP, the despreader, the chip channel).
 //!
 //! Set `PPR_DURATION=<seconds>` to shorten/lengthen the simulated
-//! duration (default 90 s).
+//! duration (default 90 s) — or use `--set duration=<s>` on `ppr-cli`.
 
 /// Prints a standard experiment banner.
 pub fn banner(title: &str) {

@@ -1,0 +1,127 @@
+//! Behavior tests for the `ppr-cli` driver binary, exercised through
+//! the real executable (`CARGO_BIN_EXE_ppr-cli`).
+
+use std::process::{Command, Output};
+
+fn ppr_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppr-cli"))
+        .args(args)
+        .output()
+        .expect("spawn ppr-cli")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn list_covers_every_registered_id() {
+    let out = ppr_cli(&["--list"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for exp in ppr_sim::experiments::registry() {
+        assert!(
+            text.lines().any(|l| l.starts_with(exp.id())),
+            "--list is missing {}:\n{text}",
+            exp.id()
+        );
+    }
+    // And the subcommand alias behaves identically.
+    let alias = ppr_cli(&["list"]);
+    assert_eq!(text, stdout(&alias));
+}
+
+#[test]
+fn unknown_id_exits_nonzero_with_helpful_message() {
+    let out = ppr_cli(&["run", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment \"fig99\""), "{err}");
+    // The message lists what *would* work.
+    assert!(err.contains("fig03"), "no id listing in: {err}");
+    assert!(err.contains("table1"), "no id listing in: {err}");
+}
+
+#[test]
+fn malformed_set_pairs_are_rejected() {
+    for set in ["load", "load=", "=3.5", "load=abc", "bogus=1", "eta=99"] {
+        let out = ppr_cli(&["run", "fig03", "--set", set]);
+        assert_eq!(out.status.code(), Some(2), "--set {set} must fail");
+        assert!(
+            stderr(&out).contains("error:"),
+            "--set {set}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn nothing_to_run_is_an_error() {
+    let out = ppr_cli(&["run"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("nothing to run"));
+}
+
+#[test]
+fn run_fig13_emits_report_and_json() {
+    // fig13 is the fastest full experiment (fixed three-packet scene).
+    let dir = std::env::temp_dir().join(format!("ppr_cli_json_{}", std::process::id()));
+    let out = ppr_cli(&["run", "fig13", "--json", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PPR reproduction — Figure 13"), "{text}");
+    assert!(text.contains("POSTAMBLE"), "{text}");
+    let json = std::fs::read_to_string(dir.join("fig13.json")).expect("fig13.json written");
+    assert!(json.starts_with(r#"{"id":"fig13""#), "{json}");
+    assert!(json.contains(r#""scenario":"#));
+    assert!(json.contains(r#""blocks":"#));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_produces_one_json_result_per_point() {
+    let dir = std::env::temp_dir().join(format!("ppr_cli_sweep_{}", std::process::id()));
+    // Sweep the PP-ARQ packet count: three points, no new Rust code.
+    let out = ppr_cli(&[
+        "run",
+        "fig16",
+        "--set",
+        "arq_packets=2,4,6",
+        "--set",
+        "duration=1",
+        "--json",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sweep point 1/3"), "{text}");
+    assert!(text.contains("sweep point 3/3"), "{text}");
+    for n in [2, 4, 6] {
+        let path = dir.join(format!("fig16__arq_packets={n}.json"));
+        let json =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(json.contains(&format!(r#""arq_packets":{n}"#)), "{json}");
+    }
+    // The un-swept key (duration) must not appear in filenames.
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(files.len(), 3, "{files:?}");
+    assert!(files.iter().all(|f| !f.contains("duration")), "{files:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_exits_zero_and_documents_scenario_keys() {
+    let out = ppr_cli(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for key in ["duration", "seed", "load", "eta", "backend"] {
+        assert!(text.contains(key), "--help missing {key}:\n{text}");
+    }
+}

@@ -164,6 +164,29 @@ impl DeliveryScheme {
             DeliveryScheme::Ppr { .. } => "PPR",
         }
     }
+
+    /// The three §7.2 schemes under one parameterization, in the
+    /// paper's comparison order — the canonical construction for a
+    /// scenario's (fragment size, η) knobs.
+    pub fn standard_set(frag_payload: usize, eta: u8) -> [DeliveryScheme; 3] {
+        [
+            DeliveryScheme::PacketCrc,
+            DeliveryScheme::FragmentedCrc { frag_payload },
+            DeliveryScheme::Ppr { eta },
+        ]
+    }
+
+    /// Constructs a scheme from its CLI/JSON name (`packet`, `frag`,
+    /// `ppr`), taking the fragment size and η from the given
+    /// parameterization.
+    pub fn from_name(name: &str, frag_payload: usize, eta: u8) -> Option<DeliveryScheme> {
+        match name {
+            "packet" | "packet_crc" => Some(DeliveryScheme::PacketCrc),
+            "frag" | "fragmented_crc" => Some(DeliveryScheme::FragmentedCrc { frag_payload }),
+            "ppr" => Some(DeliveryScheme::Ppr { eta }),
+            _ => None,
+        }
+    }
 }
 
 /// Counts how many delivered bytes are *correct* against the ground-truth
@@ -203,6 +226,18 @@ mod tests {
         let frames = FrameReceiver::default().receive(&stream);
         assert_eq!(frames.len(), 1, "frame_at {frame_at}");
         frames.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn standard_set_and_from_name_agree() {
+        let set = DeliveryScheme::standard_set(50, 6);
+        assert_eq!(set[0], DeliveryScheme::PacketCrc);
+        assert_eq!(set[1], DeliveryScheme::FragmentedCrc { frag_payload: 50 });
+        assert_eq!(set[2], DeliveryScheme::Ppr { eta: 6 });
+        for (name, want) in [("packet", set[0]), ("frag", set[1]), ("ppr", set[2])] {
+            assert_eq!(DeliveryScheme::from_name(name, 50, 6), Some(want));
+        }
+        assert_eq!(DeliveryScheme::from_name("bogus", 50, 6), None);
     }
 
     #[test]

@@ -1,71 +1,18 @@
 //! Shared experiment machinery: standard runs, per-link aggregation, and
 //! the experiment parameter conventions used across figures.
+//!
+//! Parameter defaults and environment overrides live in
+//! [`crate::scenario`] — this module only consumes a resolved
+//! [`Scenario`].
 
 use crate::metrics::Cdf;
 use crate::network::{
-    generate_timeline, process_receptions, RadioEnv, Reception, RxArm, SimConfig, Transmission,
+    generate_timeline, process_receptions_with_workers, RadioEnv, Reception, RxArm, SimConfig,
+    Transmission,
 };
 use crate::rxpath::Acquisition;
+use crate::scenario::{Scenario, DEFAULT_SEED};
 use ppr_mac::schemes::DeliveryScheme;
-
-/// The paper's offered loads, kbit/s/node.
-pub const LOADS: [f64; 3] = [3.5, 6.9, 13.8];
-
-/// The Table 2 optimum fragment size, bytes.
-pub const FRAG_BYTES: usize = 50;
-
-/// The paper's SoftPHY threshold.
-pub const ETA: u8 = 6;
-
-/// The default experiment duration when `PPR_DURATION` is unset or
-/// invalid, seconds.
-pub const DEFAULT_DURATION_S: f64 = 90.0;
-
-/// Default experiment duration, seconds. Override with the
-/// `PPR_DURATION` environment variable (e.g. `PPR_DURATION=20` for a
-/// quick pass). A value that does not parse as a positive, finite
-/// number of seconds is rejected with a warning on stderr — a typo'd
-/// duration must not silently run the full 90 s default.
-pub fn default_duration() -> f64 {
-    match parse_duration(std::env::var("PPR_DURATION").ok().as_deref()) {
-        Ok(d) => d,
-        Err(raw) => {
-            eprintln!(
-                "warning: ignoring invalid PPR_DURATION={raw:?} \
-                 (want a positive number of seconds); using the default \
-                 {DEFAULT_DURATION_S} s"
-            );
-            DEFAULT_DURATION_S
-        }
-    }
-}
-
-/// Parses an optional `PPR_DURATION` value. `Ok` carries the duration to
-/// use (the default when unset); `Err` carries the rejected raw value so
-/// the caller can warn.
-fn parse_duration(raw: Option<&str>) -> Result<f64, String> {
-    let Some(raw) = raw else {
-        return Ok(DEFAULT_DURATION_S);
-    };
-    match raw.trim().parse::<f64>() {
-        Ok(d) if d.is_finite() && d > 0.0 => Ok(d),
-        _ => Err(raw.to_string()),
-    }
-}
-
-/// Master seed shared by all experiments (reproducibility).
-pub const SEED: u64 = 0x0050_5052;
-
-/// The three delivery schemes under their standard parameters.
-pub fn standard_schemes() -> [DeliveryScheme; 3] {
-    [
-        DeliveryScheme::PacketCrc,
-        DeliveryScheme::FragmentedCrc {
-            frag_payload: FRAG_BYTES,
-        },
-        DeliveryScheme::Ppr { eta: ETA },
-    ]
-}
 
 /// One standard capacity run: environment + timeline, reusable across
 /// arms (the trace-post-processing methodology).
@@ -76,26 +23,48 @@ pub struct CapacityRun {
     pub cfg: SimConfig,
     /// The generated transmission timeline.
     pub timeline: Vec<Transmission>,
+    /// Reception-loop worker override (`None` = environment default).
+    pub threads: Option<usize>,
 }
 
 impl CapacityRun {
-    /// Builds a run at the given load and carrier-sense arm.
+    /// Builds a run at the given load and carrier-sense arm under the
+    /// historical defaults (master seed, 1500 B bodies).
     pub fn new(load_kbps: f64, carrier_sense: bool, duration_s: f64) -> Self {
-        let env = RadioEnv::new(SEED);
         let cfg = SimConfig {
             load_kbps,
             body_bytes: 1500,
             carrier_sense,
             duration_s,
-            seed: SEED,
+            seed: DEFAULT_SEED,
         };
+        Self::from_config(cfg, None)
+    }
+
+    /// Builds a run for a scenario at the experiment's canonical load
+    /// and carrier-sense arm (both subject to the scenario's
+    /// overrides).
+    pub fn from_scenario(scenario: &Scenario, load_kbps: f64, carrier_sense: bool) -> Self {
+        Self::from_config(
+            scenario.sim_config(load_kbps, carrier_sense),
+            scenario.threads,
+        )
+    }
+
+    fn from_config(cfg: SimConfig, threads: Option<usize>) -> Self {
+        let env = RadioEnv::new(cfg.seed);
         let timeline = generate_timeline(&env, &cfg);
-        CapacityRun { env, cfg, timeline }
+        CapacityRun {
+            env,
+            cfg,
+            timeline,
+            threads,
+        }
     }
 
     /// Evaluates one receiver arm over the shared timeline.
     pub fn receptions(&self, arm: &RxArm) -> Vec<Reception> {
-        process_receptions(&self.env, &self.cfg, &self.timeline, arm)
+        process_receptions_with_workers(&self.env, &self.cfg, &self.timeline, arm, self.threads)
     }
 }
 
@@ -175,12 +144,12 @@ pub fn throughput_cdf(env: &RadioEnv, recs: &[Reception], duration_s: f64) -> Cd
     Cdf::from_samples(samples)
 }
 
-/// The six arm combinations of Figs. 8–10: three schemes × postamble
-/// on/off, in the paper's legend order.
-pub fn six_arms() -> Vec<(String, RxArm)> {
+/// The six arm combinations of Figs. 8–10: the scenario's three schemes
+/// × postamble on/off, in the paper's legend order.
+pub fn six_arms(schemes: [DeliveryScheme; 3]) -> Vec<(String, RxArm)> {
     let mut out = Vec::new();
     for postamble in [false, true] {
-        for scheme in standard_schemes() {
+        for scheme in schemes {
             let label = format!(
                 "{}, {}",
                 scheme.name(),
@@ -206,13 +175,15 @@ pub fn six_arms() -> Vec<(String, RxArm)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{ScenarioBuilder, DEFAULT_ETA};
 
     #[test]
     fn quick_capacity_run_produces_links_and_stats() {
-        let run = CapacityRun::new(13.8, false, 4.0);
+        let sc = ScenarioBuilder::new().duration_s(4.0).build();
+        let run = CapacityRun::from_scenario(&sc, 13.8, false);
         assert!(!run.timeline.is_empty());
         let arm = RxArm {
-            scheme: DeliveryScheme::Ppr { eta: ETA },
+            scheme: DeliveryScheme::Ppr { eta: DEFAULT_ETA },
             postamble: true,
             collect_symbols: false,
         };
@@ -230,26 +201,18 @@ mod tests {
     }
 
     #[test]
-    fn duration_parsing_covers_valid_invalid_and_unset() {
-        // Unset: the default, no warning path.
-        assert_eq!(parse_duration(None), Ok(DEFAULT_DURATION_S));
-        // Valid values, including surrounding whitespace.
-        assert_eq!(parse_duration(Some("20")), Ok(20.0));
-        assert_eq!(parse_duration(Some("0.5")), Ok(0.5));
-        assert_eq!(parse_duration(Some(" 42.25 ")), Ok(42.25));
-        // Invalid values are rejected (and reported back verbatim).
-        for bad in ["", "abc", "20s", "1e999", "nan", "inf", "-5", "0"] {
-            assert_eq!(
-                parse_duration(Some(bad)),
-                Err(bad.to_string()),
-                "{bad:?} must be rejected"
-            );
-        }
+    fn scenario_run_matches_legacy_constructor() {
+        let sc = ScenarioBuilder::new().duration_s(3.0).build();
+        let a = CapacityRun::from_scenario(&sc, 13.8, false);
+        let b = CapacityRun::new(13.8, false, 3.0);
+        assert_eq!(a.cfg, b.cfg);
+        assert_eq!(a.timeline, b.timeline);
     }
 
     #[test]
     fn six_arms_cover_schemes_and_postamble() {
-        let arms = six_arms();
+        let sc = ScenarioBuilder::new().duration_s(1.0).build();
+        let arms = six_arms(sc.schemes());
         assert_eq!(arms.len(), 6);
         assert_eq!(arms.iter().filter(|(_, a)| a.postamble).count(), 3);
         assert!(arms[0].0.contains("Packet CRC"));

@@ -7,11 +7,12 @@
 //! per-codeword (hint, correctness) pairs from every acquired packet in
 //! the standard capacity run and prints the six CDF curves.
 
-use super::common::{CapacityRun, ETA, LOADS};
+use super::common::CapacityRun;
+use super::Experiment;
 use crate::metrics::HintHistogram;
 use crate::network::RxArm;
-use crate::report::{fmt, Table};
-use ppr_mac::schemes::DeliveryScheme;
+use crate::results::{ExperimentResult, TableBlock};
+use crate::scenario::{Scenario, LOADS};
 
 /// The collected statistics for one load.
 #[derive(Debug, Clone)]
@@ -22,17 +23,18 @@ pub struct LoadHints {
     pub hist: HintHistogram,
 }
 
-/// Runs the experiment at every load.
-pub fn collect(duration_s: f64) -> Vec<LoadHints> {
-    LOADS
-        .iter()
-        .map(|&load| {
+/// Runs the experiment at every load (or the scenario's pinned load).
+pub fn collect(scenario: &Scenario) -> Vec<LoadHints> {
+    scenario
+        .loads(&LOADS)
+        .into_iter()
+        .map(|load| {
             // Carrier sense on: the CC2420 default, and the §3.2/§7.4
             // hint-statistics environment (the paper disables CS only in
             // the experiments that say so, Figs. 9-12).
-            let run = CapacityRun::new(load, true, duration_s);
+            let run = CapacityRun::from_scenario(scenario, load, true);
             let arm = RxArm {
-                scheme: DeliveryScheme::Ppr { eta: ETA },
+                scheme: scenario.ppr_scheme(),
                 postamble: true,
                 collect_symbols: true,
             };
@@ -50,62 +52,102 @@ pub fn collect(duration_s: f64) -> Vec<LoadHints> {
         .collect()
 }
 
-/// Renders the Fig. 3 curves: `P(distance ≤ d)` at d = 0..12 for each
-/// (load, correctness) combination.
-pub fn render(data: &[LoadHints]) -> String {
-    let mut out = String::from(
-        "Figure 3: CDF of Hamming distance per received codeword,\n\
-         split by decode correctness (cf. paper Fig. 3)\n\n",
-    );
-    let mut t = Table::new(&[
-        "load (kbit/s)",
-        "codewords",
-        "d<=0",
-        "d<=1",
-        "d<=3",
-        "d<=6",
-        "d<=9",
-        "d<=12",
-    ]);
-    for lh in data {
-        for correct in [true, false] {
-            let cdf = lh.hist.cdf(correct);
-            let n = if correct {
-                lh.hist.total_correct()
-            } else {
-                lh.hist.total_incorrect()
-            };
-            t.row(&[
-                format!(
-                    "{} {}",
-                    lh.load_kbps,
-                    if correct { "correct" } else { "incorrect" }
-                ),
-                n.to_string(),
-                fmt(cdf[0]),
-                fmt(cdf[1]),
-                fmt(cdf[3]),
-                fmt(cdf[6]),
-                fmt(cdf[9]),
-                fmt(cdf[12]),
-            ]);
-        }
+/// The Fig. 3 experiment.
+pub struct Fig03;
+
+impl Experiment for Fig03 {
+    fn id(&self) -> &'static str {
+        "fig03"
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nShape targets: correct codewords concentrate at d<=1 (~0.96 in\n\
-         the paper); incorrect codewords mostly d>6 (<=0.10 below).\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Figure 3: SoftPHY hint distributions"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 3"
+    }
+
+    fn description(&self) -> &'static str {
+        "Hamming-distance CDFs for correct vs incorrect codewords, per load"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let data = collect(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(
+            "Figure 3: CDF of Hamming distance per received codeword,\n\
+             split by decode correctness (cf. paper Fig. 3)\n\n",
+        );
+        let mut t = TableBlock::new(&[
+            "load (kbit/s)",
+            "codewords",
+            "d<=0",
+            "d<=1",
+            "d<=3",
+            "d<=6",
+            "d<=9",
+            "d<=12",
+        ]);
+        for lh in &data {
+            for correct in [true, false] {
+                let cdf = lh.hist.cdf(correct);
+                let n = if correct {
+                    lh.hist.total_correct()
+                } else {
+                    lh.hist.total_incorrect()
+                };
+                t.row(vec![
+                    format!(
+                        "{} {}",
+                        lh.load_kbps,
+                        if correct { "correct" } else { "incorrect" }
+                    )
+                    .into(),
+                    n.into(),
+                    cdf[0].into(),
+                    cdf[1].into(),
+                    cdf[3].into(),
+                    cdf[6].into(),
+                    cdf[9].into(),
+                    cdf[12].into(),
+                ]);
+            }
+        }
+        res.table(t);
+        res.text(
+            "\nShape targets: correct codewords concentrate at d<=1 (~0.96 in\n\
+             the paper); incorrect codewords mostly d>6 (<=0.10 below).\n",
+        );
+        let eta = scenario.eta;
+        for lh in &data {
+            let load = lh.load_kbps;
+            res.metric(format!("p_d_le1_correct@{load}"), lh.hist.cdf(true)[1]);
+            res.metric(format!("miss_rate_at_eta@{load}"), lh.hist.miss_rate(eta));
+            res.metric(
+                format!("false_alarm_rate_at_eta@{load}"),
+                lh.hist.false_alarm_rate(eta),
+            );
+        }
+        // Headline values at the highest load (Table 1's inputs).
+        if let Some(hi) = data.last() {
+            res.metric("p_d_le1_correct", hi.hist.cdf(true)[1]);
+            res.metric("miss_rate_at_eta", hi.hist.miss_rate(eta));
+            res.metric("false_alarm_rate_at_eta", hi.hist.false_alarm_rate(eta));
+        }
+        res
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
 
     #[test]
     fn correct_and_incorrect_distributions_separate() {
-        let data = collect(4.0);
+        let sc = ScenarioBuilder::new().duration_s(4.0).build();
+        let data = collect(&sc);
         assert_eq!(data.len(), 3);
         // Use the highest load (most collisions → most incorrect
         // codewords) for the shape assertions.
@@ -120,5 +162,22 @@ mod tests {
         assert!(i[6] < 0.3, "P(d<=6 | incorrect) = {}", i[6]);
         // And the two curves are far apart at the threshold.
         assert!(c[6] - i[6] > 0.5);
+    }
+
+    #[test]
+    fn result_metrics_expose_table1_inputs() {
+        let sc = ScenarioBuilder::new().duration_s(3.0).build();
+        let res = Fig03.run(&sc);
+        for key in [
+            "p_d_le1_correct",
+            "miss_rate_at_eta",
+            "false_alarm_rate_at_eta",
+        ] {
+            let v = res
+                .get_metric(key)
+                .unwrap_or_else(|| panic!("missing {key}"));
+            assert!((0.0..=1.0).contains(&v), "{key} = {v}");
+        }
+        assert!(res.render_text().contains("load (kbit/s)"));
     }
 }

@@ -22,6 +22,9 @@
 //! no carrier recovery; small phase offsets are modeled, large ones
 //! would need the derotation stage the paper also does not implement.)
 
+use super::Experiment;
+use crate::results::ExperimentResult;
+use crate::scenario::{Scenario, DEFAULT_SEED};
 use ppr_channel::sample_channel::{render, WaveformTx};
 use ppr_mac::frame::Frame;
 use ppr_mac::rx::{FrameReceiver, RxConfig};
@@ -58,11 +61,16 @@ pub struct CollisionAnatomy {
 const P1_BODY: usize = 240;
 const P2_BODY: usize = 100;
 
-/// Runs the collision scenario.
+/// Runs the collision scenario under the historical fixed seed.
 pub fn collect() -> CollisionAnatomy {
+    collect_seeded(1313)
+}
+
+/// Runs the collision scenario with an explicit channel-noise seed.
+pub fn collect_seeded(seed: u64) -> CollisionAnatomy {
     let sps = 4;
     let modem = MskModem::new(sps);
-    let mut rng = StdRng::seed_from_u64(1313);
+    let mut rng = StdRng::seed_from_u64(seed);
 
     let p1 = Frame::new(1, 10, 0, test_payload(P1_BODY, 0xA1));
     let p2 = Frame::new(1, 11, 0, test_payload(P2_BODY, 0xB2));
@@ -149,45 +157,98 @@ fn test_payload(len: usize, tag: u8) -> Vec<u8> {
         .collect()
 }
 
-/// Renders the two traces (codeword index, Hamming distance, correct?).
-pub fn render_anatomy(a: &CollisionAnatomy) -> String {
-    let mut out = String::from(
-        "Figure 13: partial packet reception during two concurrent\n\
-         transmissions (sample-level DSP path)\n\n",
-    );
-    for p in &a.packets {
-        out.push_str(&format!(
-            "packet {} — sync: {:?}, {} codewords, overlapped symbols {}..{}\n",
-            p.index + 1,
-            p.sync,
-            p.hamming.len(),
-            p.overlap_symbols.0,
-            p.overlap_symbols.1,
-        ));
-        if p.hamming.is_empty() {
-            continue;
-        }
-        out.push_str("codeword  hamming  correct\n");
-        for (i, (&h, &c)) in p.hamming.iter().zip(&p.correct).enumerate() {
-            if i % 4 == 0 {
-                // The paper plots every fourth codeword for clarity.
-                out.push_str(&format!("{i:>8}  {h:>7}  {}\n", if c { "*" } else { "" }));
-            }
-        }
-        out.push('\n');
+/// The Fig. 13 experiment. Inherently sample-level DSP — the scenario's
+/// `backend` knob does not apply; duration and load are likewise fixed
+/// by the three-transmission scene, though the seed override flows
+/// through to the channel noise.
+pub struct Fig13;
+
+impl Experiment for Fig13 {
+    fn id(&self) -> &'static str {
+        "fig13"
     }
-    out.push_str(
-        "Shape targets: packet 2 decodes cleanly (hamming ~0) throughout\n\
-         despite overlapping packet 1; packet 1 shows large hamming over\n\
-         the overlap, a clean tail after packet 2 ends, and is recovered\n\
-         via its POSTAMBLE.\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Figure 13: collision anatomy (DSP path)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 13"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-codeword anatomy of a two-packet collision, sample-level DSP"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        // XOR with the default master seed so the historical chip
+        // stream (seed 1313) is preserved under the default scenario.
+        let a = collect_seeded(1313 ^ scenario.seed ^ DEFAULT_SEED);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(
+            "Figure 13: partial packet reception during two concurrent\n\
+             transmissions (sample-level DSP path)\n\n",
+        );
+        for p in &a.packets {
+            res.text(format!(
+                "packet {} — sync: {:?}, {} codewords, overlapped symbols {}..{}\n",
+                p.index + 1,
+                p.sync,
+                p.hamming.len(),
+                p.overlap_symbols.0,
+                p.overlap_symbols.1,
+            ));
+            res.metric(
+                format!("packet{}_codewords", p.index + 1),
+                p.hamming.len() as f64,
+            );
+            res.metric(
+                format!("packet{}_correct", p.index + 1),
+                p.correct.iter().filter(|&&c| c).count() as f64,
+            );
+            res.metric(
+                format!("packet{}_postamble_sync", p.index + 1),
+                match p.sync {
+                    Some(SyncKind::Postamble) => 1.0,
+                    _ => 0.0,
+                },
+            );
+            if p.hamming.is_empty() {
+                continue;
+            }
+            let mut listing = String::from("codeword  hamming  correct\n");
+            for (i, (&h, &c)) in p.hamming.iter().zip(&p.correct).enumerate() {
+                if i % 4 == 0 {
+                    // The paper plots every fourth codeword for clarity.
+                    listing.push_str(&format!("{i:>8}  {h:>7}  {}\n", if c { "*" } else { "" }));
+                }
+            }
+            listing.push('\n');
+            res.text(listing);
+        }
+        res.text(
+            "Shape targets: packet 2 decodes cleanly (hamming ~0) throughout\n\
+             despite overlapping packet 1; packet 1 shows large hamming over\n\
+             the overlap, a clean tail after packet 2 ends, and is recovered\n\
+             via its POSTAMBLE.\n",
+        );
+        res
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn experiment_seed_derivation_preserves_historical_stream() {
+        // Under the default master seed the experiment must evaluate the
+        // exact historical scenario (seed 1313).
+        let sc = crate::scenario::ScenarioBuilder::new()
+            .duration_s(1.0)
+            .build();
+        assert_eq!(1313 ^ sc.seed ^ DEFAULT_SEED, 1313);
+    }
 
     #[test]
     fn collision_anatomy_reproduces_paper_narrative() {

@@ -9,22 +9,23 @@
 //! catches the rest).
 
 use super::common::CapacityRun;
+use super::Experiment;
 use crate::metrics::MissRunHistogram;
 use crate::network::RxArm;
-use crate::report::series;
-use ppr_mac::schemes::DeliveryScheme;
+use crate::results::ExperimentResult;
+use crate::scenario::Scenario;
 
 /// Thresholds evaluated, as in the paper.
 pub const ETAS: [u8; 4] = [1, 2, 3, 4];
 
 /// Collects the miss-run histogram from the high-load run (most
 /// collisions → most misses).
-pub fn collect(duration_s: f64) -> MissRunHistogram {
+pub fn collect(scenario: &Scenario) -> MissRunHistogram {
     // Carrier sense on, as in the Fig. 3 hint-statistics runs; high
     // load maximizes the collision (and therefore miss) count.
-    let run = CapacityRun::new(13.8, true, duration_s);
+    let run = CapacityRun::from_scenario(scenario, 13.8, true);
     let arm = RxArm {
-        scheme: DeliveryScheme::Ppr { eta: 6 },
+        scheme: scenario.ppr_scheme(),
         postamble: true,
         collect_symbols: true,
     };
@@ -37,36 +38,66 @@ pub fn collect(duration_s: f64) -> MissRunHistogram {
     hist
 }
 
-/// Renders the Fig. 14 CCDF curves.
-pub fn render(hist: &MissRunHistogram) -> String {
-    let mut out = String::from(
-        "Figure 14: CCDF of contiguous miss lengths at thresholds eta\n\
-         (high load, 13.8 kbit/s/node)\n\n",
-    );
-    for (e, &eta) in hist.etas.iter().enumerate() {
-        let ccdf = hist.ccdf(e);
-        let pts: Vec<(f64, f64)> = ccdf
-            .iter()
-            .take(30)
-            .map(|&(len, p)| (len as f64, p))
-            .collect();
-        out.push_str(&series(&format!("eta = {eta}"), &pts));
-        out.push('\n');
+/// The Fig. 14 experiment.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
     }
-    out.push_str(
-        "Shape targets: mass concentrated at length 1 (~30 % in the\n\
-         paper); CCDF decays at least as fast as an exponential.\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Figure 14: contiguous miss lengths"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 14"
+    }
+
+    fn description(&self) -> &'static str {
+        "CCDF of contiguous miss-run lengths at eta in {1,2,3,4}, high load"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let hist = collect(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Figure 14: CCDF of contiguous miss lengths at thresholds eta\n\
+             (high load, {} kbit/s/node)\n\n",
+            scenario.load_or(13.8)
+        ));
+        for (e, &eta) in hist.etas.iter().enumerate() {
+            let ccdf = hist.ccdf(e);
+            let pts: Vec<(f64, f64)> = ccdf
+                .iter()
+                .take(30)
+                .map(|&(len, p)| (len as f64, p))
+                .collect();
+            let total_runs: u64 = hist.counts[e].iter().sum();
+            res.metric(format!("miss_runs_eta{eta}"), total_runs as f64);
+            if let Some(&(_, p2)) = ccdf.get(1) {
+                res.metric(format!("p_len_ge2_eta{eta}"), p2);
+            }
+            res.series(format!("eta = {eta}"), pts);
+            res.text("\n");
+        }
+        res.text(
+            "Shape targets: mass concentrated at length 1 (~30 % in the\n\
+             paper); CCDF decays at least as fast as an exponential.\n",
+        );
+        res
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
 
     #[test]
     fn miss_lengths_are_short_and_decaying() {
-        let hist = collect(6.0);
+        let sc = ScenarioBuilder::new().duration_s(6.0).build();
+        let hist = collect(&sc);
         // Use eta = 4 (most permissive -> most misses).
         let e = 3;
         let ccdf = hist.ccdf(e);

@@ -6,21 +6,23 @@
 //! the rate tiny (~5 × 10⁻³ at η = 6) and only weakly load-dependent —
 //! which is why PPR's overhead from conservatism is negligible.
 
-use super::common::{CapacityRun, LOADS};
+use super::common::CapacityRun;
+use super::Experiment;
 use crate::metrics::HintHistogram;
 use crate::network::RxArm;
-use crate::report::{fmt, Table};
-use ppr_mac::schemes::DeliveryScheme;
+use crate::results::{ExperimentResult, TableBlock};
+use crate::scenario::{Scenario, LOADS};
 
 /// Collected histograms per load.
-pub fn collect(duration_s: f64) -> Vec<(f64, HintHistogram)> {
-    LOADS
-        .iter()
-        .map(|&load| {
+pub fn collect(scenario: &Scenario) -> Vec<(f64, HintHistogram)> {
+    scenario
+        .loads(&LOADS)
+        .into_iter()
+        .map(|load| {
             // Carrier sense on, as in the Fig. 3 hint-statistics runs.
-            let run = CapacityRun::new(load, true, duration_s);
+            let run = CapacityRun::from_scenario(scenario, load, true);
             let arm = RxArm {
-                scheme: DeliveryScheme::Ppr { eta: 6 },
+                scheme: scenario.ppr_scheme(),
                 postamble: true,
                 collect_symbols: true,
             };
@@ -35,35 +37,67 @@ pub fn collect(duration_s: f64) -> Vec<(f64, HintHistogram)> {
         .collect()
 }
 
-/// Renders false-alarm rates over η = 0..12 per load.
-pub fn render(data: &[(f64, HintHistogram)]) -> String {
-    let mut out = String::from(
-        "Figure 15: false-alarm rate (CCDF of correct codewords' Hamming\n\
-         distance) vs threshold eta\n\n",
-    );
-    let mut t = Table::new(&["eta", "3.5 kbit/s", "6.9 kbit/s", "13.8 kbit/s"]);
-    for eta in 0..=12u8 {
-        let mut row = vec![eta.to_string()];
-        for (_, hist) in data {
-            row.push(fmt(hist.false_alarm_rate(eta)));
-        }
-        t.row(&row);
+/// The Fig. 15 experiment.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nShape targets: ~5e-3 at eta = 6, weak load dependence,\n\
-         monotone decreasing in eta.\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Figure 15: false-alarm rates"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 15"
+    }
+
+    fn description(&self) -> &'static str {
+        "False-alarm rate vs threshold eta, per offered load"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let data = collect(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(
+            "Figure 15: false-alarm rate (CCDF of correct codewords' Hamming\n\
+             distance) vs threshold eta\n\n",
+        );
+        let mut headers = vec!["eta".to_string()];
+        headers.extend(data.iter().map(|(load, _)| format!("{load} kbit/s")));
+        let mut t = TableBlock::new(&headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for eta in 0..=12u8 {
+            let mut row = vec![crate::results::Cell::Str(eta.to_string())];
+            for (_, hist) in &data {
+                row.push(hist.false_alarm_rate(eta).into());
+            }
+            t.row(row);
+        }
+        res.table(t);
+        res.text(
+            "\nShape targets: ~5e-3 at eta = 6, weak load dependence,\n\
+             monotone decreasing in eta.\n",
+        );
+        for (load, hist) in &data {
+            res.metric(
+                format!("false_alarm_at_eta@{load}"),
+                hist.false_alarm_rate(scenario.eta),
+            );
+        }
+        res
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
 
     #[test]
     fn false_alarm_rate_is_small_and_monotone() {
-        let data = collect(5.0);
+        let sc = ScenarioBuilder::new().duration_s(5.0).build();
+        let data = collect(&sc);
         for (load, hist) in &data {
             assert!(hist.total_correct() > 1000, "load {load}: too few samples");
             let fa6 = hist.false_alarm_rate(6);

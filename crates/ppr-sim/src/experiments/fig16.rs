@@ -13,9 +13,12 @@
 //! bursts, and decoded with SoftPHY hints, exactly like a network
 //! reception.
 
+use super::Experiment;
 use crate::metrics::Cdf;
-use crate::report::{fmt, series, Table};
+use crate::report::fmt;
+use crate::results::{ExperimentResult, TableBlock};
 use crate::rxpath::FastRx;
+use crate::scenario::{Scenario, DEFAULT_SEED};
 use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr_core::arq::{run_session, ArqChannel, PpArqConfig, SessionStats};
 use ppr_mac::frame::Frame;
@@ -121,10 +124,16 @@ pub struct PpArqRun {
     pub packet_bytes: usize,
 }
 
-/// Runs `n_packets` back-to-back 250 B transfers.
+/// Runs `n_packets` back-to-back 250 B transfers under the historical
+/// fixed channel seed.
 pub fn collect(n_packets: usize) -> PpArqRun {
+    collect_seeded(n_packets, 0xF16)
+}
+
+/// Runs `n_packets` transfers with an explicit channel seed.
+pub fn collect_seeded(n_packets: usize, seed: u64) -> PpArqRun {
     let packet_bytes = 250;
-    let mut channel = RadioLinkChannel::marginal(0xF16);
+    let mut channel = RadioLinkChannel::marginal(seed);
     let mut retx_sizes = Vec::new();
     let mut sessions = Vec::new();
     for i in 0..n_packets {
@@ -143,39 +152,68 @@ pub fn collect(n_packets: usize) -> PpArqRun {
     }
 }
 
-/// Renders the Fig. 16 CDF.
-pub fn render(run: &PpArqRun) -> String {
-    let sizes: Vec<f64> = run.retx_sizes.iter().map(|&s| s as f64).collect();
-    let cdf = Cdf::from_samples(sizes);
-    let mut out = format!(
-        "Figure 16: sizes of PP-ARQ partial retransmissions\n\
-         ({} sessions of {} B packets over a marginal bursty link)\n\n",
-        run.sessions.len(),
-        run.packet_bytes
-    );
-    let mut t = Table::new(&["metric", "value"]);
-    t.row(&["retransmission packets".into(), cdf.len().to_string()]);
-    t.row(&["median size (bytes)".into(), fmt(cdf.median())]);
-    t.row(&[
-        "p25 / p75".into(),
-        format!("{} / {}", fmt(cdf.quantile(0.25)), fmt(cdf.quantile(0.75))),
-    ]);
-    let completed = run.sessions.iter().filter(|s| s.completed).count();
-    t.row(&[
-        "sessions completed".into(),
-        format!("{completed}/{}", run.sessions.len()),
-    ]);
-    let mean_rounds = run.sessions.iter().map(|s| s.rounds as f64).sum::<f64>()
-        / run.sessions.len().max(1) as f64;
-    t.row(&["mean rounds".into(), fmt(mean_rounds)]);
-    out.push_str(&t.render());
-    out.push('\n');
-    out.push_str(&series("retx size CDF", &cdf.series(0.0, 300.0, 16)));
-    out.push_str(
-        "\nShape target: median retransmission ~half the 250 B packet\n\
-         (the paper's preliminary implementation reports ~125 B).\n",
-    );
-    out
+/// The Fig. 16 experiment. The packet count rides the scenario's
+/// `arq_packets` knob (default 300, the historical binary's count).
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 16: PP-ARQ retransmission sizes"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 16"
+    }
+
+    fn description(&self) -> &'static str {
+        "PP-ARQ partial-retransmission size CDF over a marginal bursty link"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        // XOR with the default master seed so the historical channel
+        // stream (seed 0xF16) is preserved under the default scenario.
+        let run = collect_seeded(scenario.arq_packets, 0xF16 ^ scenario.seed ^ DEFAULT_SEED);
+        let sizes: Vec<f64> = run.retx_sizes.iter().map(|&s| s as f64).collect();
+        let cdf = Cdf::from_samples(sizes);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Figure 16: sizes of PP-ARQ partial retransmissions\n\
+             ({} sessions of {} B packets over a marginal bursty link)\n\n",
+            run.sessions.len(),
+            run.packet_bytes
+        ));
+        let mut t = TableBlock::new(&["metric", "value"]);
+        t.row(vec!["retransmission packets".into(), cdf.len().into()]);
+        t.row(vec!["median size (bytes)".into(), cdf.median().into()]);
+        t.row(vec![
+            "p25 / p75".into(),
+            format!("{} / {}", fmt(cdf.quantile(0.25)), fmt(cdf.quantile(0.75))).into(),
+        ]);
+        let completed = run.sessions.iter().filter(|s| s.completed).count();
+        t.row(vec![
+            "sessions completed".into(),
+            format!("{completed}/{}", run.sessions.len()).into(),
+        ]);
+        let mean_rounds = run.sessions.iter().map(|s| s.rounds as f64).sum::<f64>()
+            / run.sessions.len().max(1) as f64;
+        t.row(vec!["mean rounds".into(), mean_rounds.into()]);
+        res.table(t);
+        res.text("\n");
+        res.series("retx size CDF", cdf.series(0.0, 300.0, 16));
+        res.text(
+            "\nShape target: median retransmission ~half the 250 B packet\n\
+             (the paper's preliminary implementation reports ~125 B).\n",
+        );
+        res.metric("median_retx_bytes", cdf.median());
+        res.metric("packet_bytes", run.packet_bytes as f64);
+        res.metric("sessions_completed", completed as f64);
+        res.metric("mean_rounds", mean_rounds);
+        res
+    }
 }
 
 #[cfg(test)]

@@ -10,9 +10,13 @@
 //! | [`fig15`] | Fig. 15 — false-alarm rate vs threshold |
 //! | [`fig16`] | Fig. 16 — PP-ARQ retransmission sizes |
 //! | [`table2`] | Table 2 — fragmented-CRC chunk-size sweep |
+//! | [`mrd`] | §8.4 — multi-radio diversity combining |
+//! | [`relay`] | §8.4 — partial-packet mesh forwarding |
+//! | [`table1`] | Table 1 — findings summary, distilled from the rest |
 //!
-//! Table 1 (the findings summary) is regenerated by
-//! [`table1_summary`], which distills the others.
+//! Every experiment implements [`Experiment`] and registers itself in
+//! [`registry`], so drivers (the `ppr-cli` binary, the golden
+//! regression test) enumerate them instead of hard-wiring binaries.
 
 pub mod common;
 pub mod fdr;
@@ -23,62 +27,101 @@ pub mod fig15;
 pub mod fig16;
 pub mod mrd;
 pub mod relay;
+pub mod table1;
 pub mod table2;
 pub mod throughput;
 
-/// Regenerates the qualitative Table 1 summary from quick runs of the
-/// main experiments (used by the `all_experiments` binary).
-pub fn table1_summary(duration_s: f64) -> String {
-    let mut out = String::from("Table 1: summary of experimental findings\n\n");
+use crate::results::ExperimentResult;
+use crate::scenario::Scenario;
 
-    // PPR capacity (§7.2): medians under high load.
-    let curves = fdr::collect(13.8, false, duration_s);
-    let median = |label: &str| -> f64 {
-        curves
-            .iter()
-            .find(|c| c.label.contains(label))
-            .map(|c| c.cdf.median())
-            .unwrap_or(f64::NAN)
-    };
-    let pkt = median("Packet CRC, postamble");
-    let frag = median("Fragmented CRC, postamble");
-    let ppr = median("PPR, postamble");
-    out.push_str(&format!(
-        "PPR capacity (7.2): median per-link FDR at high load —\n\
-         packet CRC {:.3}, fragmented CRC {:.3}, PPR {:.3}\n\
-         (PPR/packet ratio {:.1}x, PPR/frag ratio {:.2}x)\n\n",
-        pkt,
-        frag,
-        ppr,
-        if pkt > 0.0 { ppr / pkt } else { f64::INFINITY },
-        if frag > 0.0 {
-            ppr / frag
-        } else {
-            f64::INFINITY
-        },
-    ));
+/// A runnable paper experiment.
+///
+/// Implementations are zero-sized unit structs registered in
+/// [`registry`]; all parameterization flows through the [`Scenario`].
+pub trait Experiment: Sync {
+    /// Stable registry id (e.g. `fig10`) — the CLI `run <id>` handle.
+    fn id(&self) -> &'static str;
 
-    // SoftPHY hints (§7.4).
-    let hints = fig03::collect(duration_s);
-    let hi = &hints[2].hist;
-    out.push_str(&format!(
-        "SoftPHY hints (7.4): P(d<=1 | correct) = {:.3}; miss rate at\n\
-         eta=6 = {:.3}; false-alarm rate at eta=6 = {:.4}\n\n",
-        hi.cdf(true)[1],
-        hi.miss_rate(6),
-        hi.false_alarm_rate(6),
-    ));
+    /// Human banner title (what the old per-figure binaries printed).
+    fn title(&self) -> &'static str;
 
-    // PP-ARQ (§7.5).
-    let arq = fig16::collect(40);
-    let sizes: Vec<f64> = arq.retx_sizes.iter().map(|&s| s as f64).collect();
-    let cdf = crate::metrics::Cdf::from_samples(sizes);
-    out.push_str(&format!(
-        "PP-ARQ (7.5): median retransmission {:.0} B of {} B packets\n\
-         ({:.0}% of full packet; paper reports ~50%)\n",
-        cdf.median(),
-        arq.packet_bytes,
-        100.0 * cdf.median() / arq.packet_bytes as f64,
-    ));
-    out
+    /// The paper artifact this reproduces (e.g. `Figure 10`).
+    fn paper_ref(&self) -> &'static str;
+
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+
+    /// Runs the experiment under a scenario.
+    fn run(&self, scenario: &Scenario) -> ExperimentResult;
+
+    /// Runs with access to results already computed this invocation
+    /// (in registry order). The default ignores them; derived
+    /// experiments like [`table1`] override this to reuse prior
+    /// results instead of re-running their dependencies.
+    fn run_with(&self, scenario: &Scenario, _prior: &[ExperimentResult]) -> ExperimentResult {
+        self.run(scenario)
+    }
+}
+
+/// Every registered experiment, in the canonical `--all` run order
+/// (derived experiments last, so [`Experiment::run_with`] finds their
+/// dependencies already computed).
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 14] = [
+        &fig03::Fig03,
+        &table2::Table2,
+        &fdr::FIG08,
+        &fdr::FIG09,
+        &fdr::FIG10,
+        &throughput::Fig11,
+        &throughput::Fig12,
+        &fig13::Fig13,
+        &fig14::Fig14,
+        &fig15::Fig15,
+        &fig16::Fig16,
+        &mrd::Mrd,
+        &relay::Relay,
+        &table1::Table1,
+    ];
+    &REGISTRY
+}
+
+/// Looks up an experiment by registry id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut seen = std::collections::HashSet::new();
+        for exp in registry() {
+            assert!(seen.insert(exp.id()), "duplicate id {}", exp.id());
+            assert!(find(exp.id()).is_some());
+            assert!(!exp.title().is_empty());
+            assert!(!exp.paper_ref().is_empty());
+            assert!(!exp.description().is_empty());
+        }
+        assert_eq!(seen.len(), 14);
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn registry_covers_every_paper_experiment() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        for want in [
+            "fig03", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "table1", "table2", "mrd", "relay",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        // Derived experiments come after their dependencies.
+        let pos = |id: &str| ids.iter().position(|&x| x == id).unwrap();
+        assert!(pos("table1") > pos("fig10"));
+        assert!(pos("table1") > pos("fig03"));
+        assert!(pos("table1") > pos("fig16"));
+    }
 }

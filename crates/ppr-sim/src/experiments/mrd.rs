@@ -11,13 +11,15 @@
 //! minimum hint, then compares delivered-correct bytes against the best
 //! single receiver.
 
-use super::common::{CapacityRun, ETA};
-use crate::network::{payload_pattern, RxArm, SQUELCH_SNR};
+use super::common::CapacityRun;
+use super::Experiment;
+use crate::network::{payload_pattern, SQUELCH_SNR};
+use crate::results::ExperimentResult;
 use crate::rxpath::FastRx;
+use crate::scenario::Scenario;
 use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
 use ppr_mac::frame::Frame;
-use ppr_mac::schemes::DeliveryScheme;
 use ppr_phy::softphy::SoftSymbol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,18 +42,13 @@ pub struct MrdResult {
 /// Runs the combining experiment at high load (collisions corrupt
 /// different spans at different receivers, which is where diversity
 /// pays).
-pub fn collect(duration_s: f64) -> MrdResult {
-    let run = CapacityRun::new(13.8, false, duration_s);
+pub fn collect(scenario: &Scenario) -> MrdResult {
+    let eta = scenario.eta;
+    let run = CapacityRun::from_scenario(scenario, 13.8, false);
     let env = &run.env;
     let cfg = &run.cfg;
     let noise = env.model.noise_mw();
-    let scheme = DeliveryScheme::Ppr { eta: ETA };
-    let arm = RxArm {
-        scheme,
-        postamble: true,
-        collect_symbols: false,
-    };
-    let _ = arm;
+    let scheme = scenario.ppr_scheme();
     let fast = FastRx::new(true);
     let payload_len = scheme.payload_len(cfg.body_bytes);
 
@@ -129,8 +126,8 @@ pub fn collect(duration_s: f64) -> MrdResult {
         while k + 1 < s1 {
             let lo = &combined[k];
             let hi_n = &combined[k + 1];
-            if lo.hint <= ETA
-                && hi_n.hint <= ETA
+            if lo.hint <= eta
+                && hi_n.hint <= eta
                 && lo.symbol == tx_symbols[k]
                 && hi_n.symbol == tx_symbols[k + 1]
             {
@@ -146,23 +143,50 @@ pub fn collect(duration_s: f64) -> MrdResult {
     result
 }
 
-/// Renders the MRD comparison.
-pub fn render(r: &MrdResult) -> String {
-    format!(
-        "Extension: SoftPHY multi-radio diversity combining (8.4)\n\n\
-         transmissions with >=2 copies: {}\n\
-         best single receiver:  {} correct bytes\n\
-         min-hint combining:    {} correct bytes ({:+.1}%)\n\
-         packets only complete after combining: {}\n\n\
-         Expected: combining >= best single receiver (different collisions\n\
-         corrupt different spans at different receivers), with whole\n\
-         packets rescued that no single radio recovered.\n",
-        r.transmissions,
-        r.best_single,
-        r.combined,
-        100.0 * (r.combined as f64 / r.best_single.max(1) as f64 - 1.0),
-        r.rescued_packets,
-    )
+/// The MRD combining experiment.
+pub struct Mrd;
+
+impl Experiment for Mrd {
+    fn id(&self) -> &'static str {
+        "mrd"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: multi-radio diversity combining"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 8.4"
+    }
+
+    fn description(&self) -> &'static str {
+        "Min-hint diversity combining across receivers vs the best single radio"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let r = collect(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Extension: SoftPHY multi-radio diversity combining (8.4)\n\n\
+             transmissions with >=2 copies: {}\n\
+             best single receiver:  {} correct bytes\n\
+             min-hint combining:    {} correct bytes ({:+.1}%)\n\
+             packets only complete after combining: {}\n\n\
+             Expected: combining >= best single receiver (different collisions\n\
+             corrupt different spans at different receivers), with whole\n\
+             packets rescued that no single radio recovered.\n",
+            r.transmissions,
+            r.best_single,
+            r.combined,
+            100.0 * (r.combined as f64 / r.best_single.max(1) as f64 - 1.0),
+            r.rescued_packets,
+        ));
+        res.metric("transmissions", r.transmissions as f64);
+        res.metric("best_single_bytes", r.best_single as f64);
+        res.metric("combined_bytes", r.combined as f64);
+        res.metric("rescued_packets", r.rescued_packets as f64);
+        res
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +195,10 @@ mod tests {
 
     #[test]
     fn combining_never_loses_and_sometimes_rescues() {
-        let r = collect(8.0);
+        let sc = crate::scenario::ScenarioBuilder::new()
+            .duration_s(8.0)
+            .build();
+        let r = collect(&sc);
         assert!(r.transmissions > 10, "too few multi-copy transmissions");
         assert!(
             r.combined as f64 >= 0.98 * r.best_single as f64,

@@ -1,0 +1,193 @@
+//! Table 1: the qualitative findings summary, distilled from the other
+//! experiments.
+//!
+//! Historically this re-ran the Fig. 10 FDR sweep, the Fig. 3 hint
+//! statistics and a PP-ARQ session batch from scratch. As a registry
+//! experiment it instead *sources its numbers from already-computed
+//! [`ExperimentResult`]s* when the driver hands them over
+//! ([`Experiment::run_with`]) — in an `--all` run the summary costs
+//! nothing beyond string formatting. Run standalone, it computes the
+//! three dependencies itself at the scenario's full duration (the old
+//! code clamped to 30 s; with reuse there is no reason to).
+
+use super::fdr::median_metric_key;
+use super::Experiment;
+use crate::results::ExperimentResult;
+use crate::scenario::Scenario;
+
+/// The Table 1 experiment.
+pub struct Table1;
+
+/// The experiment ids Table 1 distills.
+pub const DEPENDENCIES: [&str; 3] = ["fig10", "fig03", "fig16"];
+
+fn dep<'a>(
+    prior: &'a [ExperimentResult],
+    id: &str,
+    scenario: &Scenario,
+) -> Option<&'a ExperimentResult> {
+    prior.iter().find(|r| r.id == id && r.scenario == *scenario)
+}
+
+/// Builds the summary from the three dependency results (which must
+/// match the scenario; see [`Experiment::run_with`]).
+pub fn from_results(
+    scenario: &Scenario,
+    fig10: &ExperimentResult,
+    fig03: &ExperimentResult,
+    fig16: &ExperimentResult,
+) -> ExperimentResult {
+    let mut res = ExperimentResult::new(Table1.id(), Table1.title(), Table1.paper_ref(), scenario);
+    let metric = |r: &ExperimentResult, key: &str| r.get_metric(key).unwrap_or(f64::NAN);
+
+    // PPR capacity (§7.2): medians under high load.
+    let pkt = metric(fig10, &median_metric_key("Packet CRC, postamble decoding"));
+    let frag = metric(
+        fig10,
+        &median_metric_key("Fragmented CRC, postamble decoding"),
+    );
+    let ppr = metric(fig10, &median_metric_key("PPR, postamble decoding"));
+    let mut out = String::from("Table 1: summary of experimental findings\n\n");
+    out.push_str(&format!(
+        "PPR capacity (7.2): median per-link FDR at high load —\n\
+         packet CRC {:.3}, fragmented CRC {:.3}, PPR {:.3}\n\
+         (PPR/packet ratio {:.1}x, PPR/frag ratio {:.2}x)\n\n",
+        pkt,
+        frag,
+        ppr,
+        if pkt > 0.0 { ppr / pkt } else { f64::INFINITY },
+        if frag > 0.0 {
+            ppr / frag
+        } else {
+            f64::INFINITY
+        },
+    ));
+
+    // SoftPHY hints (§7.4), at the highest load.
+    let p1 = metric(fig03, "p_d_le1_correct");
+    let miss = metric(fig03, "miss_rate_at_eta");
+    let fa = metric(fig03, "false_alarm_rate_at_eta");
+    let eta = scenario.eta;
+    out.push_str(&format!(
+        "SoftPHY hints (7.4): P(d<=1 | correct) = {p1:.3}; miss rate at\n\
+         eta={eta} = {miss:.3}; false-alarm rate at eta={eta} = {fa:.4}\n\n",
+    ));
+
+    // PP-ARQ (§7.5).
+    let median_retx = metric(fig16, "median_retx_bytes");
+    let packet_bytes = metric(fig16, "packet_bytes");
+    out.push_str(&format!(
+        "PP-ARQ (7.5): median retransmission {:.0} B of {:.0} B packets\n\
+         ({:.0}% of full packet; paper reports ~50%)\n",
+        median_retx,
+        packet_bytes,
+        100.0 * median_retx / packet_bytes,
+    ));
+    res.text(out);
+
+    res.metric("median_fdr_packet", pkt);
+    res.metric("median_fdr_frag", frag);
+    res.metric("median_fdr_ppr", ppr);
+    res.metric("p_d_le1_correct", p1);
+    res.metric("miss_rate_at_eta", miss);
+    res.metric("false_alarm_rate_at_eta", fa);
+    res.metric("median_retx_bytes", median_retx);
+    res
+}
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 1: summary of experimental findings"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Findings summary distilled from fig10, fig03 and fig16 results"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        self.run_with(scenario, &[])
+    }
+
+    fn run_with(&self, scenario: &Scenario, prior: &[ExperimentResult]) -> ExperimentResult {
+        // Reuse prior results computed under this exact scenario;
+        // compute only what is missing.
+        let computed: Vec<ExperimentResult> = DEPENDENCIES
+            .iter()
+            .filter(|&&id| dep(prior, id, scenario).is_none())
+            .map(|&id| {
+                super::find(id)
+                    .expect("table1 dependencies are registered")
+                    .run(scenario)
+            })
+            .collect();
+        let get = |id: &str| -> &ExperimentResult {
+            dep(prior, id, scenario)
+                .or_else(|| computed.iter().find(|r| r.id == id))
+                .expect("dependency computed above")
+        };
+        from_results(scenario, get("fig10"), get("fig03"), get("fig16"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fdr, fig03, fig16};
+    use crate::scenario::ScenarioBuilder;
+
+    #[test]
+    fn summary_reuses_prior_results_without_recomputation() {
+        let sc = ScenarioBuilder::new()
+            .duration_s(2.0)
+            .arq_packets(20)
+            .build();
+        let fig10 = fdr::FIG10.run(&sc);
+        let f03 = fig03::Fig03.run(&sc);
+        let f16 = fig16::Fig16.run(&sc);
+        let prior = vec![fig10.clone(), f03.clone(), f16.clone()];
+
+        let t0 = std::time::Instant::now();
+        let reused = Table1.run_with(&sc, &prior);
+        let reuse_time = t0.elapsed();
+
+        // Pure formatting: far below any simulation timescale.
+        assert!(
+            reuse_time.as_millis() < 100,
+            "reuse took {reuse_time:?} — dependencies were re-run"
+        );
+        let direct = from_results(&sc, &fig10, &f03, &f16);
+        assert_eq!(reused.render_text(), direct.render_text());
+        assert!(reused
+            .render_text()
+            .starts_with("Table 1: summary of experimental findings"));
+        assert!(reused.get_metric("median_fdr_ppr").is_some());
+    }
+
+    #[test]
+    fn prior_results_under_a_different_scenario_are_not_reused() {
+        let sc_a = ScenarioBuilder::new()
+            .duration_s(2.0)
+            .arq_packets(10)
+            .build();
+        let sc_b = ScenarioBuilder::new()
+            .duration_s(3.0)
+            .arq_packets(10)
+            .build();
+        let prior = vec![
+            fdr::FIG10.run(&sc_a),
+            fig03::Fig03.run(&sc_a),
+            fig16::Fig16.run(&sc_a),
+        ];
+        // Must recompute under sc_b, not silently mix scenarios.
+        let out = Table1.run_with(&sc_b, &prior);
+        assert_eq!(out.scenario, sc_b);
+    }
+}

@@ -7,8 +7,10 @@
 //! use.
 
 use super::common::{per_link_stats, CapacityRun};
+use super::Experiment;
 use crate::network::RxArm;
-use crate::report::{fmt, Table};
+use crate::results::{ExperimentResult, TableBlock};
+use crate::scenario::Scenario;
 use ppr_mac::schemes::DeliveryScheme;
 
 /// The paper's chunk counts.
@@ -26,14 +28,16 @@ pub struct Row {
 }
 
 /// Runs the sweep at high load (where the trade-off is sharpest).
-pub fn collect(duration_s: f64) -> Vec<Row> {
-    let run = CapacityRun::new(13.8, false, duration_s);
+pub fn collect(scenario: &Scenario) -> Vec<Row> {
+    let run = CapacityRun::from_scenario(scenario, 13.8, false);
+    let duration_s = run.cfg.duration_s;
+    let body_bytes = run.cfg.body_bytes;
     CHUNK_COUNTS
         .iter()
         .map(|&chunks| {
-            // `chunks` fragments must fit in the 1500 B body including
-            // their 4 B CRCs.
-            let frag_bytes = (1500 / chunks).saturating_sub(4).max(1);
+            // `chunks` fragments must fit in the body including their
+            // 4 B CRCs.
+            let frag_bytes = (body_bytes / chunks).saturating_sub(4).max(1);
             let arm = RxArm {
                 scheme: DeliveryScheme::FragmentedCrc {
                     frag_payload: frag_bytes,
@@ -55,35 +59,74 @@ pub fn collect(duration_s: f64) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the Table 2 analogue.
-pub fn render(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "Table 2: fragmented-CRC aggregate throughput vs chunk count\n\
-         (1500 B packets, 13.8 kbit/s/node, carrier sense disabled)\n\n",
-    );
-    let mut t = Table::new(&["chunks", "frag bytes", "aggregate kbit/s"]);
-    for r in rows {
-        t.row(&[
-            r.chunks.to_string(),
-            r.frag_bytes.to_string(),
-            fmt(r.aggregate_kbps),
-        ]);
+/// The Table 2 experiment.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nShape target: unimodal in chunk count, peaking near 30 chunks\n\
-         (paper: 26 / 85 / 96 / 80 / 15 kbit/s).\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Table 2: fragmented-CRC chunk-size sweep"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Table 2"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fragmented-CRC aggregate throughput vs chunk count, high load"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let rows = collect(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Table 2: fragmented-CRC aggregate throughput vs chunk count\n\
+             ({} B packets, {} kbit/s/node, carrier sense {})\n\n",
+            scenario.body_bytes,
+            scenario.load_or(13.8),
+            if scenario.carrier_sense_or(false) {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        ));
+        let mut t = TableBlock::new(&["chunks", "frag bytes", "aggregate kbit/s"]);
+        for r in &rows {
+            t.row(vec![
+                r.chunks.into(),
+                r.frag_bytes.into(),
+                r.aggregate_kbps.into(),
+            ]);
+            res.metric(format!("aggregate_kbps@{}", r.chunks), r.aggregate_kbps);
+        }
+        res.table(t);
+        res.text(
+            "\nShape target: unimodal in chunk count, peaking near 30 chunks\n\
+             (paper: 26 / 85 / 96 / 80 / 15 kbit/s).\n",
+        );
+        if let Some(best) = rows.iter().max_by(|a, b| {
+            a.aggregate_kbps
+                .partial_cmp(&b.aggregate_kbps)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            res.metric("best_chunks", best.chunks as f64);
+        }
+        res
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
 
     #[test]
     fn sweep_is_unimodal_with_interior_peak() {
-        let rows = collect(5.0);
+        let sc = ScenarioBuilder::new().duration_s(5.0).build();
+        let rows = collect(&sc);
         assert_eq!(rows.len(), 5);
         let best = rows
             .iter()

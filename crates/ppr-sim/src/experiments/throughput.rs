@@ -9,10 +9,12 @@
 //! CRC; fragmented CRC far outperforms packet CRC; the spread of link
 //! quality narrows for the finer-granularity schemes.
 
-use super::common::{per_link_stats, six_arms, standard_schemes, CapacityRun, LOADS};
+use super::common::{per_link_stats, six_arms, CapacityRun};
+use super::Experiment;
 use crate::metrics::Cdf;
 use crate::network::RxArm;
-use crate::report::{fmt, series, Table};
+use crate::results::{ExperimentResult, TableBlock};
+use crate::scenario::{Scenario, LOADS};
 
 /// One Fig. 11 curve.
 #[derive(Debug, Clone)]
@@ -24,9 +26,10 @@ pub struct Curve {
 }
 
 /// Fig. 11: throughput CDFs for the six arms at one load.
-pub fn collect_fig11(load_kbps: f64, duration_s: f64) -> Vec<Curve> {
-    let run = CapacityRun::new(load_kbps, false, duration_s);
-    six_arms()
+pub fn collect_fig11(scenario: &Scenario, load_kbps: f64) -> Vec<Curve> {
+    let run = CapacityRun::from_scenario(scenario, load_kbps, false);
+    let duration_s = run.cfg.duration_s;
+    six_arms(scenario.schemes())
         .into_iter()
         .map(|(label, arm)| {
             let recs = run.receptions(&arm);
@@ -41,34 +44,6 @@ pub fn collect_fig11(load_kbps: f64, duration_s: f64) -> Vec<Curve> {
             }
         })
         .collect()
-}
-
-/// Renders Fig. 11.
-pub fn render_fig11(load_kbps: f64, curves: &[Curve]) -> String {
-    let mut out = format!(
-        "Figure 11: end-to-end per-link throughput CDF\n\
-         (offered load {load_kbps} kbit/s/node, carrier sense disabled)\n\n"
-    );
-    let mut t = Table::new(&["scheme / arm", "links", "median kbit/s", "p90 kbit/s"]);
-    for c in curves {
-        t.row(&[
-            c.label.clone(),
-            c.cdf.len().to_string(),
-            fmt(c.cdf.median()),
-            fmt(c.cdf.quantile(0.9)),
-        ]);
-    }
-    out.push_str(&t.render());
-    out.push('\n');
-    let hi = curves
-        .iter()
-        .map(|c| c.cdf.quantile(1.0))
-        .fold(1.0f64, f64::max);
-    for c in curves {
-        out.push_str(&series(&c.label, &c.cdf.series(0.0, hi, 17)));
-        out.push('\n');
-    }
-    out
 }
 
 /// One Fig. 12 scatter point: per-link throughputs under the three
@@ -90,11 +65,12 @@ pub struct ScatterPoint {
 /// Fig. 12: per-link (fragmented CRC, packet CRC, PPR) throughput
 /// triples at every load. Postamble decoding enabled for all (the
 /// paper's default receiver).
-pub fn collect_fig12(duration_s: f64) -> Vec<ScatterPoint> {
+pub fn collect_fig12(scenario: &Scenario) -> Vec<ScatterPoint> {
     let mut out = Vec::new();
-    for &load in &LOADS {
-        let run = CapacityRun::new(load, false, duration_s);
-        let [pkt, frag, ppr] = standard_schemes();
+    for load in scenario.loads(&LOADS) {
+        let run = CapacityRun::from_scenario(scenario, load, false);
+        let duration_s = run.cfg.duration_s;
+        let [pkt, frag, ppr] = scenario.schemes();
         let arms = [pkt, frag, ppr].map(|scheme| RxArm {
             scheme,
             postamble: true,
@@ -120,63 +96,145 @@ pub fn collect_fig12(duration_s: f64) -> Vec<ScatterPoint> {
     out
 }
 
-/// Renders the Fig. 12 scatter as rows.
-pub fn render_fig12(points: &[ScatterPoint]) -> String {
-    let mut out = String::from(
-        "Figure 12: per-link throughput, fragmented CRC (x) vs packet CRC\n\
-         and PPR (y), all loads, carrier sense disabled\n\n",
-    );
-    let mut t = Table::new(&[
-        "load",
-        "link s->r",
-        "fragCRC kbit/s",
-        "packetCRC kbit/s",
-        "PPR kbit/s",
-    ]);
-    for p in points {
-        t.row(&[
-            format!("{}", p.load_kbps),
-            format!("{}->{}", p.link.0, p.link.1),
-            fmt(p.frag),
-            fmt(p.packet),
-            fmt(p.ppr),
-        ]);
+/// The Fig. 11 experiment.
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
     }
-    out.push_str(&t.render());
-    // Summary ratios (geometric mean over links with nonzero frag).
-    let mut ppr_ratios = Vec::new();
-    let mut pkt_ratios = Vec::new();
-    for p in points {
-        if p.frag > 0.01 {
-            ppr_ratios.push(p.ppr / p.frag);
-            if p.packet > 0.0 {
-                pkt_ratios.push(p.packet / p.frag);
+
+    fn title(&self) -> &'static str {
+        "Figure 11: per-link throughput, near saturation"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 11"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-link throughput CDFs at 6.9 kbit/s/node, carrier sense off"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let load_kbps = scenario.load_or(6.9);
+        let curves = collect_fig11(scenario, load_kbps);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Figure 11: end-to-end per-link throughput CDF\n\
+             (offered load {load_kbps} kbit/s/node, carrier sense disabled)\n\n"
+        ));
+        let mut t = TableBlock::new(&["scheme / arm", "links", "median kbit/s", "p90 kbit/s"]);
+        for c in &curves {
+            t.row(vec![
+                c.label.clone().into(),
+                c.cdf.len().into(),
+                c.cdf.median().into(),
+                c.cdf.quantile(0.9).into(),
+            ]);
+            res.metric(format!("median_kbps/{}", c.label), c.cdf.median());
+        }
+        res.table(t);
+        res.text("\n");
+        let hi = curves
+            .iter()
+            .map(|c| c.cdf.quantile(1.0))
+            .fold(1.0f64, f64::max);
+        for c in &curves {
+            res.series(&c.label, c.cdf.series(0.0, hi, 17));
+            res.text("\n");
+        }
+        res
+    }
+}
+
+/// The Fig. 12 experiment.
+pub struct Fig12;
+
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 12: throughput scatter vs fragmented CRC"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 12"
+    }
+
+    fn description(&self) -> &'static str {
+        "Per-link throughput triples (packet CRC, PPR vs fragmented CRC), all loads"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let points = collect_fig12(scenario);
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(
+            "Figure 12: per-link throughput, fragmented CRC (x) vs packet CRC\n\
+             and PPR (y), all loads, carrier sense disabled\n\n",
+        );
+        let mut t = TableBlock::new(&[
+            "load",
+            "link s->r",
+            "fragCRC kbit/s",
+            "packetCRC kbit/s",
+            "PPR kbit/s",
+        ]);
+        for p in &points {
+            t.row(vec![
+                format!("{}", p.load_kbps).into(),
+                format!("{}->{}", p.link.0, p.link.1).into(),
+                p.frag.into(),
+                p.packet.into(),
+                p.ppr.into(),
+            ]);
+        }
+        res.table(t);
+        // Summary ratios (geometric mean over links with nonzero frag).
+        let mut ppr_ratios = Vec::new();
+        let mut pkt_ratios = Vec::new();
+        for p in &points {
+            if p.frag > 0.01 {
+                ppr_ratios.push(p.ppr / p.frag);
+                if p.packet > 0.0 {
+                    pkt_ratios.push(p.packet / p.frag);
+                }
             }
         }
+        let gm = |v: &[f64]| -> f64 {
+            if v.is_empty() {
+                return f64::NAN;
+            }
+            (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+        };
+        let (gm_ppr, gm_pkt) = (gm(&ppr_ratios), gm(&pkt_ratios));
+        res.metric("gm_ppr_over_frag", gm_ppr);
+        res.metric("gm_packet_over_frag", gm_pkt);
+        res.text(format!(
+            "\nGeometric-mean ratio PPR/fragCRC: {}   packetCRC/fragCRC: {}\n\
+             (paper: PPR a roughly constant factor above fragmented CRC;\n\
+              packet CRC far below it)\n",
+            crate::report::fmt(gm_ppr),
+            crate::report::fmt(gm_pkt),
+        ));
+        res
     }
-    let gm = |v: &[f64]| -> f64 {
-        if v.is_empty() {
-            return f64::NAN;
-        }
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
-    out.push_str(&format!(
-        "\nGeometric-mean ratio PPR/fragCRC: {}   packetCRC/fragCRC: {}\n\
-         (paper: PPR a roughly constant factor above fragmented CRC;\n\
-          packet CRC far below it)\n",
-        fmt(gm(&ppr_ratios)),
-        fmt(gm(&pkt_ratios)),
-    ));
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn quick(duration_s: f64) -> Scenario {
+        ScenarioBuilder::new().duration_s(duration_s).build()
+    }
 
     #[test]
     fn fig12_ordering_ppr_over_frag_over_packet() {
-        let points = collect_fig12(4.0);
+        let points = collect_fig12(&quick(4.0));
         assert!(!points.is_empty());
         let tot = |f: fn(&ScatterPoint) -> f64| points.iter().map(f).sum::<f64>();
         let (pkt, frag, ppr) = (tot(|p| p.packet), tot(|p| p.frag), tot(|p| p.ppr));
@@ -186,7 +244,7 @@ mod tests {
 
     #[test]
     fn fig11_throughput_bounded_by_offered_load() {
-        let curves = collect_fig11(6.9, 4.0);
+        let curves = collect_fig11(&quick(4.0), 6.9);
         for c in &curves {
             // No link can deliver much more than the offered load;
             // allow generous slack for Poisson burstiness on a short
@@ -198,5 +256,13 @@ mod tests {
                 c.cdf.quantile(1.0)
             );
         }
+    }
+
+    #[test]
+    fn fig12_result_records_ratio_metrics() {
+        let res = Fig12.run(&quick(3.0));
+        let gm = res.get_metric("gm_ppr_over_frag").unwrap();
+        assert!(gm >= 1.0, "PPR/frag geometric mean {gm}");
+        assert!(res.render_text().contains("Geometric-mean ratio"));
     }
 }

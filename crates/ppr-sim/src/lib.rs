@@ -15,23 +15,52 @@
 //! * [`network`] — timeline generation + reception processing.
 //! * [`rxpath`] — known-offset delimiter checks + `ppr-mac` decode.
 //! * [`metrics`] — CDF/CCDF and hint-statistics collectors.
-//! * [`experiments`] — Fig. 3 through Fig. 16 and Tables 1–2.
+//! * [`env`] — `PPR_DURATION` / `PPR_THREADS` parsing, in one place.
+//! * [`scenario`] — every experiment knob, with builder > env > default
+//!   precedence.
+//! * [`results`] — typed experiment results with text and JSON
+//!   rendering.
+//! * [`experiments`] — Fig. 3 through Fig. 16 and Tables 1–2, each an
+//!   [`experiments::Experiment`] in the registry.
 //! * [`report`] — plain-text tables/series matching the paper's plots.
+//!
+//! ## Running experiments
+//!
+//! The `ppr-cli` binary drives the registry (`ppr-cli run --all`,
+//! `ppr-cli --list`). Programmatically:
+//!
+//! ```
+//! use ppr_sim::experiments::{find, registry};
+//! use ppr_sim::scenario::ScenarioBuilder;
+//!
+//! let scenario = ScenarioBuilder::new().duration_s(1.0).build();
+//! let exp = find("fig15").expect("registered");
+//! let result = exp.run(&scenario);
+//! assert_eq!(result.id, "fig15");
+//! assert!(!result.render_text().is_empty());
+//! assert!(registry().len() >= 14);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod experiments;
 pub mod geometry;
 pub mod metrics;
 pub mod network;
 pub mod report;
+pub mod results;
 pub mod rxpath;
+pub mod scenario;
 pub mod traffic;
 
+pub use experiments::{find, registry, Experiment};
 pub use geometry::{Point, Testbed};
 pub use metrics::{Cdf, HintHistogram, MissRunHistogram};
 pub use network::{
     generate_timeline, process_receptions, RadioEnv, Reception, RxArm, SimConfig, Transmission,
 };
+pub use results::{Block, Cell, ExperimentResult, Json, TableBlock};
 pub use rxpath::{Acquisition, FastRx};
+pub use scenario::{Backend, Scenario, ScenarioBuilder};

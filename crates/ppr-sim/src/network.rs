@@ -413,35 +413,11 @@ struct PreparedRx {
     pre_hit: bool,
 }
 
-/// Worker-thread count for the reception loop: `PPR_THREADS` override,
-/// else the machine's available parallelism, capped by the job count.
-/// An invalid override is rejected with a warning on stderr — a typo'd
-/// thread count must not silently run on all cores. The environment is
-/// resolved once per process so the warning prints a single time, not
-/// once per `process_receptions` call.
+/// Worker-thread count for the reception loop: the process-wide
+/// [`crate::env::threads_from_env`] ceiling (the `PPR_THREADS`
+/// override, else available parallelism), capped by the job count.
 fn worker_threads(jobs: usize) -> usize {
-    static MAX_WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let max = *MAX_WORKERS.get_or_init(|| {
-        let available = || {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
-        match std::env::var("PPR_THREADS").ok() {
-            None => available(),
-            Some(raw) => match raw.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!(
-                        "warning: ignoring invalid PPR_THREADS={raw:?} \
-                         (want a positive integer); using available parallelism"
-                    );
-                    available()
-                }
-            },
-        }
-    });
-    max.min(jobs).max(1)
+    crate::env::threads_from_env().min(jobs).max(1)
 }
 
 /// Maps `jobs` through `f` on `workers` scoped threads, preserving input

@@ -1,0 +1,454 @@
+//! Typed, self-describing experiment results.
+//!
+//! Every experiment produces an [`ExperimentResult`]: headline metrics
+//! (named scalars) plus an ordered sequence of [`Block`]s — prose,
+//! typed tables, and (x, y) series. The plain-text report the paper
+//! figures are compared against is *derived* from the blocks
+//! ([`ExperimentResult::render_text`]), and the same structure
+//! serializes to JSON ([`ExperimentResult::to_json`]) for downstream
+//! tooling — hand-rolled, since the build container is offline and the
+//! workspace vendors no serde.
+
+use crate::report::{fmt, series, Table};
+use crate::scenario::Scenario;
+use std::fmt::Write as _;
+
+/// A minimal JSON document tree with a deterministic serializer.
+///
+/// Numbers render via Rust's shortest-roundtrip `f64` display (stable
+/// across platforms); non-finite values render as `null`. Object keys
+/// keep insertion order, so serialized output is reproducible — the
+/// golden regression test fingerprints it byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An unsigned integer, serialized exactly (a 64-bit seed must
+    /// round-trip; `f64` would silently round above 2⁵³).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value (non-finite becomes `null` at render time).
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// An integer value, exact over the full `u64` range.
+    pub fn int(v: u64) -> Json {
+        Json::UInt(v)
+    }
+
+    /// Serializes without insignificant whitespace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One table cell: typed so JSON keeps numbers as numbers while the
+/// text renderer reproduces the paper-style formatting ([`fmt`] for
+/// floats, plain display for integers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A preformatted string (labels, composite cells).
+    Str(String),
+    /// An integer count.
+    Int(u64),
+    /// A float, text-rendered through [`fmt`].
+    Num(f64),
+}
+
+impl Cell {
+    /// The text-report rendering of this cell.
+    pub fn text(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num(v) => fmt(*v),
+        }
+    }
+
+    fn json(&self) -> Json {
+        match self {
+            Cell::Str(s) => Json::str(s),
+            Cell::Int(v) => Json::int(*v),
+            Cell::Num(v) => Json::num(*v),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Str(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Str(s)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::Int(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::Num(v)
+    }
+}
+
+/// A typed table: headers plus rows of [`Cell`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableBlock {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must match the header count.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl TableBlock {
+    /// An empty table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TableBlock {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns (identical to [`Table`]).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&self.headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for row in &self.rows {
+            t.row(&row.iter().map(Cell::text).collect::<Vec<_>>());
+        }
+        t.render()
+    }
+}
+
+/// One ordered piece of an experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Verbatim prose (figure captions, shape-target notes, spacing).
+    Text(String),
+    /// A typed table.
+    Table(TableBlock),
+    /// A named (x, y) series — one curve of a paper figure.
+    Series {
+        /// Legend label.
+        label: String,
+        /// The curve's points.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl Block {
+    fn render_text(&self) -> String {
+        match self {
+            Block::Text(s) => s.clone(),
+            Block::Table(t) => t.render(),
+            Block::Series { label, points } => series(label, points),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Block::Text(s) => Json::Obj(vec![
+                ("type".into(), Json::str("text")),
+                ("text".into(), Json::str(s)),
+            ]),
+            Block::Table(t) => Json::Obj(vec![
+                ("type".into(), Json::str("table")),
+                (
+                    "headers".into(),
+                    Json::Arr(t.headers.iter().map(Json::str).collect()),
+                ),
+                (
+                    "rows".into(),
+                    Json::Arr(
+                        t.rows
+                            .iter()
+                            .map(|r| Json::Arr(r.iter().map(Cell::json).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Block::Series { label, points } => Json::Obj(vec![
+                ("type".into(), Json::str("series")),
+                ("label".into(), Json::str(label)),
+                (
+                    "points".into(),
+                    Json::Arr(
+                        points
+                            .iter()
+                            .map(|&(x, y)| Json::Arr(vec![Json::num(x), Json::num(y)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// The self-describing outcome of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Registry id (e.g. `fig10`).
+    pub id: String,
+    /// Human banner title.
+    pub title: String,
+    /// Paper reference (e.g. `Figure 10` or `Table 1`).
+    pub paper_ref: String,
+    /// The scenario this result was computed under.
+    pub scenario: Scenario,
+    /// Headline named scalars (drive Table 1 and JSON consumers).
+    pub metrics: Vec<(String, f64)>,
+    /// The ordered report blocks.
+    pub blocks: Vec<Block>,
+}
+
+impl ExperimentResult {
+    /// An empty result shell for an experiment run.
+    pub fn new(id: &str, title: &str, paper_ref: &str, scenario: &Scenario) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_ref: paper_ref.to_string(),
+            scenario: scenario.clone(),
+            metrics: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Records a named headline metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Looks up a headline metric by name.
+    pub fn get_metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Appends a prose block (spacing included — blocks concatenate
+    /// verbatim).
+    pub fn text(&mut self, s: impl Into<String>) {
+        self.blocks.push(Block::Text(s.into()));
+    }
+
+    /// Appends a table block.
+    pub fn table(&mut self, t: TableBlock) {
+        self.blocks.push(Block::Table(t));
+    }
+
+    /// Appends a series block.
+    pub fn series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.blocks.push(Block::Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// The plain-text report: the blocks concatenated in order. For
+    /// every experiment this reproduces the pre-registry renderer output
+    /// byte for byte.
+    pub fn render_text(&self) -> String {
+        self.blocks.iter().map(Block::render_text).collect()
+    }
+
+    /// The JSON document for this result.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("title".into(), Json::str(&self.title)),
+            ("paper_ref".into(), Json::str(&self.paper_ref)),
+            ("scenario".into(), self.scenario.to_json()),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "blocks".into(),
+                Json::Arr(self.blocks.iter().map(Block::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// FNV-1a fingerprint of a byte string — pins the golden regression
+/// test's serialized-results digest without a hash dependency.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    #[test]
+    fn json_renders_escaped_and_ordered() {
+        let j = Json::Obj(vec![
+            ("b".into(), Json::num(1.5)),
+            ("a".into(), Json::str("x\"y\n")),
+            ("n".into(), Json::Num(f64::NAN)),
+            ("arr".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"b":1.5,"a":"x\"y\n","n":null,"arr":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn json_integers_render_without_fraction() {
+        assert_eq!(Json::int(42).render(), "42");
+        assert_eq!(Json::num(0.125).render(), "0.125");
+        // Above 2^53 an f64 would round; seeds must survive exactly.
+        assert_eq!(
+            Json::int(9_007_199_254_740_993).render(),
+            "9007199254740993"
+        );
+        assert_eq!(Json::int(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn cells_render_like_the_legacy_formatters() {
+        assert_eq!(Cell::from(7usize).text(), "7");
+        assert_eq!(Cell::from(0.5).text(), fmt(0.5));
+        assert_eq!(Cell::from("x / y").text(), "x / y");
+    }
+
+    #[test]
+    fn table_block_matches_report_table() {
+        let mut tb = TableBlock::new(&["scheme", "median"]);
+        tb.row(vec!["PPR".into(), 0.93.into()]);
+        let mut t = Table::new(&["scheme", "median"]);
+        t.row(&["PPR".into(), fmt(0.93)]);
+        assert_eq!(tb.render(), t.render());
+    }
+
+    #[test]
+    fn result_text_is_block_concatenation() {
+        let sc = ScenarioBuilder::new().duration_s(1.0).build();
+        let mut r = ExperimentResult::new("x", "X", "Figure X", &sc);
+        r.text("head\n\n");
+        r.series("curve", vec![(0.0, 0.0), (1.0, 1.0)]);
+        r.text("\n");
+        let text = r.render_text();
+        assert!(text.starts_with("head\n\n# curve\n"));
+        assert!(text.ends_with("\n\n"));
+        r.metric("m", 2.0);
+        assert_eq!(r.get_metric("m"), Some(2.0));
+        assert_eq!(r.get_metric("absent"), None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fingerprint(b"a"), fingerprint(b"b"));
+    }
+}

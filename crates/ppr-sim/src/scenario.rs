@@ -1,0 +1,498 @@
+//! The [`Scenario`]: every knob an experiment run can turn, in one
+//! place, with one precedence rule.
+//!
+//! Historically each experiment binary hard-wired its own
+//! parameterization (duration, seed, load, η, carrier sense, fragment
+//! size, thread count…), and environment overrides were parsed in
+//! scattered modules. A [`Scenario`] consolidates all of them; the
+//! [`ScenarioBuilder`] folds the environment in at one choke point with
+//! the documented precedence:
+//!
+//! > **builder > environment > default**
+//!
+//! Explicit builder calls (or CLI `--set key=val`) always win; unset
+//! fields fall back to `PPR_DURATION` / `PPR_THREADS` (see
+//! [`crate::env`]); whatever remains takes the paper's defaults.
+//!
+//! `load` and `carrier_sense` are *overrides*: left unset, each
+//! experiment uses its canonical per-figure parameterization (Fig. 8 is
+//! defined at 3.5 kbit/s with carrier sense on; Fig. 10 at 13.8 without).
+//! Setting them pins every experiment in the run to that value — the
+//! sweep API.
+
+use crate::env;
+use crate::network::SimConfig;
+use crate::results::Json;
+use ppr_mac::schemes::DeliveryScheme;
+
+/// Master seed shared by all experiments (reproducibility).
+pub const DEFAULT_SEED: u64 = 0x0050_5052;
+
+/// The paper's offered loads, kbit/s/node.
+pub const LOADS: [f64; 3] = [3.5, 6.9, 13.8];
+
+/// The Table 2 optimum fragment size, bytes.
+pub const DEFAULT_FRAG_BYTES: usize = 50;
+
+/// The paper's SoftPHY threshold.
+pub const DEFAULT_ETA: u8 = 6;
+
+/// Channel backend selector. Today only [`Backend::Chip`] drives the
+/// network experiments; the sample-level DSP pipeline backs `fig13`
+/// regardless (its whole point is real waveforms). The knob exists so a
+/// future sample-level network backend slots in without an API change —
+/// until one consumes it, [`ScenarioBuilder::set`] rejects
+/// `backend=dsp` rather than mislabeling chip-backend results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Fast chip-flip channel (SINR-driven Bernoulli chip errors).
+    #[default]
+    Chip,
+    /// Sample-level DSP channel (MSK waveforms + superposition + AWGN).
+    Dsp,
+}
+
+impl Backend {
+    /// The CLI/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Chip => "chip",
+            Backend::Dsp => "dsp",
+        }
+    }
+}
+
+/// One fully-resolved experiment parameterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Simulated duration per run, seconds.
+    pub duration_s: f64,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// SoftPHY threshold η for the PPR scheme.
+    pub eta: u8,
+    /// Fragment payload size for the fragmented-CRC scheme, bytes.
+    pub frag_bytes: usize,
+    /// Over-the-air body size for capacity experiments, bytes.
+    pub body_bytes: usize,
+    /// Back-to-back packets in the PP-ARQ (Fig. 16) experiment.
+    pub arq_packets: usize,
+    /// Source packets in the relay-forwarding experiment.
+    pub relay_packets: usize,
+    /// Reception-loop worker threads (`None` = `PPR_THREADS` /
+    /// available parallelism, resolved at the reception loop).
+    pub threads: Option<usize>,
+    /// Channel backend.
+    pub backend: Backend,
+    /// Offered-load override, kbit/s/node (`None` = each experiment's
+    /// canonical load(s)).
+    pub load_kbps: Option<f64>,
+    /// Carrier-sense override (`None` = each experiment's canonical
+    /// arm).
+    pub carrier_sense: Option<bool>,
+}
+
+impl Scenario {
+    /// The environment-resolved scenario with no builder overrides —
+    /// what every experiment binary ran before the registry existed.
+    pub fn from_env() -> Scenario {
+        ScenarioBuilder::new().build()
+    }
+
+    /// The [`SimConfig`] for a capacity run at the given canonical load
+    /// and carrier-sense arm (both overridable by this scenario).
+    pub fn sim_config(&self, load_kbps: f64, carrier_sense: bool) -> SimConfig {
+        SimConfig {
+            load_kbps: self.load_kbps.unwrap_or(load_kbps),
+            body_bytes: self.body_bytes,
+            carrier_sense: self.carrier_sense.unwrap_or(carrier_sense),
+            duration_s: self.duration_s,
+            seed: self.seed,
+        }
+    }
+
+    /// The three §7.2 delivery schemes under this scenario's parameters.
+    pub fn schemes(&self) -> [DeliveryScheme; 3] {
+        DeliveryScheme::standard_set(self.frag_bytes, self.eta)
+    }
+
+    /// The PPR scheme at this scenario's η.
+    pub fn ppr_scheme(&self) -> DeliveryScheme {
+        DeliveryScheme::Ppr { eta: self.eta }
+    }
+
+    /// The loads an experiment should sweep: the single override when
+    /// set, else the experiment's canonical list.
+    pub fn loads(&self, canonical: &[f64]) -> Vec<f64> {
+        match self.load_kbps {
+            Some(load) => vec![load],
+            None => canonical.to_vec(),
+        }
+    }
+
+    /// A single canonical load, subject to the override.
+    pub fn load_or(&self, canonical: f64) -> f64 {
+        self.load_kbps.unwrap_or(canonical)
+    }
+
+    /// A canonical carrier-sense arm, subject to the override.
+    pub fn carrier_sense_or(&self, canonical: bool) -> bool {
+        self.carrier_sense.unwrap_or(canonical)
+    }
+
+    /// JSON snapshot (embedded in every serialized result).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("duration_s".into(), Json::num(self.duration_s)),
+            ("seed".into(), Json::int(self.seed)),
+            ("eta".into(), Json::int(self.eta as u64)),
+            ("frag_bytes".into(), Json::int(self.frag_bytes as u64)),
+            ("body_bytes".into(), Json::int(self.body_bytes as u64)),
+            ("arq_packets".into(), Json::int(self.arq_packets as u64)),
+            ("relay_packets".into(), Json::int(self.relay_packets as u64)),
+            (
+                "threads".into(),
+                match self.threads {
+                    Some(n) => Json::int(n as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("backend".into(), Json::str(self.backend.name())),
+            (
+                "load_kbps".into(),
+                match self.load_kbps {
+                    Some(l) => Json::num(l),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "carrier_sense".into(),
+                match self.carrier_sense {
+                    Some(cs) => Json::Bool(cs),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Builder for [`Scenario`]: unset fields resolve from the environment,
+/// then from the paper's defaults (builder > env > default).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    duration_s: Option<f64>,
+    seed: Option<u64>,
+    eta: Option<u8>,
+    frag_bytes: Option<usize>,
+    body_bytes: Option<usize>,
+    arq_packets: Option<usize>,
+    relay_packets: Option<usize>,
+    threads: Option<usize>,
+    backend: Option<Backend>,
+    load_kbps: Option<f64>,
+    carrier_sense: Option<bool>,
+}
+
+/// The keys [`ScenarioBuilder::set`] accepts, with their value syntax —
+/// also the CLI's `--set` vocabulary.
+pub const SCENARIO_KEYS: &[(&str, &str)] = &[
+    ("duration", "positive seconds, e.g. duration=20"),
+    ("seed", "u64, e.g. seed=42"),
+    ("eta", "SoftPHY threshold 0-33, e.g. eta=6"),
+    (
+        "frag_bytes",
+        "fragment payload bytes >= 1, e.g. frag_bytes=50",
+    ),
+    ("body_bytes", "on-air body bytes >= 1, e.g. body_bytes=1500"),
+    ("arq_packets", "PP-ARQ packets >= 1, e.g. arq_packets=300"),
+    (
+        "relay_packets",
+        "relay packets >= 1, e.g. relay_packets=400",
+    ),
+    ("threads", "worker threads >= 1, e.g. threads=4"),
+    ("backend", "chip (dsp reserved, not yet wired)"),
+    ("load", "offered load kbit/s/node, e.g. load=13.8"),
+    ("carrier_sense", "true | false"),
+];
+
+impl ScenarioBuilder {
+    /// A builder with nothing overridden.
+    pub fn new() -> Self {
+        ScenarioBuilder::default()
+    }
+
+    /// Sets the simulated duration, seconds.
+    pub fn duration_s(mut self, v: f64) -> Self {
+        self.duration_s = Some(v);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.seed = Some(v);
+        self
+    }
+
+    /// Sets the SoftPHY threshold η.
+    pub fn eta(mut self, v: u8) -> Self {
+        self.eta = Some(v);
+        self
+    }
+
+    /// Sets the fragmented-CRC fragment payload size, bytes.
+    pub fn frag_bytes(mut self, v: usize) -> Self {
+        self.frag_bytes = Some(v);
+        self
+    }
+
+    /// Sets the on-air body size, bytes.
+    pub fn body_bytes(mut self, v: usize) -> Self {
+        self.body_bytes = Some(v);
+        self
+    }
+
+    /// Sets the PP-ARQ packet count.
+    pub fn arq_packets(mut self, v: usize) -> Self {
+        self.arq_packets = Some(v);
+        self
+    }
+
+    /// Sets the relay packet count.
+    pub fn relay_packets(mut self, v: usize) -> Self {
+        self.relay_packets = Some(v);
+        self
+    }
+
+    /// Sets the reception-loop worker count.
+    pub fn threads(mut self, v: usize) -> Self {
+        self.threads = Some(v);
+        self
+    }
+
+    /// Sets the channel backend.
+    pub fn backend(mut self, v: Backend) -> Self {
+        self.backend = Some(v);
+        self
+    }
+
+    /// Pins the offered load for every experiment in the run.
+    pub fn load_kbps(mut self, v: f64) -> Self {
+        self.load_kbps = Some(v);
+        self
+    }
+
+    /// Pins the carrier-sense arm for every experiment in the run.
+    pub fn carrier_sense(mut self, v: bool) -> Self {
+        self.carrier_sense = Some(v);
+        self
+    }
+
+    /// Applies one `key=value` override by name — the CLI `--set`
+    /// entry point. Returns a descriptive error for unknown keys or
+    /// malformed values.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str, want: &str) -> Result<T, String> {
+            value
+                .trim()
+                .parse::<T>()
+                .map_err(|_| format!("invalid value {value:?} for {key} (want {want})"))
+        }
+        match key {
+            "duration" | "duration_s" => {
+                let v: f64 = parse(key, value, "positive seconds")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "invalid value {value:?} for {key} (want positive seconds)"
+                    ));
+                }
+                self.duration_s = Some(v);
+            }
+            "seed" => self.seed = Some(parse(key, value, "a u64")?),
+            "eta" => {
+                let v: u8 = parse(key, value, "0-33")?;
+                if v > 33 {
+                    return Err(format!("invalid value {value:?} for eta (want 0-33)"));
+                }
+                self.eta = Some(v);
+            }
+            "frag" | "frag_bytes" => {
+                self.frag_bytes = Some(parse_positive(key, value)?);
+            }
+            "body" | "body_bytes" => {
+                self.body_bytes = Some(parse_positive(key, value)?);
+            }
+            "arq_packets" => self.arq_packets = Some(parse_positive(key, value)?),
+            "relay_packets" => self.relay_packets = Some(parse_positive(key, value)?),
+            "threads" => self.threads = Some(parse_positive(key, value)?),
+            "backend" => {
+                self.backend = Some(match value.trim() {
+                    "chip" => Backend::Chip,
+                    // Accepting `dsp` here would silently run the chip
+                    // backend while the JSON labels the result dsp —
+                    // reject until a sample-level network backend
+                    // consumes the knob.
+                    "dsp" => {
+                        return Err(
+                            "backend \"dsp\" is reserved: the sample-level network backend \
+                             is not implemented yet; only \"chip\" is accepted"
+                                .to_string(),
+                        )
+                    }
+                    _ => return Err(format!("invalid value {value:?} for backend (want chip)")),
+                });
+            }
+            "load" | "load_kbps" => {
+                let v: f64 = parse(key, value, "kbit/s per node")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "invalid value {value:?} for {key} (want positive kbit/s)"
+                    ));
+                }
+                self.load_kbps = Some(v);
+            }
+            "carrier_sense" | "cs" => {
+                self.carrier_sense = Some(match value.trim() {
+                    "true" | "on" | "1" => true,
+                    "false" | "off" | "0" => false,
+                    _ => {
+                        return Err(format!(
+                            "invalid value {value:?} for {key} (want true | false)"
+                        ))
+                    }
+                });
+            }
+            _ => {
+                let keys: Vec<&str> = SCENARIO_KEYS.iter().map(|&(k, _)| k).collect();
+                return Err(format!(
+                    "unknown scenario key {key:?}; valid keys: {}",
+                    keys.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the scenario: builder overrides win, then the
+    /// environment (`PPR_DURATION`, `PPR_THREADS`), then the paper's
+    /// defaults. This is the single place environment variables enter
+    /// the experiment layer.
+    pub fn build(&self) -> Scenario {
+        Scenario {
+            duration_s: self.duration_s.unwrap_or_else(env::duration_from_env),
+            seed: self.seed.unwrap_or(DEFAULT_SEED),
+            eta: self.eta.unwrap_or(DEFAULT_ETA),
+            frag_bytes: self.frag_bytes.unwrap_or(DEFAULT_FRAG_BYTES),
+            body_bytes: self.body_bytes.unwrap_or(1500),
+            arq_packets: self.arq_packets.unwrap_or(300),
+            relay_packets: self.relay_packets.unwrap_or(400),
+            threads: self.threads.or_else(env::threads_override_from_env),
+            backend: self.backend.unwrap_or_default(),
+            load_kbps: self.load_kbps,
+            carrier_sense: self.carrier_sense,
+        }
+    }
+}
+
+fn parse_positive(key: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(v) if v >= 1 => Ok(v),
+        _ => Err(format!(
+            "invalid value {value:?} for {key} (want an integer >= 1)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_beat_defaults() {
+        let sc = ScenarioBuilder::new()
+            .duration_s(2.0)
+            .seed(7)
+            .eta(4)
+            .frag_bytes(25)
+            .load_kbps(6.9)
+            .carrier_sense(true)
+            .build();
+        assert_eq!(sc.duration_s, 2.0);
+        assert_eq!(sc.seed, 7);
+        assert_eq!(sc.eta, 4);
+        assert_eq!(sc.frag_bytes, 25);
+        assert_eq!(sc.load_or(3.5), 6.9);
+        assert!(sc.carrier_sense_or(false));
+        assert_eq!(sc.loads(&[3.5, 13.8]), vec![6.9]);
+    }
+
+    #[test]
+    fn unset_overrides_fall_back_to_canonical() {
+        let sc = ScenarioBuilder::new().duration_s(1.0).build();
+        assert_eq!(sc.seed, DEFAULT_SEED);
+        assert_eq!(sc.eta, DEFAULT_ETA);
+        assert_eq!(sc.frag_bytes, DEFAULT_FRAG_BYTES);
+        assert_eq!(sc.load_or(13.8), 13.8);
+        assert!(!sc.carrier_sense_or(false));
+        assert_eq!(sc.loads(&LOADS), LOADS.to_vec());
+        let cfg = sc.sim_config(3.5, true);
+        assert_eq!(cfg.load_kbps, 3.5);
+        assert!(cfg.carrier_sense);
+        assert_eq!(cfg.duration_s, 1.0);
+        assert_eq!(cfg.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn set_accepts_every_documented_key() {
+        let mut b = ScenarioBuilder::new();
+        for (key, example) in SCENARIO_KEYS {
+            let value = example.rsplit_once('=').map(|(_, v)| v).unwrap_or("chip");
+            let value = if *key == "backend" {
+                "chip"
+            } else if *key == "carrier_sense" {
+                "true"
+            } else {
+                value
+            };
+            b.set(key, value)
+                .unwrap_or_else(|e| panic!("set({key}, {value}): {e}"));
+        }
+        let sc = b.build();
+        assert_eq!(sc.duration_s, 20.0);
+        assert_eq!(sc.backend, Backend::Chip);
+        assert_eq!(sc.threads, Some(4));
+    }
+
+    #[test]
+    fn set_rejects_malformed_values_and_unknown_keys() {
+        let mut b = ScenarioBuilder::new();
+        for (key, value) in [
+            ("duration", "-2"),
+            ("duration", "abc"),
+            ("seed", "0x50"),
+            ("eta", "99"),
+            ("frag_bytes", "0"),
+            ("threads", "none"),
+            ("backend", "fpga"),
+            ("backend", "dsp"),
+            ("load", "0"),
+            ("carrier_sense", "maybe"),
+            ("nonsense", "1"),
+        ] {
+            let err = b.set(key, value).unwrap_err();
+            assert!(
+                err.contains(key) || err.contains("unknown"),
+                "{key}={value}: {err}"
+            );
+        }
+        assert!(b.set("bogus", "1").unwrap_err().contains("valid keys"));
+    }
+
+    #[test]
+    fn scenario_json_snapshot_is_stable() {
+        let sc = ScenarioBuilder::new().duration_s(2.0).seed(1).build();
+        let j = sc.to_json().render();
+        assert!(j.starts_with(r#"{"duration_s":2,"seed":1,"eta":6"#), "{j}");
+        assert!(j.contains(r#""backend":"chip""#));
+        assert!(j.contains(r#""load_kbps":null"#));
+    }
+}

@@ -1,0 +1,52 @@
+//! Golden regression test: the full experiment registry at a short,
+//! fully-pinned scenario must serialize to a byte-identical JSON
+//! corpus.
+//!
+//! This guards the whole pipeline at once — timeline generation, the
+//! packed reception loop, every delivery scheme, the hint statistics,
+//! PP-ARQ, and the result/JSON layer. Any behavioral change (including
+//! future performance work on the chip pipeline) must either leave the
+//! corpus untouched or consciously update the pinned fingerprint with
+//! an explanation in the commit.
+
+use ppr::sim::experiments::registry;
+use ppr::sim::results::fingerprint;
+use ppr::sim::scenario::ScenarioBuilder;
+
+/// FNV-1a of the concatenated JSON documents (one per experiment, in
+/// registry order, newline-separated) under the pinned scenario below.
+const GOLDEN_FINGERPRINT: u64 = 0x12ec_8f28_9b83_2b1b;
+
+#[test]
+fn registry_json_fingerprint_is_pinned() {
+    // Every knob pinned: builder overrides beat any PPR_* environment
+    // the harness might set, and threads=1 keeps the scenario snapshot
+    // machine-independent (results are thread-count invariant anyway;
+    // the reception loop's parity tests prove that).
+    let scenario = ScenarioBuilder::new()
+        .duration_s(2.0)
+        .seed(0x0050_5052)
+        .threads(1)
+        .arq_packets(40)
+        .relay_packets(60)
+        .build();
+
+    let mut results = Vec::new();
+    let mut corpus = String::new();
+    for exp in registry() {
+        let r = exp.run_with(&scenario, &results);
+        assert_eq!(r.id, exp.id());
+        corpus.push_str(&r.to_json().render());
+        corpus.push('\n');
+        results.push(r);
+    }
+    assert_eq!(results.len(), registry().len());
+
+    let fp = fingerprint(corpus.as_bytes());
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT,
+        "registry JSON corpus changed: fingerprint {fp:#018x} != pinned \
+         {GOLDEN_FINGERPRINT:#018x}. If the change is intentional, update \
+         GOLDEN_FINGERPRINT and explain the behavioral delta in the commit."
+    );
+}
