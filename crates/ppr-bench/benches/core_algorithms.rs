@@ -45,6 +45,45 @@ fn bench_despreading(c: &mut Criterion) {
     c.bench_function("despread_hard_3000_codewords", |b| {
         b.iter(|| ppr_phy::spread::despread_hard(black_box(&words)))
     });
+    // The same scan, pinned to each kernel this CPU offers: the
+    // scalar-vs-SIMD ladder (despread_hard uses the widest by default).
+    let mut group = c.benchmark_group("despread_kernels_3000");
+    for kernel in ppr_phy::simd::DespreadKernel::available() {
+        let mut out = Vec::with_capacity(words.len());
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                out.clear();
+                kernel.decide_into(black_box(&words), &mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lazy_decode(c: &mut Criterion) {
+    // Demand-driven decode of a clean 1500 B frame: sync-only (header
+    // probe), packet-CRC check, and full link-section read.
+    let frame = ppr_mac::frame::Frame::new(1, 2, 3, vec![0xA7; 1500]);
+    let words = frame.chip_words();
+    let receiver = ppr_mac::rx::FrameReceiver::default();
+    let data_start = ppr_phy::sync::tx_preamble_chips().len() as i64;
+    let mut group = c.benchmark_group("lazy_decode_1500B");
+    group.bench_function("sync_only", |b| {
+        b.iter(|| receiver.decode_from_preamble_words(black_box(&words), data_start))
+    });
+    group.bench_function("crc_check", |b| {
+        b.iter(|| {
+            let rx = receiver.decode_from_preamble_words(black_box(&words), data_start);
+            rx.pkt_crc_ok()
+        })
+    });
+    group.bench_function("full_read", |b| {
+        b.iter(|| {
+            let rx = receiver.decode_from_preamble_words(black_box(&words), data_start);
+            rx.link_bytes()
+        })
+    });
+    group.finish();
 }
 
 fn bench_chip_channel(c: &mut Criterion) {
@@ -156,6 +195,7 @@ criterion_group!(
     benches,
     bench_chunking_dp,
     bench_despreading,
+    bench_lazy_decode,
     bench_chip_channel,
     bench_packed_vs_bool,
     bench_feedback_codec,

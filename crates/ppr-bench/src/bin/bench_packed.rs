@@ -11,6 +11,7 @@ use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile}
 use ppr_mac::schemes::DeliveryScheme;
 use ppr_phy::chips::ChipWords;
 use ppr_phy::frame_rx::ChipReceiver;
+use ppr_phy::simd::DespreadKernel;
 use ppr_sim::network::{generate_timeline, process_receptions, RadioEnv, RxArm, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +61,19 @@ fn main() {
             format!("despread_packed_{l}"),
             time_ns(|| rx.despread_words(&packed, 0, l / 32)),
         ));
+        // The bare codebook scan, kernel by kernel (gather excluded):
+        // what the SIMD rewrite buys at each vector width this CPU has.
+        let words: Vec<u32> = (0..l / 32).map(|s| packed.extract_u32(s * 32)).collect();
+        for kernel in DespreadKernel::available() {
+            let mut out = Vec::with_capacity(words.len());
+            entries.push((
+                format!("decide_{}_{l}", kernel.name()),
+                time_ns(|| {
+                    out.clear();
+                    kernel.decide_into(&words, &mut out);
+                }),
+            ));
+        }
     }
 
     let frame = ppr_mac::frame::Frame::new(1, 2, 3, vec![0xA7; 1500]);
@@ -68,6 +82,35 @@ fn main() {
         "frame_chips_packed_1500B".into(),
         time_ns(|| frame.chip_words()),
     ));
+
+    // Demand-driven decode: synchronizing a clean 1500 B frame now costs
+    // only the header probe; the body despreads when a consumer reads
+    // it. The three rows are sync-only, sync + packet-CRC check (header
+    // through CRC field; replicated trailer never decoded), and a full
+    // link-section read.
+    {
+        let words = frame.chip_words();
+        let receiver = ppr_mac::rx::FrameReceiver::default();
+        let data_start = ppr_phy::sync::tx_preamble_chips().len() as i64;
+        entries.push((
+            "decode_1500B_sync_only".into(),
+            time_ns(|| receiver.decode_from_preamble_words(&words, data_start)),
+        ));
+        entries.push((
+            "decode_1500B_crc_check".into(),
+            time_ns(|| {
+                let rx = receiver.decode_from_preamble_words(&words, data_start);
+                rx.pkt_crc_ok()
+            }),
+        ));
+        entries.push((
+            "decode_1500B_full".into(),
+            time_ns(|| {
+                let rx = receiver.decode_from_preamble_words(&words, data_start);
+                rx.link_bytes()
+            }),
+        ));
+    }
 
     // Small end-to-end run through the parallel packed reception loop.
     let env = RadioEnv::new(1);
@@ -94,10 +137,11 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"ppr-bench-packed/v1\",\n  \"threads\": {},\n",
+        "  \"schema\": \"ppr-bench-packed/v2\",\n  \"threads\": {},\n  \"despread_kernel\": \"{}\",\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1),
+        DespreadKernel::active().name()
     ));
     for (i, (name, v)) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };

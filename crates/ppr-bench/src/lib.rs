@@ -20,6 +20,9 @@
 //! Set `PPR_DURATION=<seconds>` to shorten/lengthen the simulated
 //! duration (default 90 s) — or use `--set duration=<s>` on `ppr-cli`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Prints a standard experiment banner.
 pub fn banner(title: &str) {
     println!("{}", "=".repeat(72));

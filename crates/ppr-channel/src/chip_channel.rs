@@ -132,7 +132,7 @@ impl ErrorProfile {
 ///   it touches, in ascending block order, and chip `j` takes bit
 ///   `j % 64` of its block's draw;
 /// * a collision-grade span (`BLOCK_FLIP_MIN_P ≤ p < 0.5`) draws one
-///   [`bernoulli_mask64`] flip mask per 64-aligned block it touches, in
+///   `bernoulli_mask64` flip mask per 64-aligned block it touches, in
 ///   ascending block order;
 /// * a sparse span draws one `f64` per geometric skip.
 pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R) -> Vec<bool> {

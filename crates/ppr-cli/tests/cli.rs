@@ -117,6 +117,35 @@ fn sweep_produces_one_json_result_per_point() {
 }
 
 #[test]
+fn ppr_no_simd_escape_hatch_is_bit_identical() {
+    // The SIMD despread kernels must not change a single experiment
+    // byte: the same run with `PPR_NO_SIMD=1` (scalar reference kernel)
+    // produces identical output. This exercises the env plumbing the
+    // in-process parity tests cannot (kernel choice is cached per
+    // process).
+    let args = ["run", "fig03", "--set", "duration=2"];
+    // Scrub any inherited PPR_NO_SIMD so this run really uses the
+    // detected kernel (otherwise scalar would be compared to scalar).
+    let simd = Command::new(env!("CARGO_BIN_EXE_ppr-cli"))
+        .args(args)
+        .env_remove("PPR_NO_SIMD")
+        .output()
+        .expect("spawn ppr-cli");
+    assert!(simd.status.success(), "{}", stderr(&simd));
+    let scalar = Command::new(env!("CARGO_BIN_EXE_ppr-cli"))
+        .args(args)
+        .env("PPR_NO_SIMD", "1")
+        .output()
+        .expect("spawn ppr-cli");
+    assert!(scalar.status.success(), "{}", stderr(&scalar));
+    assert_eq!(
+        stdout(&simd),
+        stdout(&scalar),
+        "scalar and SIMD kernels diverged"
+    );
+}
+
+#[test]
 fn help_exits_zero_and_documents_scenario_keys() {
     let out = ppr_cli(&["--help"]);
     assert!(out.status.success());

@@ -3,8 +3,16 @@
 //! This is where preamble decoding, postamble rollback (§4) and frame
 //! parsing meet. For every sync hit the pipeline reconstructs the frame's
 //! byte geometry — from the header when the preamble was caught, from the
-//! *trailer* when only the postamble was — and despreads the full
-//! link-layer section with per-symbol Hamming hints.
+//! *trailer* when only the postamble was — and exposes the link-layer
+//! section as a [`SymbolView`] with per-symbol Hamming hints.
+//!
+//! Despreading is **demand-driven** on the packed (`ChipWords`) path:
+//! synchronizing a frame decodes only the 8-byte header (or trailer)
+//! probe; the body despreads when — and only for the symbol ranges — a
+//! consumer asks ([`RxFrame::body_bytes`], [`RxFrame::body_byte_range`],
+//! hint extraction, the packet-CRC check). The reference `&[bool]` path
+//! stays eager and both produce bit-identical symbols (workspace
+//! `tests/packed_parity.rs` and `tests/lazy_parity.rs`).
 //!
 //! Missing symbols (reception started after the frame began, or ended
 //! before it did) are represented explicitly with the sentinel hint
@@ -17,11 +25,18 @@ use ppr_phy::chips::{ChipWords, CHIPS_PER_SYMBOL};
 use ppr_phy::frame_rx::ChipReceiver;
 use ppr_phy::softphy::{SoftSpan, SoftSymbol};
 use ppr_phy::sync::{SyncKind, POSTAMBLE_ZERO_SYMBOLS};
+use ppr_phy::view::SymbolView;
 
 /// Hint value assigned to symbols that were never received (outside the
 /// captured chip stream). One past the worst real Hamming distance, so
 /// every threshold rule labels them bad.
 pub const HINT_NEVER_RECEIVED: u8 = 33;
+
+/// The padding symbol for never-received positions.
+const ABSENT: SoftSymbol = SoftSymbol {
+    symbol: 0,
+    hint: HINT_NEVER_RECEIVED,
+};
 
 /// A frame reconstructed from one sync hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,8 +52,9 @@ pub struct RxFrame {
     pub link_start_chip: Option<i64>,
     /// The full link-layer section, one [`SoftSymbol`] per transmitted
     /// symbol, padded with [`HINT_NEVER_RECEIVED`] where the reception is
-    /// missing. Empty when `header` is `None`.
-    pub link_symbols: Vec<SoftSymbol>,
+    /// missing. Empty when `header` is `None`. Lazy on the packed path:
+    /// symbols despread when a consumer reads them.
+    link: SymbolView,
 }
 
 impl RxFrame {
@@ -47,35 +63,78 @@ impl RxFrame {
         self.header.map(|h| FrameGeometry::for_body(h.len as usize))
     }
 
+    /// Number of symbols in the link-layer section (0 when no header
+    /// verified). Does not despread anything.
+    pub fn link_len(&self) -> usize {
+        self.link.len()
+    }
+
+    /// The lazy symbol view over the link-layer section — the
+    /// demand-driven access point for consumers that read sub-ranges
+    /// (PP-ARQ chunk requests, relays probing specific fields).
+    pub fn link_view(&self) -> &SymbolView {
+        &self.link
+    }
+
+    /// The full link-layer section (forces a complete despread).
+    pub fn link_symbols(&self) -> Vec<SoftSymbol> {
+        self.link.all()
+    }
+
+    /// Symbols `range` of the link-layer section, despreading only the
+    /// blocks that range touches.
+    pub fn link_symbol_range(&self, range: std::ops::Range<usize>) -> Vec<SoftSymbol> {
+        self.link.range(range)
+    }
+
     /// Reassembled link-layer bytes (best effort; bad symbols included).
+    /// Forces a complete despread.
     pub fn link_bytes(&self) -> Vec<u8> {
         SoftSpan {
-            symbols: self.link_symbols.clone(),
+            symbols: self.link.all(),
         }
         .to_bytes()
     }
 
     /// The body bytes (scheme payload), when geometry is known.
+    /// Despreads the body range only.
     pub fn body_bytes(&self) -> Option<Vec<u8>> {
         let g = self.geometry()?;
-        let bytes = self.link_bytes();
-        if bytes.len() < g.total() {
+        self.body_byte_range(0..g.body().len())
+    }
+
+    /// Bytes `range` of the body (offsets in body coordinates), when
+    /// geometry is known and the range is inside the body. Despreads
+    /// only the symbol blocks the range touches — the chunk-request
+    /// primitive for demand-driven consumers.
+    pub fn body_byte_range(&self, range: std::ops::Range<usize>) -> Option<Vec<u8>> {
+        let g = self.geometry()?;
+        if self.link.len() < 2 * g.total() || range.end > g.body().len() {
             return None;
         }
-        Some(bytes[g.body()].to_vec())
+        let start = g.body().start + range.start;
+        Some(self.byte_range_unchecked(start..start + range.len()))
     }
 
     /// Per-byte hints over the body (max of the two nibble hints).
+    /// Despreads the body range only.
     pub fn body_byte_hints(&self) -> Option<Vec<u8>> {
         let g = self.geometry()?;
-        let span = SoftSpan {
-            symbols: self.link_symbols.clone(),
-        };
-        let hints = span.byte_hints();
-        if hints.len() < g.total() {
+        self.body_hint_range(0..g.body().len())
+    }
+
+    /// Per-byte hints for body bytes `range` (body coordinates) — the
+    /// hint-extraction counterpart of [`Self::body_byte_range`].
+    pub fn body_hint_range(&self, range: std::ops::Range<usize>) -> Option<Vec<u8>> {
+        let g = self.geometry()?;
+        if self.link.len() < 2 * g.total() || range.end > g.body().len() {
             return None;
         }
-        Some(hints[g.body()].to_vec())
+        let start = g.body().start + range.start;
+        let span = SoftSpan {
+            symbols: self.link.range(2 * start..2 * (start + range.len())),
+        };
+        Some(span.byte_hints())
     }
 
     /// Per-symbol hints over the body region (two per byte).
@@ -83,24 +142,35 @@ impl RxFrame {
         let g = self.geometry()?;
         let body = g.body();
         let (s, e) = (body.start * 2, body.end * 2);
-        if self.link_symbols.len() < e {
+        if self.link.len() < e {
             return None;
         }
-        Some(self.link_symbols[s..e].iter().map(|s| s.hint).collect())
+        Some(self.link.range(s..e).iter().map(|s| s.hint).collect())
     }
 
     /// Whole-packet CRC-32 verification (header + body against the CRC
-    /// field) — the status-quo acceptance test.
+    /// field) — the status-quo acceptance test. Despreads header through
+    /// CRC field; the replicated trailer never participates and stays
+    /// undecoded.
     pub fn pkt_crc_ok(&self) -> bool {
         let Some(g) = self.geometry() else {
             return false;
         };
-        let bytes = self.link_bytes();
-        if bytes.len() < g.total() {
+        if self.link.len() < 2 * g.total() {
             return false;
         }
+        let bytes = self.byte_range_unchecked(0..g.pkt_crc().end);
         let crc = crate::crc::crc32(&bytes[..g.pkt_crc().start]);
-        bytes[g.pkt_crc()] == crc.to_le_bytes()
+        bytes[g.pkt_crc().start..] == crc.to_le_bytes()
+    }
+
+    /// Bytes `range` (link-section byte coordinates); caller guarantees
+    /// the range is within the link section.
+    fn byte_range_unchecked(&self, range: std::ops::Range<usize>) -> Vec<u8> {
+        SoftSpan {
+            symbols: self.link.range(2 * range.start..2 * range.end),
+        }
+        .to_bytes()
     }
 }
 
@@ -180,9 +250,9 @@ impl FrameReceiver {
                     let data_start = self.chip_rx.data_start_after(hit) as i64;
                     let frame = self.decode_from_preamble(chips, data_start);
                     if let Some(s) = frame.link_start_chip {
-                        claimed.push((s, frame.link_symbols.len()));
+                        claimed.push((s, frame.link_len()));
                         busy_until = s
-                            + (frame.link_symbols.len() * CHIPS_PER_SYMBOL) as i64
+                            + (frame.link_len() * CHIPS_PER_SYMBOL) as i64
                             + ppr_phy::sync::tx_postamble_chips().len() as i64;
                     }
                     frames.push(frame);
@@ -190,7 +260,7 @@ impl FrameReceiver {
                 SyncKind::Postamble if self.config.postamble_decoding => {
                     if let Some(frame) = self.decode_from_postamble(chips, hit.chip_offset) {
                         match frame.link_start_chip {
-                            Some(s) if claimed.contains(&(s, frame.link_symbols.len())) => {} // dup
+                            Some(s) if claimed.contains(&(s, frame.link_len())) => {} // dup
                             _ => frames.push(frame),
                         }
                     }
@@ -216,13 +286,30 @@ impl FrameReceiver {
     }
 
     /// Word-wise equivalent of [`Self::decode_from_preamble`] over a
-    /// packed chip stream; bit-identical output.
+    /// packed chip stream; bit-identical output, but **demand-driven**:
+    /// only the header probe despreads here. The body waits for a
+    /// consumer to read it through the returned frame's [`SymbolView`]
+    /// accessors.
     pub fn decode_from_preamble_words(&self, chips: &ChipWords, data_start: i64) -> RxFrame {
-        self.preamble_frame(
-            chips.len(),
-            |off, n| self.chip_rx.despread_words(chips, off, n),
-            data_start,
-        )
+        let probe = SymbolView::lazy(chips, data_start, 2 * HEADER_BYTES, ABSENT);
+        let header_bytes = SoftSpan {
+            symbols: probe.all(),
+        }
+        .to_bytes();
+        let header = self.accept_header(&header_bytes);
+        let link = match header {
+            Some(h) => {
+                let g = FrameGeometry::for_body(h.len as usize);
+                SymbolView::lazy(chips, data_start, 2 * g.total(), ABSENT)
+            }
+            None => SymbolView::eager(Vec::new()),
+        };
+        RxFrame {
+            sync: SyncKind::Preamble,
+            header,
+            link_start_chip: header.map(|_| data_start),
+            link,
+        }
     }
 
     /// Postamble path (§4): decode the trailer just before the postamble,
@@ -240,21 +327,45 @@ impl FrameReceiver {
     }
 
     /// Word-wise equivalent of [`Self::decode_from_postamble`] over a
-    /// packed chip stream; bit-identical output.
+    /// packed chip stream; bit-identical output, but **demand-driven**:
+    /// only the trailer probe despreads here (see
+    /// [`Self::decode_from_preamble_words`]).
     pub fn decode_from_postamble_words(
         &self,
         chips: &ChipWords,
         hit_offset: usize,
     ) -> Option<RxFrame> {
-        self.postamble_frame(
-            chips.len(),
-            |off, n| self.chip_rx.despread_words(chips, off, n),
-            hit_offset,
-        )
+        let (postamble_start, trailer_start) = postamble_rollback_offsets(hit_offset);
+        let probe = SymbolView::lazy(chips, trailer_start, 2 * HEADER_BYTES, ABSENT);
+        let trailer_bytes = SoftSpan {
+            symbols: probe.all(),
+        }
+        .to_bytes();
+        let header = self.accept_header(&trailer_bytes)?;
+
+        let g = FrameGeometry::for_body(header.len as usize);
+        let link_start = postamble_start - (2 * g.total() * CHIPS_PER_SYMBOL) as i64;
+        let link = SymbolView::lazy(chips, link_start, 2 * g.total(), ABSENT);
+        Some(RxFrame {
+            sync: SyncKind::Postamble,
+            header: Some(header),
+            link_start_chip: Some(link_start),
+            link,
+        })
+    }
+
+    /// Decodes and accepts a header/trailer record: the CRC-16 must
+    /// verify (inside [`Header::decode`]) and the claimed body length
+    /// must be plausible. The single acceptance rule for all four
+    /// decode constructors, eager and lazy alike.
+    fn accept_header(&self, bytes: &[u8]) -> Option<Header> {
+        Header::decode(bytes).filter(|h| (h.len as usize) <= self.config.max_body_len)
     }
 
     /// Shared preamble-path logic over any chip-stream representation:
-    /// `despread(chip_offset, n_symbols)` supplies the symbols.
+    /// `despread(chip_offset, n_symbols)` supplies the symbols. This is
+    /// the eager reference construction — the packed path overrides it
+    /// with lazy views.
     fn preamble_frame(
         &self,
         stream_len: usize,
@@ -266,8 +377,7 @@ impl FrameReceiver {
             symbols: header_span.clone(),
         }
         .to_bytes();
-        let header =
-            Header::decode(&header_bytes).filter(|h| (h.len as usize) <= self.config.max_body_len);
+        let header = self.accept_header(&header_bytes);
 
         let link_symbols = match header {
             Some(h) => {
@@ -280,29 +390,25 @@ impl FrameReceiver {
             sync: SyncKind::Preamble,
             header,
             link_start_chip: header.map(|_| data_start),
-            link_symbols,
+            link: SymbolView::eager(link_symbols),
         }
     }
 
-    /// Shared postamble-path logic over any chip-stream representation.
+    /// Shared postamble-path logic over any chip-stream representation
+    /// (eager reference construction, like [`Self::preamble_frame`]).
     fn postamble_frame(
         &self,
         stream_len: usize,
         despread: impl Fn(usize, usize) -> SoftSpan,
         hit_offset: usize,
     ) -> Option<RxFrame> {
-        // The scan pattern begins 2 zero-symbols into the postamble.
-        let pattern_lead = (POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
-        let postamble_start = hit_offset as i64 - pattern_lead as i64;
-        let trailer_start = postamble_start - (2 * HEADER_BYTES * CHIPS_PER_SYMBOL) as i64;
-
+        let (postamble_start, trailer_start) = postamble_rollback_offsets(hit_offset);
         let trailer_span = despread_clamped(stream_len, &despread, trailer_start, 2 * HEADER_BYTES);
         let trailer_bytes = SoftSpan {
             symbols: trailer_span,
         }
         .to_bytes();
-        let header = Header::decode(&trailer_bytes)
-            .filter(|h| (h.len as usize) <= self.config.max_body_len)?;
+        let header = self.accept_header(&trailer_bytes)?;
 
         let g = FrameGeometry::for_body(header.len as usize);
         let link_start = postamble_start - (2 * g.total() * CHIPS_PER_SYMBOL) as i64;
@@ -311,9 +417,20 @@ impl FrameReceiver {
             sync: SyncKind::Postamble,
             header: Some(header),
             link_start_chip: Some(link_start),
-            link_symbols,
+            link: SymbolView::eager(link_symbols),
         })
     }
+}
+
+/// Rollback geometry shared by both postamble decode paths: given the
+/// chip offset where the postamble *scan pattern* matched (two
+/// zero-symbols into the postamble), returns the chip offsets where the
+/// postamble itself and the trailer record begin.
+fn postamble_rollback_offsets(hit_offset: usize) -> (i64, i64) {
+    let pattern_lead = (POSTAMBLE_ZERO_SYMBOLS - 2) * CHIPS_PER_SYMBOL;
+    let postamble_start = hit_offset as i64 - pattern_lead as i64;
+    let trailer_start = postamble_start - (2 * HEADER_BYTES * CHIPS_PER_SYMBOL) as i64;
+    (postamble_start, trailer_start)
 }
 
 /// Despreads `n_symbols` from `chip_offset` (which may be negative or

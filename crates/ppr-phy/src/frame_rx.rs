@@ -94,26 +94,38 @@ impl ChipReceiver {
 
     /// Word-wise equivalent of [`Self::despread`] over a packed chip
     /// stream: each codeword is a single 32-bit extraction instead of a
-    /// 32-iteration bit-assembly loop, decoded straight to a
-    /// [`SoftSymbol`](crate::softphy::SoftSymbol) with no intermediate
-    /// word/decision buffers. Chips past the end of the stream read as
-    /// zero and symbols whose first chip is past the end are not
-    /// emitted, exactly as in the reference implementation.
+    /// 32-iteration bit-assembly loop, and the nearest-codeword scan
+    /// runs batched on the active SIMD kernel
+    /// ([`DespreadKernel::active`](crate::simd::DespreadKernel::active)).
+    /// Chips past the end of the stream read as zero and symbols whose
+    /// first chip is past the end are not emitted, exactly as in the
+    /// reference implementation.
     pub fn despread_words(
         &self,
         stream: &ChipWords,
         chip_offset: usize,
         n_symbols: usize,
     ) -> SoftSpan {
-        let mut symbols = Vec::with_capacity(n_symbols);
-        for s in 0..n_symbols {
-            let start = chip_offset + s * CHIPS_PER_SYMBOL;
-            if start >= stream.len() {
-                break;
-            }
-            symbols.push(crate::chips::decide(stream.extract_u32(start)).into());
+        // Symbols whose first chip is past the end are not emitted.
+        let n = if chip_offset >= stream.len() {
+            0
+        } else {
+            n_symbols.min((stream.len() - chip_offset).div_ceil(CHIPS_PER_SYMBOL))
+        };
+        // Gather codewords two at a time: one 64-chip extraction yields
+        // a pair, halving the shift work of the arbitrary-offset path.
+        let mut words = Vec::with_capacity(n);
+        let mut s = 0;
+        while s + 1 < n {
+            let pair = stream.extract_u64(chip_offset + s * CHIPS_PER_SYMBOL);
+            words.push(pair as u32);
+            words.push((pair >> 32) as u32);
+            s += 2;
         }
-        SoftSpan { symbols }
+        if s < n {
+            words.push(stream.extract_u32(chip_offset + s * CHIPS_PER_SYMBOL));
+        }
+        SoftSpan::from_decisions(crate::simd::decide_batch(&words))
     }
 }
 

@@ -1,0 +1,424 @@
+//! Vectorized nearest-codeword despreading.
+//!
+//! [`chips::decide`](crate::chips::decide) scans all sixteen codewords of
+//! the 802.15.4 book with an XOR + popcount per candidate — 16 popcounts
+//! per received symbol. After PR 2 packed the chip pipeline into `u64`
+//! lanes, that scan became the dominant receive-side stage (~33 µs per
+//! 100 k chips), so this module batches it across symbols and vectorizes
+//! the whole scan with `core::arch` x86-64 intrinsics:
+//!
+//! * **SSSE3** — 4 codewords per 128-bit register; per-lane popcount via
+//!   the classic `pshufb` nibble lookup (`maddubs`/`madd` reduce the
+//!   per-byte counts into 32-bit lanes).
+//! * **AVX2** — the same nibble-LUT popcount widened to 8 codewords per
+//!   256-bit register.
+//! * **AVX-512** — 16 codewords per 512-bit register with the dedicated
+//!   `vpopcntd` instruction (`AVX512VPOPCNTDQ`); masked loads handle the
+//!   tail, so there is no scalar remainder loop at all.
+//!
+//! Every kernel reproduces `decide` **bit-identically**, including its
+//! tie-break toward the lowest symbol index: candidates are folded as
+//! `(distance << 4) | symbol` keys whose numeric minimum selects the
+//! smallest distance and breaks ties toward the lowest symbol — exactly
+//! the scalar fold in `chips::decide`. `tests/simd_parity.rs` at the
+//! workspace root proves all kernels agree with the scalar reference on
+//! arbitrary inputs.
+//!
+//! ## Kernel selection
+//!
+//! [`DespreadKernel::active`] picks the widest kernel the CPU supports
+//! (via `is_x86_feature_detected!`) once per process and caches it.
+//! Setting the environment variable `PPR_NO_SIMD=1` before the first
+//! despread forces the scalar reference path — the escape hatch for
+//! debugging and for apples-to-apples baseline measurements. On
+//! non-x86-64 targets only the scalar kernel exists.
+//!
+//! This module is the only place in the workspace that uses `unsafe`
+//! (the crate is `#![deny(unsafe_code)]`): every unsafe block is a
+//! `core::arch` intrinsic call guarded by the corresponding runtime
+//! feature check at dispatch time.
+
+use crate::chips::{decide, Decision};
+use std::sync::OnceLock;
+
+/// One despreading implementation: the scalar reference or one of the
+/// vectorized codebook scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DespreadKernel {
+    /// The portable scalar reference (`chips::decide` in a loop).
+    Scalar,
+    /// 128-bit `pshufb` nibble-popcount scan (4 codewords per step).
+    Ssse3,
+    /// 256-bit `pshufb` nibble-popcount scan (8 codewords per step).
+    Avx2,
+    /// 512-bit `vpopcntd` scan (16 codewords per step, masked tail).
+    Avx512,
+}
+
+impl DespreadKernel {
+    /// Short name used in bench output and JSON snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            DespreadKernel::Scalar => "scalar",
+            DespreadKernel::Ssse3 => "ssse3",
+            DespreadKernel::Avx2 => "avx2",
+            DespreadKernel::Avx512 => "avx512",
+        }
+    }
+
+    /// Every kernel this CPU can run, widest last. Always starts with
+    /// [`DespreadKernel::Scalar`]; ignores `PPR_NO_SIMD`.
+    pub fn available() -> Vec<DespreadKernel> {
+        let mut out = vec![DespreadKernel::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("ssse3") {
+                out.push(DespreadKernel::Ssse3);
+            }
+            if is_x86_feature_detected!("avx2") {
+                out.push(DespreadKernel::Avx2);
+            }
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq") {
+                out.push(DespreadKernel::Avx512);
+            }
+        }
+        out
+    }
+
+    /// The kernel every despread in this process uses: the widest
+    /// available one, or the scalar reference when `PPR_NO_SIMD=1` is
+    /// set. Detected once and cached; changing the environment variable
+    /// afterwards has no effect.
+    pub fn active() -> DespreadKernel {
+        static ACTIVE: OnceLock<DespreadKernel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            if std::env::var_os("PPR_NO_SIMD").is_some_and(|v| v == "1") {
+                return DespreadKernel::Scalar;
+            }
+            *Self::available().last().expect("scalar always available")
+        })
+    }
+
+    /// Decodes every received 32-chip word with this kernel, appending
+    /// one [`Decision`] per word to `out`. Bit-identical to
+    /// [`chips::decide`](crate::chips::decide) on each word for every
+    /// kernel.
+    pub fn decide_into(self, received: &[u32], out: &mut Vec<Decision>) {
+        out.reserve(received.len());
+        match self {
+            DespreadKernel::Scalar => scalar_batch(received, out),
+            #[cfg(target_arch = "x86_64")]
+            DespreadKernel::Ssse3 => x86::run_ssse3(received, out),
+            #[cfg(target_arch = "x86_64")]
+            DespreadKernel::Avx2 => x86::run_avx2(received, out),
+            #[cfg(target_arch = "x86_64")]
+            DespreadKernel::Avx512 => x86::run_avx512(received, out),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar_batch(received, out),
+        }
+    }
+}
+
+/// Batch nearest-codeword decode with the process-wide
+/// [`DespreadKernel::active`] kernel: one [`Decision`] per received
+/// 32-chip word.
+pub fn decide_batch(received: &[u32]) -> Vec<Decision> {
+    let mut out = Vec::with_capacity(received.len());
+    DespreadKernel::active().decide_into(received, &mut out);
+    out
+}
+
+/// Decodes `n` codeword-aligned symbols straight out of packed 64-chip
+/// lanes — codeword `2k` in the low half of lane `k`, codeword `2k + 1`
+/// in the high half, the layout
+/// [`ChipWords`](crate::chips::ChipWords) stores — with no intermediate
+/// gather copy on little-endian x86-64. This is the
+/// [`SymbolView`](crate::view::SymbolView) fast path: a re-based view's
+/// symbols are exactly this layout.
+///
+/// # Panics
+/// Panics if `n` exceeds the `2 × lanes.len()` codewords available.
+pub fn decide_lanes_into(lanes: &[u64], n: usize, out: &mut Vec<Decision>) {
+    assert!(
+        n <= lanes.len() * 2,
+        "{n} codewords from {} lanes",
+        lanes.len()
+    );
+    #[cfg(all(target_arch = "x86_64", target_endian = "little"))]
+    {
+        x86::run_lanes(lanes, n, out);
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_endian = "little")))]
+    {
+        let words: Vec<u32> = (0..n)
+            .map(|s| {
+                let w = lanes[s / 2];
+                if s % 2 == 0 {
+                    w as u32
+                } else {
+                    (w >> 32) as u32
+                }
+            })
+            .collect();
+        DespreadKernel::active().decide_into(&words, out);
+    }
+}
+
+/// The scalar reference batch: [`chips::decide`](crate::chips::decide)
+/// per word.
+fn scalar_batch(received: &[u32], out: &mut Vec<Decision>) {
+    out.extend(received.iter().map(|&w| decide(w)));
+}
+
+/// Unpacks a `(distance << 4) | symbol` key lane into a [`Decision`].
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn decision_from_key(key: u32) -> Decision {
+    Decision {
+        symbol: (key & 0xF) as u8,
+        distance: (key >> 4) as u8,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // core::arch intrinsics; dispatch checks features.
+mod x86 {
+    use super::decision_from_key;
+    use crate::chips::{decide, Decision, CODEBOOK};
+    use core::arch::x86_64::*;
+
+    // All kernels fold `(hamming << 4) | symbol` keys with an unsigned
+    // minimum, mirroring the branchless scalar fold in `chips::decide`.
+    // Keys are at most (32 << 4) | 15 = 527, so they fit comfortably in
+    // 16 bits — which is what lets the SSSE3 kernel get away with the
+    // SSE2 *signed* 16-bit minimum on 32-bit lanes whose upper halves
+    // are zero.
+
+    /// Safe entry: re-asserts the feature (a cached atomic load) so the
+    /// `unsafe` call is locally justified, not dependent on the caller.
+    pub(super) fn run_ssse3(received: &[u32], out: &mut Vec<Decision>) {
+        assert!(is_x86_feature_detected!("ssse3"));
+        // SAFETY: feature presence checked on the line above.
+        unsafe { ssse3_batch(received, out) }
+    }
+
+    /// Safe entry for the AVX2 kernel (see [`run_ssse3`]).
+    pub(super) fn run_avx2(received: &[u32], out: &mut Vec<Decision>) {
+        assert!(is_x86_feature_detected!("avx2"));
+        // SAFETY: feature presence checked on the line above.
+        unsafe { avx2_batch(received, out) }
+    }
+
+    /// Safe entry for the AVX-512 kernel (see [`run_ssse3`]).
+    pub(super) fn run_avx512(received: &[u32], out: &mut Vec<Decision>) {
+        assert!(is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq"));
+        // SAFETY: feature presence checked on the line above.
+        unsafe { avx512_batch(received, out) }
+    }
+
+    /// Zero-copy lane decode: on little-endian x86-64 a `&[u64]` of
+    /// packed 64-chip lanes *is* a `&[u32]` of codewords in symbol
+    /// order, so the active kernel can read the lane memory directly.
+    #[cfg(target_endian = "little")]
+    pub(super) fn run_lanes(lanes: &[u64], n: usize, out: &mut Vec<Decision>) {
+        // SAFETY: `u32` has weaker alignment than `u64`; the slice
+        // covers `n ≤ 2 × lanes.len()` `u32`s inside the lanes
+        // allocation; `u32` has no invalid bit patterns; and the
+        // reborrow is read-only for the lifetime of `words`.
+        let words: &[u32] = unsafe { core::slice::from_raw_parts(lanes.as_ptr() as *const u32, n) };
+        super::DespreadKernel::active().decide_into(words, out);
+    }
+
+    /// Per-32-bit-lane popcount for 128-bit vectors: `pshufb` nibble
+    /// lookup, then `maddubs`/`madd` to sum the four byte counts of each
+    /// lane (counts ≤ 8 per byte, so the 16-bit partials cannot
+    /// overflow).
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn popcnt_epi32_sse(x: __m128i) -> __m128i {
+        let lut = _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+        let mask = _mm_set1_epi8(0x0F);
+        let lo = _mm_and_si128(x, mask);
+        let hi = _mm_and_si128(_mm_srli_epi16::<4>(x), mask);
+        let per_byte = _mm_add_epi8(_mm_shuffle_epi8(lut, lo), _mm_shuffle_epi8(lut, hi));
+        let pairs = _mm_maddubs_epi16(per_byte, _mm_set1_epi8(1));
+        _mm_madd_epi16(pairs, _mm_set1_epi16(1))
+    }
+
+    /// SSSE3 kernel: 4 received codewords per iteration.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_batch(received: &[u32], out: &mut Vec<Decision>) {
+        let mut chunks = received.chunks_exact(4);
+        for chunk in &mut chunks {
+            let r = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+            // 0x7FFF per 32-bit lane: larger than any key, and the
+            // largest value the signed 16-bit minimum handles correctly.
+            let mut best = _mm_set1_epi32(0x7FFF);
+            for (s, &cw) in CODEBOOK.iter().enumerate() {
+                let x = _mm_xor_si128(r, _mm_set1_epi32(cw as i32));
+                let key = _mm_or_si128(
+                    _mm_slli_epi32::<4>(popcnt_epi32_sse(x)),
+                    _mm_set1_epi32(s as i32),
+                );
+                // Keys fit in the low 16 bits with zeroed upper halves,
+                // so the SSE2 signed 16-bit min is exact here and the
+                // kernel needs nothing newer than SSSE3.
+                best = _mm_min_epi16(best, key);
+            }
+            let mut lanes = [0u32; 4];
+            _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, best);
+            out.extend(lanes.iter().map(|&k| decision_from_key(k)));
+        }
+        out.extend(chunks.remainder().iter().map(|&w| decide(w)));
+    }
+
+    /// Per-32-bit-lane popcount for 256-bit vectors (same nibble LUT,
+    /// duplicated across both 128-bit halves for the in-lane `pshufb`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcnt_epi32_avx2(x: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let mask = _mm256_set1_epi8(0x0F);
+        let lo = _mm256_and_si256(x, mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(x), mask);
+        let per_byte = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        let pairs = _mm256_maddubs_epi16(per_byte, _mm256_set1_epi8(1));
+        _mm256_madd_epi16(pairs, _mm256_set1_epi16(1))
+    }
+
+    /// AVX2 kernel: 8 received codewords per iteration.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_batch(received: &[u32], out: &mut Vec<Decision>) {
+        let mut chunks = received.chunks_exact(8);
+        for chunk in &mut chunks {
+            let r = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+            let mut best = _mm256_set1_epi32(u32::MAX as i32);
+            for (s, &cw) in CODEBOOK.iter().enumerate() {
+                let x = _mm256_xor_si256(r, _mm256_set1_epi32(cw as i32));
+                let key = _mm256_or_si256(
+                    _mm256_slli_epi32::<4>(popcnt_epi32_avx2(x)),
+                    _mm256_set1_epi32(s as i32),
+                );
+                best = _mm256_min_epu32(best, key);
+            }
+            let mut lanes = [0u32; 8];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, best);
+            out.extend(lanes.iter().map(|&k| decision_from_key(k)));
+        }
+        out.extend(chunks.remainder().iter().map(|&w| decide(w)));
+    }
+
+    /// AVX-512 kernel: 16 received codewords per iteration with native
+    /// per-lane popcount; the tail is a masked load, not a scalar loop.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn avx512_batch(received: &[u32], out: &mut Vec<Decision>) {
+        let mut i = 0;
+        while i < received.len() {
+            let n = (received.len() - i).min(16);
+            let mask: __mmask16 = if n == 16 { !0 } else { (1u16 << n) - 1 };
+            let r = _mm512_maskz_loadu_epi32(mask, received.as_ptr().add(i) as *const i32);
+            let mut best = _mm512_set1_epi32(u32::MAX as i32);
+            for (s, &cw) in CODEBOOK.iter().enumerate() {
+                let x = _mm512_xor_si512(r, _mm512_set1_epi32(cw as i32));
+                let key = _mm512_or_si512(
+                    _mm512_slli_epi32::<4>(_mm512_popcnt_epi32(x)),
+                    _mm512_set1_epi32(s as i32),
+                );
+                best = _mm512_min_epu32(best, key);
+            }
+            let mut lanes = [0u32; 16];
+            _mm512_storeu_si512(lanes.as_mut_ptr() as *mut __m512i, best);
+            out.extend(lanes[..n].iter().map(|&k| decision_from_key(k)));
+            i += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::CODEBOOK;
+
+    /// Deterministic xorshift word stream for kernel tests.
+    fn words(n: usize, mut state: u64) -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_available_kernel_matches_scalar() {
+        // Random words, clean codewords, all-zeros/ones, and every
+        // length around the vector widths (tail handling).
+        let mut inputs: Vec<u32> = words(333, 0xDEAD_BEEF_1234_5678);
+        inputs.extend_from_slice(&CODEBOOK);
+        inputs.push(0);
+        inputs.push(u32::MAX);
+        for kernel in DespreadKernel::available() {
+            for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 333] {
+                let slice = &inputs[..len.min(inputs.len())];
+                let expect: Vec<Decision> = slice.iter().map(|&w| decide(w)).collect();
+                let mut got = Vec::new();
+                kernel.decide_into(slice, &mut got);
+                assert_eq!(got, expect, "kernel {} len {len}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_symbol_in_every_kernel() {
+        // A word equidistant from several codewords: all-zero chips are
+        // 16 chips from many codewords; the scalar fold picks the lowest
+        // symbol index, and every kernel must agree.
+        let inputs = vec![0u32; 20];
+        let expect = decide(0);
+        for kernel in DespreadKernel::available() {
+            let mut got = Vec::new();
+            kernel.decide_into(&inputs, &mut got);
+            assert!(
+                got.iter().all(|d| *d == expect),
+                "kernel {} broke tie differently",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn active_kernel_is_available() {
+        assert!(DespreadKernel::available().contains(&DespreadKernel::active()));
+    }
+
+    #[test]
+    fn decide_batch_matches_per_word_decide() {
+        let inputs = words(1000, 42);
+        let batch = decide_batch(&inputs);
+        for (i, &w) in inputs.iter().enumerate() {
+            assert_eq!(batch[i], decide(w), "word {i}");
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_distinct() {
+        let names: Vec<_> = [
+            DespreadKernel::Scalar,
+            DespreadKernel::Ssse3,
+            DespreadKernel::Avx2,
+            DespreadKernel::Avx512,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

@@ -3,11 +3,11 @@
 //! The sender path maps a byte stream to 4-bit symbols (low nibble first,
 //! as in 802.15.4) and each symbol to its 32-chip codeword. The receiver
 //! path reverses this, producing for each codeword either a
-//! [`Decision`][crate::chips::Decision] (hard decoding + Hamming-distance
+//! [`Decision`] (hard decoding + Hamming-distance
 //! SoftPHY hint) or a soft correlation metric (the paper's Eq. 1).
 
 use crate::chips::{
-    decide, spread_symbol, Decision, BITS_PER_SYMBOL, CHIPS_PER_SYMBOL, CODEBOOK, NUM_SYMBOLS,
+    spread_symbol, Decision, BITS_PER_SYMBOL, CHIPS_PER_SYMBOL, CODEBOOK, NUM_SYMBOLS,
 };
 
 /// Converts a byte stream into 4-bit data symbols, low nibble first.
@@ -44,8 +44,13 @@ pub fn spread_bytes(bytes: &[u8]) -> Vec<u32> {
 
 /// Hard-decision despreading: nearest-codeword decode of every chip word,
 /// yielding the data symbol and its Hamming-distance hint.
+///
+/// Runs on the process-wide SIMD kernel
+/// ([`DespreadKernel::active`](crate::simd::DespreadKernel::active));
+/// output is bit-identical to [`decide`](crate::chips::decide) per
+/// word on every kernel.
 pub fn despread_hard(chip_words: &[u32]) -> Vec<Decision> {
-    chip_words.iter().map(|&w| decide(w)).collect()
+    crate::simd::decide_batch(chip_words)
 }
 
 /// Soft-decision correlation metric of the paper's Eq. 1 for one received

@@ -1,0 +1,373 @@
+//! Demand-driven symbol decoding: the lazy [`SymbolView`].
+//!
+//! PR 2's packed pipeline despreads a frame's *entire* link section the
+//! moment a delimiter verifies, even when the consumer only reads a
+//! slice of it — a scheme probing a header, PP-ARQ decoding the chunks a
+//! feedback packet asked for, a relay checking a trailer. The
+//! [`SymbolView`] defers that work: it captures the (packed) chips of a
+//! symbol range at construction and despreads **only the sub-ranges a
+//! consumer actually requests**, in 64-symbol blocks, each decoded once
+//! and cached. Decoding runs on the active SIMD kernel
+//! ([`DespreadKernel::active`](crate::simd::DespreadKernel::active)) and
+//! is bit-identical to the eager reference path.
+//!
+//! A view is *frame-shaped*: it always exposes exactly the symbol count
+//! it was built for. Symbols the reception never captured (the stream
+//! started after them or ended before them) read as a caller-supplied
+//! `absent` sentinel — `ppr-mac` passes its `HINT_NEVER_RECEIVED`
+//! padding symbol — so downstream layers see maximally un-confident
+//! symbols rather than a shortened span, exactly as the eager pipeline
+//! did.
+//!
+//! Interior mutability: the decode cache lives behind a
+//! [`RefCell`], so a `&SymbolView` can decode on demand. The type
+//! is `Send` but not `Sync`; receive pipelines hand whole frames between
+//! threads rather than sharing one frame across threads, which is the
+//! pattern `ppr-sim`'s parallel reception loop already uses.
+
+use crate::chips::{ChipWords, CHIPS_PER_SYMBOL};
+use crate::softphy::SoftSymbol;
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Symbols despread together per cache fill: 64 codewords = 2048 chips,
+/// a comfortable batch for every SIMD kernel (4 full AVX-512 vectors).
+const BLOCK_SYMBOLS: usize = 64;
+
+/// A lazily-despread span of symbols (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct SymbolView {
+    /// Total symbols the view exposes (absent + decodable).
+    total: usize,
+    /// Symbols before the captured stream (read as `absent`).
+    lead: usize,
+    /// Decodable symbols: `lead..lead + present` are backed by chips.
+    present: usize,
+    /// Captured chips, re-based so symbol `lead + k` starts at chip
+    /// `k * 32` (always codeword-aligned extraction).
+    chips: ChipWords,
+    /// Sentinel for symbols outside the captured stream.
+    absent: SoftSymbol,
+    /// Decoded symbols (`present` entries) + per-block fill flags.
+    cache: RefCell<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    symbols: Vec<SoftSymbol>,
+    block_done: Vec<bool>,
+}
+
+impl SymbolView {
+    /// Builds a lazy view of `n_symbols` symbols whose first chip sits
+    /// at `chip_offset` of `stream` (may be negative or extend past the
+    /// stream; those symbols read as `absent`). No despreading happens
+    /// here — only a word-wise copy of the captured chip range.
+    ///
+    /// Boundary semantics match the eager reference
+    /// (`ppr-mac`'s clamped despread): a symbol is decodable iff its
+    /// *first* chip lies inside the stream; chips past the end read as
+    /// zero, so a truncated final codeword decodes with a large, honest
+    /// hint.
+    pub fn lazy(
+        stream: &ChipWords,
+        chip_offset: i64,
+        n_symbols: usize,
+        absent: SoftSymbol,
+    ) -> Self {
+        let sym_chips = CHIPS_PER_SYMBOL as i64;
+        // Symbols whose first chip is before the stream are absent.
+        let lead = if chip_offset < 0 {
+            (((-chip_offset) as usize).div_ceil(CHIPS_PER_SYMBOL)).min(n_symbols)
+        } else {
+            0
+        };
+        let start = chip_offset + (lead as i64) * sym_chips;
+        let remaining = n_symbols - lead;
+        let present = if remaining == 0 || start as usize >= stream.len() {
+            0
+        } else {
+            remaining.min((stream.len() - start as usize).div_ceil(CHIPS_PER_SYMBOL))
+        };
+        let chips = if present == 0 {
+            ChipWords::new()
+        } else {
+            stream.extract_range(start as usize, present * CHIPS_PER_SYMBOL)
+        };
+        SymbolView {
+            total: n_symbols,
+            lead,
+            present,
+            chips,
+            absent,
+            cache: RefCell::new(Cache {
+                symbols: vec![absent; present],
+                block_done: vec![false; present.div_ceil(BLOCK_SYMBOLS)],
+            }),
+        }
+    }
+
+    /// Wraps already-decoded symbols as a fully-materialized view — the
+    /// eager construction the reference (`&[bool]`) receive path uses,
+    /// so both paths flow through one frame type.
+    pub fn eager(symbols: Vec<SoftSymbol>) -> Self {
+        let present = symbols.len();
+        SymbolView {
+            total: present,
+            lead: 0,
+            present,
+            chips: ChipWords::new(),
+            absent: SoftSymbol { symbol: 0, hint: 0 },
+            cache: RefCell::new(Cache {
+                symbols,
+                block_done: vec![true; present.div_ceil(BLOCK_SYMBOLS)],
+            }),
+        }
+    }
+
+    /// Total symbols the view exposes.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when the view exposes no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Symbols despread so far — the demand-driven cost of this view.
+    /// Zero for an untouched lazy view, full for an eager one; grows
+    /// block-wise as ranges are read.
+    pub fn decoded_symbols(&self) -> usize {
+        let cache = self.cache.borrow();
+        cache
+            .block_done
+            .iter()
+            .enumerate()
+            .filter(|&(_, &done)| done)
+            .map(|(b, _)| ((b + 1) * BLOCK_SYMBOLS).min(self.present) - b * BLOCK_SYMBOLS)
+            .sum()
+    }
+
+    /// Symbol `i`, despreading its 64-symbol block on first touch.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> SoftSymbol {
+        assert!(
+            i < self.total,
+            "symbol index {i} out of range {}",
+            self.total
+        );
+        if i < self.lead || i >= self.lead + self.present {
+            return self.absent;
+        }
+        let k = i - self.lead;
+        self.ensure_blocks(k..k + 1);
+        self.cache.borrow().symbols[k]
+    }
+
+    /// The symbols of `range`, despreading exactly the blocks that
+    /// overlap it (absent symbols padded with the sentinel).
+    ///
+    /// # Panics
+    /// Panics if `range.end > len()`.
+    pub fn range(&self, range: Range<usize>) -> Vec<SoftSymbol> {
+        assert!(
+            range.end <= self.total,
+            "symbol range {range:?} out of range {}",
+            self.total
+        );
+        let mut out = Vec::with_capacity(range.len());
+        // Leading absent symbols.
+        let lead_end = range.end.min(self.lead);
+        out.extend(std::iter::repeat_n(
+            self.absent,
+            lead_end.saturating_sub(range.start),
+        ));
+        // Captured symbols.
+        let cap_start = range.start.max(self.lead).min(self.lead + self.present);
+        let cap_end = range.end.max(self.lead).min(self.lead + self.present);
+        if cap_end > cap_start {
+            let (ks, ke) = (cap_start - self.lead, cap_end - self.lead);
+            self.ensure_blocks(ks..ke);
+            out.extend_from_slice(&self.cache.borrow().symbols[ks..ke]);
+        }
+        // Trailing absent symbols.
+        out.extend(std::iter::repeat_n(self.absent, range.len() - out.len()));
+        out
+    }
+
+    /// Every symbol of the view (forces a full despread).
+    pub fn all(&self) -> Vec<SoftSymbol> {
+        self.range(0..self.total)
+    }
+
+    /// Despreads every not-yet-decoded block covering captured symbols
+    /// `range` (indices relative to the captured region).
+    fn ensure_blocks(&self, range: Range<usize>) {
+        let mut cache = self.cache.borrow_mut();
+        let first = range.start / BLOCK_SYMBOLS;
+        let last = (range.end - 1) / BLOCK_SYMBOLS;
+        let mut decisions: Vec<crate::chips::Decision> = Vec::with_capacity(BLOCK_SYMBOLS);
+        for b in first..=last {
+            if cache.block_done[b] {
+                continue;
+            }
+            // The view is re-based, so block `b`'s codewords sit packed
+            // two-per-lane starting at lane `lo / 2` (`lo` is even:
+            // BLOCK_SYMBOLS is) — decoded straight from lane memory.
+            let lo = b * BLOCK_SYMBOLS;
+            let hi = ((b + 1) * BLOCK_SYMBOLS).min(self.present);
+            let lanes = &self.chips.words()[lo / 2..hi.div_ceil(2)];
+            decisions.clear();
+            crate::simd::decide_lanes_into(lanes, hi - lo, &mut decisions);
+            for (slot, d) in cache.symbols[lo..hi].iter_mut().zip(&decisions) {
+                *slot = (*d).into();
+            }
+            cache.block_done[b] = true;
+        }
+    }
+}
+
+/// Equality forces both views to despread fully and compares the
+/// resulting symbols — a lazy view and the eager reference view of the
+/// same reception compare equal, which is what the parity harnesses
+/// rely on.
+impl PartialEq for SymbolView {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.all() == other.all()
+    }
+}
+
+impl Eq for SymbolView {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::CODEBOOK;
+
+    const ABSENT: SoftSymbol = SoftSymbol {
+        symbol: 0,
+        hint: 33,
+    };
+
+    fn stream_of(symbols: &[u8]) -> ChipWords {
+        ChipWords::from_codewords(
+            &symbols
+                .iter()
+                .map(|&s| CODEBOOK[s as usize])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn lazy_view_decodes_aligned_codewords() {
+        let syms: Vec<u8> = (0..16).chain(0..16).collect();
+        let stream = stream_of(&syms);
+        let view = SymbolView::lazy(&stream, 0, syms.len(), ABSENT);
+        assert_eq!(view.decoded_symbols(), 0, "construction must not decode");
+        let got = view.all();
+        assert_eq!(got.len(), syms.len());
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s.symbol, syms[i]);
+            assert_eq!(s.hint, 0);
+        }
+        assert_eq!(view.decoded_symbols(), syms.len());
+    }
+
+    #[test]
+    fn negative_offset_pads_head_with_absent() {
+        let stream = stream_of(&[5, 6, 7]);
+        // First two symbols were transmitted before the capture began.
+        let view = SymbolView::lazy(&stream, -64, 5, ABSENT);
+        let got = view.all();
+        assert_eq!(got[0], ABSENT);
+        assert_eq!(got[1], ABSENT);
+        assert_eq!(got[2].symbol, 5);
+        assert_eq!(got[4].symbol, 7);
+    }
+
+    #[test]
+    fn tail_past_stream_pads_with_absent() {
+        let stream = stream_of(&[1, 2]);
+        let view = SymbolView::lazy(&stream, 0, 4, ABSENT);
+        let got = view.all();
+        assert_eq!(got[0].symbol, 1);
+        assert_eq!(got[1].symbol, 2);
+        assert_eq!(got[2], ABSENT);
+        assert_eq!(got[3], ABSENT);
+    }
+
+    #[test]
+    fn truncated_final_codeword_decodes_with_honest_hint() {
+        let mut stream = stream_of(&[9, 9]);
+        stream.truncate(32 + 10); // 10 chips of the second codeword
+        let view = SymbolView::lazy(&stream, 0, 2, ABSENT);
+        let got = view.all();
+        assert_eq!(got[0].symbol, 9);
+        assert_eq!(got[0].hint, 0);
+        // Second symbol's first chip is inside the stream → decoded,
+        // with a large hint from the zero-read tail.
+        assert!(got[1].hint > 0, "truncated codeword must not decode clean");
+        assert_ne!(got[1], ABSENT, "partially captured symbol is not absent");
+    }
+
+    #[test]
+    fn range_reads_decode_only_touched_blocks() {
+        let syms: Vec<u8> = (0..200).map(|i| (i % 16) as u8).collect();
+        let stream = stream_of(&syms);
+        let view = SymbolView::lazy(&stream, 0, syms.len(), ABSENT);
+        // Touch ten symbols in the middle: exactly one 64-symbol block
+        // must fill.
+        let got = view.range(70..80);
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s.symbol, syms[70 + i]);
+        }
+        assert_eq!(view.decoded_symbols(), 64);
+        // A repeated read decodes nothing further.
+        let again = view.range(70..80);
+        assert_eq!(again, got);
+        assert_eq!(view.decoded_symbols(), 64);
+        // A full read fills the rest and agrees symbol-for-symbol.
+        let all = view.all();
+        assert_eq!(all.len(), syms.len());
+        assert_eq!(view.decoded_symbols(), syms.len());
+        assert_eq!(&all[70..80], &got[..]);
+    }
+
+    #[test]
+    fn unaligned_offset_matches_despread_words() {
+        let syms: Vec<u8> = (0..50).map(|i| ((i * 7) % 16) as u8).collect();
+        let mut stream = ChipWords::zeros(17); // unaligned lead
+        for &s in &syms {
+            stream.push_codeword(CODEBOOK[s as usize]);
+        }
+        let rx = crate::frame_rx::ChipReceiver::default();
+        let reference = rx.despread_words(&stream, 17, syms.len());
+        let view = SymbolView::lazy(&stream, 17, syms.len(), ABSENT);
+        assert_eq!(view.all(), reference.symbols);
+    }
+
+    #[test]
+    fn eager_and_lazy_views_compare_equal() {
+        let syms: Vec<u8> = (0..100).map(|i| ((i * 3) % 16) as u8).collect();
+        let stream = stream_of(&syms);
+        let lazy = SymbolView::lazy(&stream, 0, syms.len(), ABSENT);
+        let eager = SymbolView::eager(lazy.all());
+        assert_eq!(lazy, eager);
+        assert_eq!(eager.decoded_symbols(), syms.len());
+    }
+
+    #[test]
+    fn view_entirely_before_or_after_stream_is_all_absent() {
+        let stream = stream_of(&[3]);
+        let before = SymbolView::lazy(&stream, -320, 4, ABSENT);
+        assert!(before.all().iter().all(|&s| s == ABSENT));
+        let after = SymbolView::lazy(&stream, 320, 4, ABSENT);
+        assert!(after.all().iter().all(|&s| s == ABSENT));
+        let empty = SymbolView::lazy(&stream, 0, 0, ABSENT);
+        assert!(empty.is_empty());
+        assert_eq!(empty.all(), Vec::new());
+    }
+}

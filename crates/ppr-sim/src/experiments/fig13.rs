@@ -131,7 +131,7 @@ pub fn collect_seeded(seed: u64) -> CollisionAnatomy {
             .iter()
             .find(|f| f.header.map(|h| h.src == frame.header.src).unwrap_or(false));
         let (sync, rx_symbols): (Option<SyncKind>, Vec<SoftSymbol>) = match found {
-            Some(f) => (Some(f.sync), f.link_symbols.clone()),
+            Some(f) => (Some(f.sync), f.link_symbols()),
             None => (None, Vec::new()),
         };
         let hamming: Vec<u8> = rx_symbols.iter().map(|s| s.hint).collect();

@@ -98,7 +98,7 @@ pub fn collect(scenario: &Scenario) -> MrdResult {
                     let delivered =
                         ppr_mac::schemes::correct_delivered_bytes(&scheme.deliver(&rx), &payload);
                     singles.push(delivered);
-                    copies.push(rx.link_symbols.clone());
+                    copies.push(rx.link_symbols());
                 }
             }
         }

@@ -15,7 +15,8 @@
 //! * [`network`] — timeline generation + reception processing.
 //! * [`rxpath`] — known-offset delimiter checks + `ppr-mac` decode.
 //! * [`metrics`] — CDF/CCDF and hint-statistics collectors.
-//! * [`env`] — `PPR_DURATION` / `PPR_THREADS` parsing, in one place.
+//! * [`env`](mod@env) — `PPR_DURATION` / `PPR_THREADS` parsing, in one
+//!   place.
 //! * [`scenario`] — every experiment knob, with builder > env > default
 //!   precedence.
 //! * [`results`] — typed experiment results with text and JSON

@@ -556,7 +556,7 @@ pub fn process_receptions_with_workers(
                 if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
                     let tx_symbols = bytes_to_symbols(&prep.frame.body);
                     let body_range = g.body();
-                    let rx_syms = &rx.link_symbols[body_range.start * 2..body_range.end * 2];
+                    let rx_syms = rx.link_symbol_range(body_range.start * 2..body_range.end * 2);
                     rec.symbol_correct = rx_syms
                         .iter()
                         .zip(&tx_symbols)
@@ -681,7 +681,8 @@ pub fn process_receptions_reference(
                     if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
                         let tx_symbols = bytes_to_symbols(&body);
                         let body_range = g.body();
-                        let rx_syms = &rx.link_symbols[body_range.start * 2..body_range.end * 2];
+                        let rx_syms =
+                            rx.link_symbol_range(body_range.start * 2..body_range.end * 2);
                         rec.symbol_correct = rx_syms
                             .iter()
                             .zip(&tx_symbols)

@@ -50,7 +50,8 @@ fn compare_on(profile_pieces: Vec<(u64, u64, f64)>, seed: u64) {
             let fast_rx = fast_rx.unwrap();
             assert_eq!(fast_rx.header, slow.header, "header mismatch");
             assert_eq!(
-                fast_rx.link_symbols, slow.link_symbols,
+                fast_rx.link_symbols(),
+                slow.link_symbols(),
                 "decoded symbols/hints mismatch"
             );
             assert_eq!(fast_rx.pkt_crc_ok(), slow.pkt_crc_ok());

@@ -1,0 +1,141 @@
+//! Parity harness for the demand-driven (`SymbolView`) decode path.
+//!
+//! The reference `&[bool]` receive path despreads a frame's whole link
+//! section eagerly; the packed path defers despreading until a consumer
+//! reads a range. These tests prove the two are **bit-identical** no
+//! matter which accessors run, in which order, over which sub-ranges —
+//! across random frames, corruption levels, schemes, and both sync
+//! directions (preamble decode and postamble rollback).
+
+use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
+use ppr::mac::frame::Frame;
+use ppr::mac::rx::{FrameReceiver, RxFrame};
+use ppr::mac::schemes::DeliveryScheme;
+use ppr::phy::chips::ChipWords;
+use ppr::phy::sync::POSTAMBLE_ZERO_SYMBOLS;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a corrupted capture of one frame and decodes it through both
+/// paths (eager bool reference, lazy packed) via the preamble.
+fn decode_both(body: &[u8], p: f64, seed: u64) -> (RxFrame, RxFrame) {
+    let frame = Frame::new(1, 2, 3, body.to_vec());
+    let chips = frame.chips();
+    let profile = ErrorProfile::uniform(chips.len() as u64, p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corrupted = corrupt_chips(&chips, &profile, &mut rng);
+    let packed = ChipWords::from_bools(&corrupted);
+    let rx = FrameReceiver::default();
+    let data_start = ppr::phy::sync::tx_preamble_chips().len() as i64;
+    (
+        rx.decode_from_preamble(&corrupted, data_start),
+        rx.decode_from_preamble_words(&packed, data_start),
+    )
+}
+
+/// Every accessor agrees between the eager and lazy frames, regardless
+/// of the order the lazy side is interrogated in.
+fn assert_accessor_parity(eager: &RxFrame, lazy: &RxFrame, chunk: usize) {
+    // Deliberately touch the lazy frame in a scattered order: a chunk
+    // read first (partial block fills), then hints, then whole-frame
+    // reads, then the CRC.
+    if let Some(g) = lazy.geometry() {
+        let body_len = g.body().len();
+        if body_len > 0 {
+            let lo = chunk % body_len;
+            let hi = (lo + 1 + chunk % 40).min(body_len);
+            assert_eq!(
+                eager.body_byte_range(lo..hi),
+                lazy.body_byte_range(lo..hi),
+                "chunk bytes {lo}..{hi}"
+            );
+            assert_eq!(
+                eager.body_hint_range(lo..hi),
+                lazy.body_hint_range(lo..hi),
+                "chunk hints {lo}..{hi}"
+            );
+        }
+    }
+    assert_eq!(eager.body_symbol_hints(), lazy.body_symbol_hints());
+    assert_eq!(eager.body_byte_hints(), lazy.body_byte_hints());
+    assert_eq!(eager.body_bytes(), lazy.body_bytes());
+    assert_eq!(eager.pkt_crc_ok(), lazy.pkt_crc_ok());
+    assert_eq!(eager.link_bytes(), lazy.link_bytes());
+    assert_eq!(eager.link_symbols(), lazy.link_symbols());
+    assert_eq!(eager, lazy, "full-frame equality");
+}
+
+#[test]
+fn preamble_decode_parity_fixed_cases() {
+    for (len, p, seed) in [
+        (0usize, 0.0, 1u64),
+        (1, 0.02, 2),
+        (63, 0.05, 3),
+        (64, 0.10, 4),
+        (200, 0.20, 5),
+        (500, 0.35, 6),
+        (1500, 0.08, 7),
+    ] {
+        let body: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+        let (eager, lazy) = decode_both(&body, p, seed);
+        assert_accessor_parity(&eager, &lazy, seed as usize);
+    }
+}
+
+#[test]
+fn postamble_rollback_parity() {
+    // Receiver wakes up mid-frame: negative link start, padded head.
+    let frame = Frame::new(4, 4, 2, vec![0x3C; 120]);
+    let full = frame.chips();
+    for cut_frac in [2usize, 3, 5] {
+        let cut = (cut_frac - 1) * full.len() / cut_frac;
+        let tail = full[cut..].to_vec();
+        let packed = ChipWords::from_bools(&tail);
+        let rx = FrameReceiver::default();
+        let post_off = tail.len() - ppr::phy::sync::tx_postamble_chips().len()
+            + (POSTAMBLE_ZERO_SYMBOLS - 2) * 32;
+        let eager = rx.decode_from_postamble(&tail, post_off);
+        let lazy = rx.decode_from_postamble_words(&packed, post_off);
+        match (eager, lazy) {
+            (Some(e), Some(l)) => assert_accessor_parity(&e, &l, cut),
+            (e, l) => assert_eq!(e.is_none(), l.is_none(), "cut 1/{cut_frac}"),
+        }
+    }
+}
+
+#[test]
+fn scheme_delivery_parity_on_lazy_frames() {
+    for (p, seed) in [(0.0, 10u64), (0.05, 11), (0.15, 12), (0.30, 13)] {
+        for scheme in DeliveryScheme::standard_set(50, 6) {
+            let payload: Vec<u8> = (0..scheme.payload_len(300))
+                .map(|i| (i * 13 + 1) as u8)
+                .collect();
+            let body = scheme.build_body(&payload);
+            let (eager, lazy) = decode_both(&body, p, seed);
+            assert_eq!(
+                scheme.deliver(&eager),
+                scheme.deliver(&lazy),
+                "scheme {} p {p} seed {seed}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Demand-driven decode equals the eager reference across random
+    /// bodies, corruption levels, seeds and probe orders.
+    #[test]
+    fn lazy_decode_parity_arbitrary(
+        len in 0usize..400,
+        p in 0.0f64..0.45,
+        seed in any::<u64>(),
+        chunk in any::<usize>(),
+    ) {
+        let body: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(17)).collect();
+        let (eager, lazy) = decode_both(&body, p, seed);
+        prop_assert_eq!(eager.header, lazy.header);
+        assert_accessor_parity(&eager, &lazy, chunk);
+    }
+}

@@ -1,0 +1,115 @@
+//! Parity harness for the SIMD despread kernels.
+//!
+//! `ppr_phy::chips::decide` is the executable specification of the
+//! nearest-codeword search; every vectorized kernel in `ppr_phy::simd`
+//! (SSSE3 `pshufb` nibble popcount, AVX2, AVX-512 `vpopcntd`) must
+//! reproduce it **bit-identically** — decoded symbol *and* Hamming-hint,
+//! including the tie-break toward the lowest symbol index — on any
+//! feature set the host offers. Kernels that the CPU lacks are skipped
+//! by construction (`DespreadKernel::available`).
+
+use ppr::phy::chips::{decide, ChipWords, Decision, CODEBOOK};
+use ppr::phy::simd::{decide_batch, decide_lanes_into, DespreadKernel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every kernel against the scalar spec on adversarial fixed inputs:
+/// clean codewords (distance 0), their complements, near-ties, and the
+/// all-zero/all-one words that tie many codebook entries at once.
+#[test]
+fn kernels_match_scalar_on_adversarial_words() {
+    let mut inputs: Vec<u32> = vec![0, u32::MAX, 0xAAAA_AAAA, 0x5555_5555];
+    for &cw in CODEBOOK.iter() {
+        inputs.push(cw);
+        inputs.push(!cw);
+        // One, two, three flips.
+        inputs.push(cw ^ 1);
+        inputs.push(cw ^ 0x8000_0001);
+        inputs.push(cw ^ 0x0101_0100);
+    }
+    let expect: Vec<Decision> = inputs.iter().map(|&w| decide(w)).collect();
+    for kernel in DespreadKernel::available() {
+        let mut got = Vec::new();
+        kernel.decide_into(&inputs, &mut got);
+        assert_eq!(got, expect, "kernel {}", kernel.name());
+    }
+}
+
+/// Vector-width edges: every length straddling the 4/8/16-lane chunk
+/// boundaries must handle its tail exactly like the scalar loop.
+#[test]
+fn kernels_handle_every_tail_length() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let inputs: Vec<u32> = (0..70).map(|_| rng.gen()).collect();
+    for kernel in DespreadKernel::available() {
+        for len in 0..=inputs.len() {
+            let slice = &inputs[..len];
+            let expect: Vec<Decision> = slice.iter().map(|&w| decide(w)).collect();
+            let mut got = Vec::new();
+            kernel.decide_into(slice, &mut got);
+            assert_eq!(got, expect, "kernel {} len {len}", kernel.name());
+        }
+    }
+}
+
+/// The zero-copy lane decode equals a per-symbol extraction + decide.
+#[test]
+fn lane_decode_matches_extracted_codewords() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for n_symbols in [0usize, 1, 2, 3, 17, 64, 65, 200] {
+        let chips: Vec<bool> = (0..n_symbols * 32).map(|_| rng.gen()).collect();
+        let packed = ChipWords::from_bools(&chips);
+        let expect: Vec<Decision> = (0..n_symbols)
+            .map(|s| decide(packed.extract_u32(s * 32)))
+            .collect();
+        let mut got = Vec::new();
+        decide_lanes_into(packed.words(), n_symbols, &mut got);
+        assert_eq!(got, expect, "n_symbols {n_symbols}");
+    }
+}
+
+/// `decide_batch` (the active-kernel entry every despread call uses)
+/// equals the scalar spec — whatever kernel detection picked, and
+/// whether or not `PPR_NO_SIMD` pinned it to scalar.
+#[test]
+fn active_kernel_entry_matches_scalar() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let inputs: Vec<u32> = (0..997).map(|_| rng.gen()).collect();
+    let got = decide_batch(&inputs);
+    for (i, &w) in inputs.iter().enumerate() {
+        assert_eq!(got[i], decide(w), "word {i}");
+    }
+    assert!(DespreadKernel::available().contains(&DespreadKernel::active()));
+}
+
+proptest! {
+    /// Kernel parity on arbitrary word vectors and lengths.
+    #[test]
+    fn kernels_match_scalar_arbitrary(
+        words in proptest::collection::vec(any::<u32>(), 0..600),
+    ) {
+        let expect: Vec<Decision> = words.iter().map(|&w| decide(w)).collect();
+        for kernel in DespreadKernel::available() {
+            let mut got = Vec::new();
+            kernel.decide_into(&words, &mut got);
+            prop_assert_eq!(&got, &expect, "kernel {}", kernel.name());
+        }
+    }
+
+    /// Lane-decode parity on arbitrary chip streams, including symbol
+    /// counts that leave half a lane unused.
+    #[test]
+    fn lane_decode_matches_scalar_arbitrary(
+        chips in proptest::collection::vec(any::<bool>(), 0..4096),
+    ) {
+        let n_symbols = chips.len() / 32;
+        let packed = ChipWords::from_bools(&chips);
+        let expect: Vec<Decision> = (0..n_symbols)
+            .map(|s| decide(packed.extract_u32(s * 32)))
+            .collect();
+        let mut got = Vec::new();
+        decide_lanes_into(packed.words(), n_symbols, &mut got);
+        prop_assert_eq!(got, expect);
+    }
+}
