@@ -1,6 +1,7 @@
 //! Criterion micro-benches for PPR's hot algorithmic paths:
 //!
-//! * the `O(L³)` chunking DP at realistic run counts,
+//! * the chunking-DP planner ladder (`O(L³)` interval reference vs the
+//!   `O(L²)` and `O(L)` partition planners, up to L = 4096),
 //! * nearest-codeword despreading (the per-codeword receive cost),
 //! * the fast chip channel (geometric skipping vs dense Bernoulli),
 //! * the feedback codec,
@@ -8,7 +9,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppr_core::arq::{run_session, PerfectChannel, PpArqConfig};
-use ppr_core::dp::{plan_chunks, CostModel};
+use ppr_core::dp::{
+    plan_chunks_interval, plan_chunks_monotone_with, plan_chunks_quadratic_with, ChunkScratch,
+    CostModel,
+};
 use ppr_core::feedback::Feedback;
 use ppr_core::runs::{RunLengths, UnitRange};
 use rand::rngs::StdRng;
@@ -26,14 +30,34 @@ fn labels_with_l_bad_runs(l: usize, total: usize) -> Vec<bool> {
     labels
 }
 
+/// The planner ladder: the `O(L³)` interval reference is capped at
+/// L = 128 (it is already ~700 µs/iter there and cubic beyond); the
+/// partition planners run to L = 4096, the regime the interval DP made
+/// infeasible. All three produce identical plans (see
+/// `tests/properties.rs`).
 fn bench_chunking_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunking_dp");
-    for l in [4usize, 16, 64, 128] {
-        let labels = labels_with_l_bad_runs(l, 1500);
+    let mut scratch = ChunkScratch::new();
+    for l in [4usize, 16, 64, 128, 1024, 4096] {
+        let total = (8 * l).max(1500);
+        let labels = labels_with_l_bad_runs(l, total);
         let rl = RunLengths::from_labels(&labels);
-        let cost = CostModel::bytes(1500);
-        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
-            b.iter(|| plan_chunks(black_box(&rl), black_box(&cost)))
+        let cost = CostModel::bytes(total);
+        assert_eq!(rl.l(), l, "bench labels must produce exactly L runs");
+        if l <= 128 {
+            group.bench_with_input(BenchmarkId::new("interval", l), &l, |b, _| {
+                b.iter(|| plan_chunks_interval(black_box(&rl), black_box(&cost)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("quadratic", l), &l, |b, _| {
+            b.iter(|| {
+                plan_chunks_quadratic_with(black_box(&rl), black_box(&cost), &mut scratch).cost_bits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("monotone", l), &l, |b, _| {
+            b.iter(|| {
+                plan_chunks_monotone_with(black_box(&rl), black_box(&cost), &mut scratch).cost_bits
+            })
         });
     }
     group.finish();

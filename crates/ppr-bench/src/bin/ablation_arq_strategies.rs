@@ -10,7 +10,7 @@
 //! The metric is the total recovery cost in bits: feedback descriptors +
 //! checksums + retransmitted data, exactly the DP's objective.
 
-use ppr_core::dp::{plan_chunks, CostModel};
+use ppr_core::dp::{plan_chunks_monotone_with, ChunkScratch, CostModel};
 use ppr_core::runs::RunLengths;
 use ppr_sim::report::{fmt, Table};
 use rand::rngs::StdRng;
@@ -35,6 +35,7 @@ fn main() {
     let cost = CostModel::bytes(total);
     let log_s = (total as f64).log2();
     let mut rng = StdRng::seed_from_u64(0xAB1A);
+    let mut scratch = ChunkScratch::new();
 
     let mut t = Table::new(&[
         "scenario",
@@ -69,8 +70,8 @@ fn main() {
                     log_s + (p.bad_len.max(2) as f64).log2() + ((p.good_len * 8) as f64).min(16.0)
                 })
                 .sum::<f64>();
-            // DP optimum.
-            dp += plan_chunks(&rl, &cost).cost_bits;
+            // DP optimum (production planner, shared scratch).
+            dp += plan_chunks_monotone_with(&rl, &cost, &mut scratch).cost_bits;
         }
         let n = trials as f64;
         t.row(&[

@@ -1,13 +1,20 @@
 //! Quick-bench snapshot of the packed chip pipeline: times the
-//! packed-vs-bool stages at L ∈ {1k, 10k, 100k} chips plus a small
-//! end-to-end reception run, and writes `BENCH_packed.json` so CI can
-//! archive the perf trajectory from PR 2 onward.
+//! packed-vs-bool stages at L ∈ {1k, 10k, 100k} chips, the chunking-DP
+//! planner ladder (`plan_chunks_{interval,quadratic,monotone}_L*`), the
+//! CRC-32 slice-by-16 vs 1-table rows, plus a small end-to-end reception
+//! run, and writes `BENCH_packed.json` (schema v3) so CI can archive the
+//! perf trajectory from PR 2 onward.
 //!
 //! Timings are coarse (tens of milliseconds per entry) on purpose — this
 //! is a smoke-level trend tracker, not a statistics engine; use
 //! `cargo bench -p ppr-bench` for interactive comparisons.
 
 use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr_core::dp::{
+    plan_chunks_interval, plan_chunks_monotone_with, plan_chunks_quadratic_with, ChunkScratch,
+    CostModel,
+};
+use ppr_core::runs::RunLengths;
 use ppr_mac::schemes::DeliveryScheme;
 use ppr_phy::chips::ChipWords;
 use ppr_phy::frame_rx::ChipReceiver;
@@ -112,6 +119,58 @@ fn main() {
         ));
     }
 
+    // Chunking-DP planner ladder (schema v3): the O(L³) interval
+    // reference vs the O(L²)/O(L) partition planners on L evenly spaced
+    // 3-unit bad runs. Two deliberate exceptions to the 20 ms/entry
+    // budget: `plan_chunks_interval_L1024` runs one ~0.4 s iteration so
+    // the trajectory records the baseline the partition planners are
+    // measured against, and the interval DP is skipped entirely at
+    // L = 4096 — it is cubic and would take tens of seconds per
+    // iteration there, which is precisely the point of the ladder.
+    {
+        let mut scratch = ChunkScratch::new();
+        for l in [128usize, 1024, 4096] {
+            let total = (8 * l).max(1500);
+            let mut labels = vec![true; total];
+            for i in 0..l {
+                let start = (i * total) / l;
+                for lab in labels.iter_mut().skip(start).take(3) {
+                    *lab = false;
+                }
+            }
+            let rl = RunLengths::from_labels(&labels);
+            let cost = CostModel::bytes(total);
+            if l <= 1024 {
+                entries.push((
+                    format!("plan_chunks_interval_L{l}"),
+                    time_ns(|| plan_chunks_interval(&rl, &cost)),
+                ));
+            }
+            entries.push((
+                format!("plan_chunks_quadratic_L{l}"),
+                time_ns(|| plan_chunks_quadratic_with(&rl, &cost, &mut scratch).cost_bits),
+            ));
+            entries.push((
+                format!("plan_chunks_monotone_L{l}"),
+                time_ns(|| plan_chunks_monotone_with(&rl, &cost, &mut scratch).cost_bits),
+            ));
+        }
+    }
+
+    // CRC-32 over a 1500 B packet: the sliced production kernel
+    // (slice-by-16) vs the pinned 1-table reference.
+    {
+        let buf: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
+        entries.push((
+            "crc32_table_1500B".into(),
+            time_ns(|| ppr_mac::crc::crc32_1table(&buf)),
+        ));
+        entries.push((
+            "crc32_slice16_1500B".into(),
+            time_ns(|| ppr_mac::crc::crc32(&buf)),
+        ));
+    }
+
     // Small end-to-end run through the parallel packed reception loop.
     let env = RadioEnv::new(1);
     let cfg = SimConfig {
@@ -137,7 +196,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"ppr-bench-packed/v2\",\n  \"threads\": {},\n  \"despread_kernel\": \"{}\",\n",
+        "  \"schema\": \"ppr-bench-packed/v3\",\n  \"threads\": {},\n  \"despread_kernel\": \"{}\",\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

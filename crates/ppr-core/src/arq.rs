@@ -21,7 +21,7 @@
 //! adversarial unit-test channels.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::dp::{plan_chunks, ChunkPlan, CostModel};
+use crate::dp::{plan_chunks, plan_chunks_monotone_with, ChunkPlan, ChunkScratch, CostModel};
 use crate::feedback::Feedback;
 use crate::hints::PacketHints;
 use crate::runs::{RunLengths, UnitRange};
@@ -78,6 +78,24 @@ impl PpArq {
             checksum_bits: self.config.checksum_bits,
         };
         plan_chunks(&rl, &cost)
+    }
+
+    /// Like [`Self::plan_feedback`] but reusing a caller-provided
+    /// [`ChunkScratch`], so a per-receiver loop plans without allocating
+    /// DP state per packet. The plan lives in the scratch until the next
+    /// call.
+    pub fn plan_feedback_with<'a>(
+        &self,
+        hints: &PacketHints,
+        scratch: &'a mut ChunkScratch,
+    ) -> &'a ChunkPlan {
+        let rl = RunLengths::from_labels(&hints.labels());
+        let cost = CostModel {
+            packet_units: hints.len(),
+            bits_per_unit: self.config.bits_per_unit,
+            checksum_bits: self.config.checksum_bits,
+        };
+        plan_chunks_monotone_with(&rl, &cost, scratch)
     }
 }
 
@@ -232,6 +250,12 @@ pub struct ReceiverPacket {
     state: Vec<ByteState>,
     last_feedback: Option<Feedback>,
     config: PpArqConfig,
+    /// Reused planning state: one DP scratch, one label buffer and one
+    /// run-length parse per receiver, refilled every feedback round —
+    /// the fast path allocates no DP tables per frame.
+    scratch: ChunkScratch,
+    labels: Vec<bool>,
+    runs: RunLengths,
 }
 
 impl ReceiverPacket {
@@ -245,6 +269,20 @@ impl ReceiverPacket {
         hints: &[u8],
         crc_ok: bool,
         config: PpArqConfig,
+    ) -> Self {
+        Self::from_reception_with(seq, bytes, hints, crc_ok, config, ChunkScratch::new())
+    }
+
+    /// [`Self::from_reception`] with a recycled planner scratch (see
+    /// [`Self::into_scratch`]) — how [`run_session_with`] keeps one
+    /// scratch alive across back-to-back transfers.
+    pub fn from_reception_with(
+        seq: u16,
+        bytes: Vec<u8>,
+        hints: &[u8],
+        crc_ok: bool,
+        config: PpArqConfig,
+        scratch: ChunkScratch,
     ) -> Self {
         assert_eq!(bytes.len(), hints.len(), "one hint per byte");
         let state = if crc_ok {
@@ -267,7 +305,16 @@ impl ReceiverPacket {
             state,
             last_feedback: None,
             config,
+            scratch,
+            labels: Vec::new(),
+            runs: RunLengths::from_labels(&[]),
         }
+    }
+
+    /// Consumes the receiver, handing its planner scratch back to the
+    /// caller for the next transfer.
+    pub fn into_scratch(self) -> ChunkScratch {
+        self.scratch
     }
 
     /// Current payload view (may contain unverified bytes mid-transfer).
@@ -287,16 +334,22 @@ impl ReceiverPacket {
 
     /// Plans and emits this round's feedback. Chunks cover `Bad` bytes;
     /// every complement range gets a CRC-16 over the receiver's bytes.
+    ///
+    /// This is the per-frame fast path: labels, run-length parse and DP
+    /// state all live in per-receiver buffers reused across rounds, so
+    /// planning allocates nothing beyond the emitted [`Feedback`].
     pub fn make_feedback(&mut self) -> Feedback {
-        let labels: Vec<bool> = self.state.iter().map(|&s| s != ByteState::Bad).collect();
-        let rl = RunLengths::from_labels(&labels);
+        self.labels.clear();
+        self.labels
+            .extend(self.state.iter().map(|&s| s != ByteState::Bad));
+        self.runs.refill_from_labels(&self.labels);
         let cost = CostModel {
             packet_units: self.bytes.len(),
             bits_per_unit: self.config.bits_per_unit,
             checksum_bits: self.config.checksum_bits,
         };
-        let plan = plan_chunks(&rl, &cost);
-        let fb = Feedback::from_plan(self.seq, &self.bytes, plan.chunks);
+        let plan = plan_chunks_monotone_with(&self.runs, &cost, &mut self.scratch);
+        let fb = Feedback::from_plan(self.seq, &self.bytes, plan.chunks.clone());
         self.last_feedback = Some(fb.clone());
         fb
     }
@@ -469,6 +522,19 @@ pub fn run_session<C: ArqChannel>(
     config: PpArqConfig,
     channel: &mut C,
 ) -> SessionStats {
+    run_session_with(payload, config, channel, &mut ChunkScratch::new())
+}
+
+/// [`run_session`] with a caller-held planner scratch: back-to-back
+/// transfers (one scratch per receiver/link) reuse the feedback
+/// planner's buffers instead of reallocating them per packet. Identical
+/// output to [`run_session`].
+pub fn run_session_with<C: ArqChannel>(
+    payload: &[u8],
+    config: PpArqConfig,
+    channel: &mut C,
+    scratch: &mut ChunkScratch,
+) -> SessionStats {
     let seq = 1u16;
     let sender = SenderPacket::new(seq, payload.to_vec());
 
@@ -487,7 +553,14 @@ pub fn run_session<C: ArqChannel>(
         body.push(0);
         body_hints.push(u8::MAX);
     }
-    let mut receiver = ReceiverPacket::from_reception(seq, body, &body_hints, crc_ok, config);
+    let mut receiver = ReceiverPacket::from_reception_with(
+        seq,
+        body,
+        &body_hints,
+        crc_ok,
+        config,
+        std::mem::take(scratch),
+    );
 
     let mut stats = SessionStats {
         completed: receiver.is_complete(),
@@ -533,6 +606,7 @@ pub fn run_session<C: ArqChannel>(
 
     stats.completed = receiver.is_complete();
     stats.final_payload = receiver.payload().to_vec();
+    *scratch = receiver.into_scratch();
     stats
 }
 
@@ -833,6 +907,48 @@ mod tests {
         };
         let d = RetxPacket::decode(&r.encode()).unwrap();
         assert!(d.segments.is_empty());
+    }
+
+    #[test]
+    fn session_with_recycled_scratch_is_identical() {
+        // The same transfers through one shared scratch must produce
+        // exactly the stats of independent sessions.
+        let mut scratch = crate::dp::ChunkScratch::new();
+        for (n, bursts) in [
+            (250usize, vec![(100usize, 30usize)]),
+            (500, vec![(0, 10), (200, 5), (490, 10)]),
+            (120, vec![(20, 20)]),
+        ] {
+            let p = payload(n);
+            let fresh = run_session(
+                &p,
+                PpArqConfig::default(),
+                &mut BurstChannel::new(bursts.clone()),
+            );
+            let reused = run_session_with(
+                &p,
+                PpArqConfig::default(),
+                &mut BurstChannel::new(bursts),
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "payload {n}");
+            assert!(reused.completed);
+        }
+    }
+
+    #[test]
+    fn planner_facade_scratch_variant_matches() {
+        let mut hints = vec![0u8; 64];
+        for h in &mut hints[28..36] {
+            *h = 9;
+        }
+        let arq = PpArq::new(PpArqConfig::default());
+        let hints = PacketHints::from_raw(&hints, 6);
+        let plain = arq.plan_feedback(&hints);
+        let mut scratch = crate::dp::ChunkScratch::new();
+        let with = arq.plan_feedback_with(&hints, &mut scratch);
+        assert_eq!(with, &plain);
+        assert_eq!(scratch.plan(), &plain);
     }
 
     #[test]

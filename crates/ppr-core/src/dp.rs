@@ -15,9 +15,62 @@
 //!   interior good symbols) — or split it at the cheapest point `k` into
 //!   `C(c_{i,k}) + C(c_{k+1,j})`.
 //!
-//! Memoized bottom-up over intervals: `O(L³)` time, `O(L²)` space, as the
-//! paper states. [`plan_chunks_brute`] is an exponential reference
-//! implementation used by the property tests to pin optimality.
+//! The paper memoizes this bottom-up over intervals: `O(L³)` time,
+//! `O(L²)` space. That formulation is kept verbatim as
+//! [`plan_chunks_interval`] — the pinned reference the property tests and
+//! the bench ladder compare against — but it is **not** what the
+//! production path runs, because the recurrence has far more structure
+//! than the interval form exposes:
+//!
+//! 1. **The optimum is a partition.** Every split tree bottoms out in a
+//!    set of maximal unsplit intervals, so the search space is exactly
+//!    the partitions of the `L` bad runs into consecutive groups (what
+//!    [`plan_chunks_brute`] enumerates), and the interval DP collapses to
+//!    the 1-D partition DP `best[j] = min_i best[i-1] + w(i, j)`.
+//! 2. **The off-diagonal weight is separable.** With `P[i]` the prefix
+//!    sum of good-run lengths, a multi-run group costs
+//!    `w(i, j) = 2 log S + (P[j] − P[i])·bpu` — a function of `i` plus a
+//!    function of `j`. Separable weights satisfy the concave Monge /
+//!    total-monotonicity condition *with equality*, so the usual
+//!    Knuth/SMAWK machinery degenerates further: the minimum over `i` is
+//!    a single running prefix-minimum of `best[i-1] − P[i]·bpu`, and the
+//!    whole DP is `O(L)` time, `O(L)` space. The `min(λᵍ, λ_C)` kink of
+//!    Eq. 4 lives only on the diagonal (`i = j`, the singleton chunk), so
+//!    it is one extra candidate per cell, not a Monge violation inside
+//!    the minimization. (The kink *does* break the quadrangle inequality
+//!    for the combined weight — `2 log S ≤ singleton(j)` can fail — which
+//!    is why a generic SMAWK over the combined `w` would be unsound;
+//!    [`plan_chunks_monotone`] cross-checks itself against
+//!    [`plan_chunks_quadratic`] under `debug_assertions` instead of
+//!    assuming the inequality.)
+//!
+//! Plans are *identical* to the interval DP's, not merely cost-equal.
+//! The interval reconstruction prefers the unsplit interval on cost ties
+//! and the smallest split point `k` otherwise; unfolding that recursion
+//! shows the partition it selects is the greedy **smallest-boundary**
+//! optimum: scanning left to right, each group is the shortest prefix
+//! group consistent with global optimality, except that a single group
+//! running to the end wins any tie. Both new planners reconstruct with
+//! exactly that rule from a suffix-cost array (`subopt[s]` = optimal cost
+//! of runs `s..L`), so all three agree chunk-for-chunk — pinned by the
+//! tie-inducing property tests in `tests/properties.rs`.
+//!
+//! **Selection runs in fixed point.** Summing the same group costs in
+//! different associations (the interval DP's split tree vs a suffix
+//! fold) perturbs `f64` totals by an ulp, which is enough to flip an
+//! exact cost tie into an implementation-dependent strict comparison. So
+//! every planner scores partitions in Q23.40 fixed point: each atomic
+//! cost (`log S`, `log λᵇ`, `bpu`, `λ_C`) is quantized once, products
+//! with integer run lengths and all sums are then exact, and integer
+//! addition is associative — three different evaluation orders, one
+//! answer. `cost_bits` is the fixed-point optimum converted back to
+//! `f64` (within `≈ L · 2⁻⁴¹` bits of the exact real value), identical
+//! across planners.
+//!
+//! The per-frame entry points take a caller-provided [`ChunkScratch`] so
+//! the hot feedback path ([`crate::arq::ReceiverPacket::make_feedback`])
+//! performs no table allocation per frame; `plan_chunks` remains the
+//! allocating convenience wrapper and now runs the `O(L)` planner.
 
 use crate::runs::{RunLengths, UnitRange};
 
@@ -30,6 +83,16 @@ pub struct CostModel {
     pub bits_per_unit: f64,
     /// Checksum length `λ_C` in bits (16 for the CRC-16 used here).
     pub checksum_bits: f64,
+}
+
+/// Fractional bits of the planners' fixed-point cost representation
+/// (Q23.40: exact for dyadic cost models, `< 5·10⁻¹³` bits of rounding
+/// per irrational atom otherwise).
+const FX_SHIFT: u32 = 40;
+
+/// Quantizes one atomic cost (bits) to fixed point.
+fn fx(bits: f64) -> i64 {
+    (bits * (1i64 << FX_SHIFT) as f64).round() as i64
 }
 
 impl CostModel {
@@ -47,22 +110,63 @@ impl CostModel {
         (self.packet_units.max(2) as f64).log2()
     }
 
-    /// Eq. 4: cost of a singleton chunk.
+    /// Eq. 4 in `f64` — only [`plan_chunks_brute`] scores with this, so
+    /// the exponential reference stays arithmetic-independent of the
+    /// fixed-point planners it checks.
     fn singleton(&self, bad_len: usize, good_len: usize) -> f64 {
         self.log_s()
             + (bad_len.max(2) as f64).log2()
             + (good_len as f64 * self.bits_per_unit).min(self.checksum_bits)
     }
 
-    /// Eq. 5 first branch: cost of keeping `c_{i,j}` as one chunk.
+    /// Eq. 5 first branch in `f64` (see [`Self::singleton`]).
     fn merged(&self, interior_good_units: usize) -> f64 {
         2.0 * self.log_s() + interior_good_units as f64 * self.bits_per_unit
+    }
+
+    /// The quantized atoms every planner scores partitions with.
+    fn fixed(&self) -> FxCost {
+        FxCost {
+            log_s: fx(self.log_s()),
+            bits_per_unit: fx(self.bits_per_unit),
+            checksum_bits: fx(self.checksum_bits),
+        }
+    }
+}
+
+/// The cost model's atoms in Q23.40 fixed point (see the module docs on
+/// why selection must not run in `f64`).
+#[derive(Debug, Clone, Copy)]
+struct FxCost {
+    log_s: i64,
+    bits_per_unit: i64,
+    checksum_bits: i64,
+}
+
+impl FxCost {
+    /// Eq. 4: cost of a singleton chunk.
+    fn singleton(&self, bad_len: usize, good_len: usize) -> i64 {
+        self.log_s
+            + fx((bad_len.max(2) as f64).log2())
+            + (good_len as i64 * self.bits_per_unit).min(self.checksum_bits)
+    }
+
+    /// Eq. 5 first branch: cost of keeping `c_{i,j}` as one chunk.
+    /// Written as `2 log S + (P[j] − P[i])·bpu`; the per-unit product is
+    /// exact, so the weight is exactly separable in `i` and `j`.
+    fn merged(&self, interior_good_units: usize) -> i64 {
+        2 * self.log_s + interior_good_units as i64 * self.bits_per_unit
+    }
+
+    /// Converts a fixed-point total back to bits.
+    fn to_bits(total: i64) -> f64 {
+        total as f64 / (1i64 << FX_SHIFT) as f64
     }
 }
 
 /// The planner's output: the chunk ranges to request, in packet order,
 /// and the optimal cost in feedback bits.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChunkPlan {
     /// Requested retransmission ranges (unit coordinates). Every bad run
     /// is covered by exactly one chunk; chunks never overlap and are
@@ -87,23 +191,258 @@ impl ChunkPlan {
     }
 }
 
-/// Runs the `O(L³)` interval DP and reconstructs the optimal chunk set.
+/// Reusable working memory for the partition planners.
+///
+/// One scratch per receiver amortizes every per-frame allocation of the
+/// feedback path: the good-run prefix sums, the suffix-cost array and
+/// the output chunk vector all keep their capacity across frames. The
+/// interval DP's `2·L²` table rows have no counterpart here at all — the
+/// partition planners never materialize a table.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkScratch {
+    /// `prefix_good[i]` = Σ good-run lengths of runs `0..i` (units).
+    prefix_good: Vec<i64>,
+    /// `subopt[s]` = fixed-point optimal cost of chunking runs `s..L`
+    /// (length `L+1`).
+    subopt: Vec<i64>,
+    /// The most recent plan; its chunk vector is reused across calls.
+    plan: ChunkPlan,
+}
+
+impl ChunkScratch {
+    /// An empty scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        ChunkScratch::default()
+    }
+
+    /// The plan produced by the most recent `plan_chunks_*_with` call.
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
+    }
+
+    /// (Re)builds the good-run prefix sums for `rl`.
+    fn fill_prefix(&mut self, rl: &RunLengths) {
+        self.prefix_good.clear();
+        self.prefix_good.reserve(rl.l() + 1);
+        let mut acc = 0i64;
+        self.prefix_good.push(0);
+        for p in &rl.pairs {
+            acc += p.good_len as i64;
+            self.prefix_good.push(acc);
+        }
+    }
+
+    /// `Σ_{l=i}^{j-1} λᵍ_l` from the prefix sums.
+    fn interior_good(&self, i: usize, j: usize) -> usize {
+        (self.prefix_good[j] - self.prefix_good[i]) as usize
+    }
+}
+
+/// Plans the optimal chunk set. This is the production entry point: it
+/// dispatches to the `O(L)` planner ([`plan_chunks_monotone`]) and
+/// produces plans identical to the paper's `O(L³)` interval DP
+/// ([`plan_chunks_interval`]).
 pub fn plan_chunks(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+    plan_chunks_monotone(rl, cost)
+}
+
+/// `O(L²)`-time, `O(L)`-space partition DP (allocating wrapper around
+/// [`plan_chunks_quadratic_with`]).
+pub fn plan_chunks_quadratic(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+    plan_chunks_quadratic_with(rl, cost, &mut ChunkScratch::new()).clone()
+}
+
+/// `O(L)`-time partition DP (allocating wrapper around
+/// [`plan_chunks_monotone_with`]).
+pub fn plan_chunks_monotone(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+    plan_chunks_monotone_with(rl, cost, &mut ChunkScratch::new()).clone()
+}
+
+/// The direct `O(L²)`-time, `O(L)`-space partition DP with greedy
+/// smallest-boundary reconstruction.
+///
+/// `subopt[s] = min_{e ≥ s} w(s, e) + subopt[e + 1]` where `w(s, e)` is
+/// Eq. 4 for `e = s` and the merged branch of Eq. 5 otherwise, evaluated
+/// directly per `(s, e)` — the obviously-correct form that
+/// [`plan_chunks_monotone_with`] must agree with at any scale.
+pub fn plan_chunks_quadratic_with<'a>(
+    rl: &RunLengths,
+    cost: &CostModel,
+    scratch: &'a mut ChunkScratch,
+) -> &'a ChunkPlan {
+    let l = rl.l();
+    scratch.plan.chunks.clear();
+    scratch.plan.cost_bits = 0.0;
+    if l == 0 {
+        return &scratch.plan;
+    }
+    let fxc = cost.fixed();
+    scratch.fill_prefix(rl);
+    scratch.subopt.clear();
+    scratch.subopt.resize(l + 1, 0);
+    for s in (0..l).rev() {
+        let mut best =
+            fxc.singleton(rl.pairs[s].bad_len, rl.pairs[s].good_len) + scratch.subopt[s + 1];
+        for e in s + 1..l {
+            let cand = fxc.merged(scratch.interior_good(s, e)) + scratch.subopt[e + 1];
+            if cand < best {
+                best = cand;
+            }
+        }
+        scratch.subopt[s] = best;
+    }
+    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
+
+    // Greedy smallest-boundary reconstruction (see module docs): the
+    // integer candidate sums are exactly the ones the DP minimized, so
+    // the equality scans always terminate at the selected group end.
+    let mut s = 0usize;
+    while s < l {
+        if s + 1 == l {
+            scratch.plan.chunks.push(rl.chunk_range(s, s));
+            break;
+        }
+        // A single group running to the end wins any tie (the interval
+        // DP only splits when a split is strictly cheaper).
+        let to_end = fxc.merged(scratch.interior_good(s, l - 1));
+        if to_end == scratch.subopt[s] {
+            scratch.plan.chunks.push(rl.chunk_range(s, l - 1));
+            break;
+        }
+        let mut e = s;
+        loop {
+            let cand = if e == s {
+                fxc.singleton(rl.pairs[s].bad_len, rl.pairs[s].good_len) + scratch.subopt[s + 1]
+            } else {
+                fxc.merged(scratch.interior_good(s, e)) + scratch.subopt[e + 1]
+            };
+            if cand == scratch.subopt[s] {
+                break;
+            }
+            e += 1;
+            debug_assert!(e < l, "reconstruction ran past the last run");
+        }
+        scratch.plan.chunks.push(rl.chunk_range(s, e));
+        s = e + 1;
+    }
+    &scratch.plan
+}
+
+/// The `O(L)`-time planner: the separable off-diagonal weight reduces
+/// the partition DP's minimization to a running suffix minimum of
+/// `P[e]·bpu + subopt[e + 1]` (module docs); the Eq. 4 singleton is the
+/// one extra candidate per cell.
+///
+/// Under `debug_assertions` every instance with `L ≤ 96` is cross-checked
+/// against [`plan_chunks_quadratic_with`] — the per-instance fallback
+/// guard for the total-monotonicity argument.
+pub fn plan_chunks_monotone_with<'a>(
+    rl: &RunLengths,
+    cost: &CostModel,
+    scratch: &'a mut ChunkScratch,
+) -> &'a ChunkPlan {
+    let l = rl.l();
+    scratch.plan.chunks.clear();
+    scratch.plan.cost_bits = 0.0;
+    if l == 0 {
+        return &scratch.plan;
+    }
+    let fxc = cost.fixed();
+    scratch.fill_prefix(rl);
+    scratch.subopt.clear();
+    scratch.subopt.resize(l + 1, 0);
+    let two_log_s = 2 * fxc.log_s;
+    // P[i]·bpu, exact in fixed point — the separable half of the merged
+    // weight.
+    let pb = |scratch: &ChunkScratch, i: usize| scratch.prefix_good[i] * fxc.bits_per_unit;
+    // Running minimum over e ∈ {s+1, …, L-1} of P[e]·bpu + subopt[e+1],
+    // maintained as e-candidates are produced right to left. Integer
+    // arithmetic makes the factored candidate (2logS − P[s]·bpu) +
+    // suffix_min *equal* to the direct merged(s,e) + subopt[e+1] — the
+    // separability that collapses the quadratic scan to O(1) per cell.
+    let mut suffix_min = i64::MAX;
+    for s in (0..l).rev() {
+        let mut best =
+            fxc.singleton(rl.pairs[s].bad_len, rl.pairs[s].good_len) + scratch.subopt[s + 1];
+        if s + 1 < l {
+            let cand = (two_log_s - pb(scratch, s)) + suffix_min;
+            if cand < best {
+                best = cand;
+            }
+        }
+        scratch.subopt[s] = best;
+        suffix_min = suffix_min.min(pb(scratch, s) + scratch.subopt[s + 1]);
+    }
+    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
+
+    // Greedy smallest-boundary reconstruction with the same integer
+    // candidate values the DP minimized.
+    let mut s = 0usize;
+    while s < l {
+        if s + 1 == l {
+            scratch.plan.chunks.push(rl.chunk_range(s, s));
+            break;
+        }
+        let to_end = (two_log_s - pb(scratch, s)) + pb(scratch, l - 1);
+        if to_end == scratch.subopt[s] {
+            scratch.plan.chunks.push(rl.chunk_range(s, l - 1));
+            break;
+        }
+        let singleton =
+            fxc.singleton(rl.pairs[s].bad_len, rl.pairs[s].good_len) + scratch.subopt[s + 1];
+        let mut e = s;
+        if singleton != scratch.subopt[s] {
+            e = s + 1;
+            loop {
+                let cand = (two_log_s - pb(scratch, s)) + (pb(scratch, e) + scratch.subopt[e + 1]);
+                if cand == scratch.subopt[s] {
+                    break;
+                }
+                e += 1;
+                debug_assert!(e < l, "reconstruction ran past the last run");
+            }
+        }
+        scratch.plan.chunks.push(rl.chunk_range(s, e));
+        s = e + 1;
+    }
+
+    #[cfg(debug_assertions)]
+    if l <= 96 {
+        let quad = plan_chunks_quadratic(rl, cost);
+        debug_assert_eq!(
+            scratch.plan.chunks, quad.chunks,
+            "monotone planner diverged from the quadratic partition DP"
+        );
+        debug_assert_eq!(
+            scratch.plan.cost_bits, quad.cost_bits,
+            "monotone cost diverged from the quadratic partition DP"
+        );
+    }
+    &scratch.plan
+}
+
+/// The paper's `O(L³)`-time, `O(L²)`-space interval DP (Eqs. 4–5),
+/// kept verbatim as the pinned reference implementation for the property
+/// tests and the `chunking_dp` bench ladder. Production code paths call
+/// [`plan_chunks`] (the `O(L)` planner) instead; the two produce
+/// identical chunk vectors.
+pub fn plan_chunks_interval(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
     let l = rl.l();
     if l == 0 {
         return ChunkPlan::empty();
     }
+    let fxc = cost.fixed();
     // cost_table[i][j], choice[i][j] for i ≤ j; j index shifted by i.
-    let mut cost_table = vec![vec![0.0f64; l]; l];
+    let mut cost_table = vec![vec![0i64; l]; l];
     let mut split = vec![vec![usize::MAX; l]; l]; // usize::MAX = merged
 
     for (i, row) in cost_table.iter_mut().enumerate() {
-        row[i] = cost.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len);
+        row[i] = fxc.singleton(rl.pairs[i].bad_len, rl.pairs[i].good_len);
     }
     for span in 2..=l {
         for i in 0..=(l - span) {
             let j = i + span - 1;
-            let mut best = cost.merged(rl.interior_good(i, j));
+            let mut best = fxc.merged(rl.interior_good(i, j));
             let mut best_split = usize::MAX;
             for k in i..j {
                 let c = cost_table[i][k] + cost_table[k + 1][j];
@@ -122,7 +461,7 @@ pub fn plan_chunks(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
     chunks.sort_by_key(|c| c.start);
     ChunkPlan {
         chunks,
-        cost_bits: cost_table[0][l - 1],
+        cost_bits: FxCost::to_bits(cost_table[0][l - 1]),
     }
 }
 
@@ -207,6 +546,20 @@ mod tests {
         plan_chunks(&rl, &CostModel::bytes(s.len()))
     }
 
+    /// Runs all three planners on one instance, asserts they agree and
+    /// returns the production plan.
+    fn plan_all_agree(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
+        let interval = plan_chunks_interval(rl, cost);
+        let quad = plan_chunks_quadratic(rl, cost);
+        let mono = plan_chunks_monotone(rl, cost);
+        assert_eq!(interval.chunks, quad.chunks, "quadratic diverged");
+        assert_eq!(interval.chunks, mono.chunks, "monotone diverged");
+        let tol = 1e-9 * (1.0 + interval.cost_bits.abs());
+        assert!((interval.cost_bits - quad.cost_bits).abs() <= tol);
+        assert!((interval.cost_bits - mono.cost_bits).abs() <= tol);
+        mono
+    }
+
     #[test]
     fn all_good_plans_nothing() {
         let p = plan("gggggggg");
@@ -261,7 +614,7 @@ mod tests {
             "gbggggggggggggggggggggggggggggggggggb",
         ] {
             let rl = RunLengths::from_labels(&labels(s));
-            let p = plan_chunks(&rl, &CostModel::bytes(s.len()));
+            let p = plan_all_agree(&rl, &CostModel::bytes(s.len()));
             for pair in &rl.pairs {
                 let covered = p
                     .chunks
@@ -293,7 +646,7 @@ mod tests {
         ] {
             let rl = RunLengths::from_labels(&labels(s));
             let cost = CostModel::bytes(s.len().max(64));
-            let dp = plan_chunks(&rl, &cost);
+            let dp = plan_all_agree(&rl, &cost);
             let brute = plan_chunks_brute(&rl, &cost);
             assert!(
                 (dp.cost_bits - brute.cost_bits).abs() < 1e-9,
@@ -302,6 +655,56 @@ mod tests {
                 brute.cost_bits
             );
             assert_eq!(dp.chunks, brute.chunks, "chunk mismatch on {s}");
+        }
+    }
+
+    #[test]
+    fn exact_tie_cases_replicate_interval_tie_breaking() {
+        // Dyadic cost model: every atomic cost is an integer-valued f64
+        // (logS = 4, log λᵇ ∈ {1, 2, 3}, good contributions ∈ {0, 8, 16},
+        // merged = 8 + 8·interior), so sums are exact in every planner
+        // and ties are genuine. The interval DP's choices (merged beats
+        // splits on ties; smallest split point wins) must be replicated
+        // exactly.
+        let cost = CostModel {
+            packet_units: 16,
+            bits_per_unit: 8.0,
+            checksum_bits: 16.0,
+        };
+        for s in [
+            "bgbgb",
+            "bgbgbgbgb",
+            "bbgbbgbb",
+            "bggbggbggb",
+            "bgbggbgbggbgb",
+            "bbbbgbgbbbbgbgbbbb",
+            "bgggbgggbgggb",
+        ] {
+            let rl = RunLengths::from_labels(&labels(s));
+            let p = plan_all_agree(&rl, &cost);
+            let brute = plan_chunks_brute(&rl, &cost);
+            assert!((p.cost_bits - brute.cost_bits).abs() < 1e-9, "case {s}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        // One scratch across many instances: each call must fully reset
+        // the derived state (this is the per-receiver usage pattern).
+        let mut scratch = ChunkScratch::new();
+        let cost = CostModel::bytes(64);
+        let cases = ["bgb", "gggggggg", "bbggbbggbb", "b", "bgbgbgbg"];
+        for s in cases {
+            let rl = RunLengths::from_labels(&labels(s));
+            let fresh = plan_chunks_monotone(&rl, &cost);
+            let reused = plan_chunks_monotone_with(&rl, &cost, &mut scratch);
+            assert_eq!(reused, &fresh, "monotone scratch reuse on {s}");
+        }
+        for s in cases {
+            let rl = RunLengths::from_labels(&labels(s));
+            let fresh = plan_chunks_quadratic(&rl, &cost);
+            let reused = plan_chunks_quadratic_with(&rl, &cost, &mut scratch);
+            assert_eq!(reused, &fresh, "quadratic scratch reuse on {s}");
         }
     }
 

@@ -8,9 +8,12 @@
 //!   SoftPHY abstraction contract (§3.3).
 //! * [`runs`] — the run-length representation
 //!   `λᵇ₁λᵍ₁…λᵇ_Lλᵍ_L` (Eq. 2).
-//! * [`dp`] — the `O(L³)` chunking dynamic program (Eqs. 4–5) choosing
-//!   the cheapest set of retransmission chunks, with an exponential
-//!   reference implementation for property tests.
+//! * [`dp`] — the chunking dynamic program (Eqs. 4–5) choosing the
+//!   cheapest set of retransmission chunks. The paper's `O(L³)` interval
+//!   DP is kept as the pinned reference; production planning runs an
+//!   `O(L)` partition reformulation with identical plans (see the
+//!   module docs), plus an exponential reference implementation for
+//!   property tests.
 //! * [`feedback`] — the bit-exact feedback packet (chunk descriptors +
 //!   complement-range CRC-16s).
 //! * [`arq`] — the full lockstep PP-ARQ protocol: receiver/sender state
@@ -33,10 +36,14 @@ pub mod stream;
 pub mod threshold;
 
 pub use arq::{
-    run_session, ArqChannel, ByteState, DecodedRetx, PerfectChannel, PpArq, PpArqConfig,
-    ReceiverPacket, RetxPacket, Segment, SenderPacket, SessionStats,
+    run_session, run_session_with, ArqChannel, ByteState, DecodedRetx, PerfectChannel, PpArq,
+    PpArqConfig, ReceiverPacket, RetxPacket, Segment, SenderPacket, SessionStats,
 };
-pub use dp::{plan_chunks, plan_chunks_brute, ChunkPlan, CostModel};
+pub use dp::{
+    plan_chunks, plan_chunks_brute, plan_chunks_interval, plan_chunks_monotone,
+    plan_chunks_monotone_with, plan_chunks_quadratic, plan_chunks_quadratic_with, ChunkPlan,
+    ChunkScratch, CostModel,
+};
 pub use feedback::{complement_ranges, Feedback, RangeChecksum};
 pub use hints::PacketHints;
 pub use runs::{RunLengths, RunPair, UnitRange};

@@ -86,13 +86,27 @@ impl RunLengths {
     /// Builds the representation from good/bad labels
     /// (`true` = good).
     pub fn from_labels(labels: &[bool]) -> Self {
+        let mut rl = RunLengths {
+            leading_good: 0,
+            pairs: Vec::new(),
+            total: 0,
+        };
+        rl.refill_from_labels(labels);
+        rl
+    }
+
+    /// Rebuilds the representation in place, reusing the `pairs`
+    /// allocation — the per-frame entry point of the feedback fast path
+    /// (one `RunLengths` per receiver, refilled each round).
+    pub fn refill_from_labels(&mut self, labels: &[bool]) {
         let total = labels.len();
         let mut i = 0;
         while i < total && labels[i] {
             i += 1;
         }
-        let leading_good = i;
-        let mut pairs = Vec::new();
+        self.leading_good = i;
+        self.total = total;
+        self.pairs.clear();
         while i < total {
             debug_assert!(!labels[i]);
             let bad_start = i;
@@ -104,16 +118,11 @@ impl RunLengths {
             while i < total && labels[i] {
                 i += 1;
             }
-            pairs.push(RunPair {
+            self.pairs.push(RunPair {
                 bad_start,
                 bad_len,
                 good_len: i - good_start,
             });
-        }
-        RunLengths {
-            leading_good,
-            pairs,
-            total,
         }
     }
 
@@ -247,6 +256,18 @@ mod tests {
         for s in ["", "g", "b", "gbgbgb", "bbggbbgg", "gggbbbggg", "bgb"] {
             let l = labels(s);
             assert_eq!(RunLengths::from_labels(&l).to_labels(), l, "case {s}");
+        }
+    }
+
+    #[test]
+    fn refill_matches_fresh_construction() {
+        // One reused instance across packets of different shapes and
+        // lengths must be indistinguishable from fresh parses.
+        let mut reused = RunLengths::from_labels(&labels("bgbgbgbgbgbg"));
+        for s in ["", "gggg", "b", "bbggbbgg", "gbgbggggggb", "gggbb"] {
+            let l = labels(s);
+            reused.refill_from_labels(&l);
+            assert_eq!(reused, RunLengths::from_labels(&l), "case {s}");
         }
     }
 

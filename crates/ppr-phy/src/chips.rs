@@ -352,21 +352,59 @@ impl ChipWords {
         }
     }
 
+    /// Appends `n_lanes` 64-chip lanes starting at chip `offset` to
+    /// `out`, reading chips past the end of the stream as zero (the
+    /// [`Self::extract_u64`] contract).
+    ///
+    /// This is the arbitrary-offset gather primitive: one funnel shift
+    /// per lane over a single linear walk of the source words — the
+    /// shift amount and word cursor are hoisted out of the loop, and
+    /// each source word is loaded once and reused for two adjacent
+    /// lanes, instead of re-deriving `word/bit` offsets (and re-loading
+    /// both words) per extraction as [`Self::extract_u64`] must.
+    pub fn gather_lanes_into(&self, offset: usize, n_lanes: usize, out: &mut Vec<u64>) {
+        out.reserve(n_lanes);
+        let w0 = offset / 64;
+        let b = offset % 64;
+        let src = self.words.get(w0..).unwrap_or(&[]);
+        if b == 0 {
+            let n = n_lanes.min(src.len());
+            out.extend_from_slice(&src[..n]);
+            for _ in n..n_lanes {
+                out.push(0);
+            }
+        } else {
+            // Funnel: lane i = src[i] >> b | src[i+1] << (64-b); the
+            // shifted-down tail of each word is carried into the next
+            // lane, so every source word is shifted exactly twice and
+            // loaded once.
+            let shl = 64 - b;
+            let mut carry = src.first().copied().unwrap_or(0) >> b;
+            let interior = n_lanes.min(src.len().saturating_sub(1));
+            for &next in src.iter().skip(1).take(interior) {
+                out.push(carry | (next << shl));
+                carry = next >> b;
+            }
+            if interior < n_lanes {
+                out.push(carry); // last partial source word, zero-padded
+                for _ in interior + 1..n_lanes {
+                    out.push(0);
+                }
+            }
+        }
+    }
+
     /// Copies `n_chips` chips starting at `start` into a new stream,
     /// reading chips past the end of `self` as zero (same zero-padding
     /// contract as [`Self::extract_u64`]).
     ///
     /// This is how a [`SymbolView`](crate::view::SymbolView) re-bases a
-    /// frame's link section to a codeword-aligned origin: the copy is a
-    /// word-wise shift, after which every 32-chip extraction in the view
-    /// hits the aligned fast path.
+    /// frame's link section to a codeword-aligned origin: the copy is
+    /// one [`Self::gather_lanes_into`] funnel pass, after which every
+    /// 32-chip extraction in the view hits the aligned fast path.
     pub fn extract_range(&self, start: usize, n_chips: usize) -> ChipWords {
-        let mut words = Vec::with_capacity(n_chips.div_ceil(64));
-        let mut i = 0;
-        while i < n_chips {
-            words.push(self.extract_u64(start + i));
-            i += 64;
-        }
+        let mut words = Vec::new();
+        self.gather_lanes_into(start, n_chips.div_ceil(64), &mut words);
         let mut out = ChipWords {
             words,
             len: n_chips,
@@ -625,6 +663,39 @@ mod tests {
             }
             assert_eq!(packed, ChipWords::from_bools(&reference), "lead {lead}");
         }
+    }
+
+    #[test]
+    fn gather_lanes_matches_per_lane_extraction() {
+        let mut rng_state = 0xA5A5_5A5A_DEAD_BEEFu64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for len in [0usize, 1, 63, 64, 65, 130, 1000] {
+            let chips: Vec<bool> = (0..len).map(|_| next() & 1 == 1).collect();
+            let packed = ChipWords::from_bools(&chips);
+            for offset in [0usize, 1, 17, 32, 63, 64, 65, 100, len, len + 70] {
+                for n_lanes in [0usize, 1, 2, 3, 7] {
+                    let mut got = Vec::new();
+                    packed.gather_lanes_into(offset, n_lanes, &mut got);
+                    let want: Vec<u64> = (0..n_lanes)
+                        .map(|i| packed.extract_u64(offset + 64 * i))
+                        .collect();
+                    assert_eq!(got, want, "len {len} offset {offset} lanes {n_lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_lanes_appends_without_clearing() {
+        let packed = ChipWords::from_bools(&[true; 64]);
+        let mut out = vec![0xDEADu64];
+        packed.gather_lanes_into(0, 1, &mut out);
+        assert_eq!(out, vec![0xDEAD, u64::MAX]);
     }
 
     #[test]

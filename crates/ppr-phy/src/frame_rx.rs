@@ -93,10 +93,12 @@ impl ChipReceiver {
     }
 
     /// Word-wise equivalent of [`Self::despread`] over a packed chip
-    /// stream: each codeword is a single 32-bit extraction instead of a
-    /// 32-iteration bit-assembly loop, and the nearest-codeword scan
-    /// runs batched on the active SIMD kernel
-    /// ([`DespreadKernel::active`](crate::simd::DespreadKernel::active)).
+    /// stream: the codeword gather is one whole-lane funnel-shift pass
+    /// ([`ChipWords::gather_lanes_into`]) — or a zero-copy borrow of the
+    /// lane storage when the offset is 64-aligned — and the
+    /// nearest-codeword scan runs batched on the active SIMD kernel
+    /// straight out of the lanes
+    /// ([`decide_lanes_into`](crate::simd::decide_lanes_into)).
     /// Chips past the end of the stream read as zero and symbols whose
     /// first chip is past the end are not emitted, exactly as in the
     /// reference implementation.
@@ -112,20 +114,25 @@ impl ChipReceiver {
         } else {
             n_symbols.min((stream.len() - chip_offset).div_ceil(CHIPS_PER_SYMBOL))
         };
-        // Gather codewords two at a time: one 64-chip extraction yields
-        // a pair, halving the shift work of the arbitrary-offset path.
-        let mut words = Vec::with_capacity(n);
-        let mut s = 0;
-        while s + 1 < n {
-            let pair = stream.extract_u64(chip_offset + s * CHIPS_PER_SYMBOL);
-            words.push(pair as u32);
-            words.push((pair >> 32) as u32);
-            s += 2;
+        if n == 0 {
+            return SoftSpan::from_decisions(Vec::new());
         }
-        if s < n {
-            words.push(stream.extract_u32(chip_offset + s * CHIPS_PER_SYMBOL));
+        let n_lanes = n.div_ceil(2);
+        let mut decisions = Vec::new();
+        let lane0 = chip_offset / 64;
+        if chip_offset.is_multiple_of(64) && lane0 + n_lanes <= stream.words().len() {
+            // Lane-aligned and fully in range: decode from lane storage.
+            crate::simd::decide_lanes_into(
+                &stream.words()[lane0..lane0 + n_lanes],
+                n,
+                &mut decisions,
+            );
+        } else {
+            let mut lanes = Vec::new();
+            stream.gather_lanes_into(chip_offset, n_lanes, &mut lanes);
+            crate::simd::decide_lanes_into(&lanes, n, &mut decisions);
         }
-        SoftSpan::from_decisions(crate::simd::decide_batch(&words))
+        SoftSpan::from_decisions(decisions)
     }
 }
 

@@ -20,7 +20,8 @@ use crate::results::{ExperimentResult, TableBlock};
 use crate::rxpath::FastRx;
 use crate::scenario::{Scenario, DEFAULT_SEED};
 use ppr_channel::chip_channel::{corrupt_chips, ErrorProfile};
-use ppr_core::arq::{run_session, ArqChannel, PpArqConfig, SessionStats};
+use ppr_core::arq::{run_session_with, ArqChannel, PpArqConfig, SessionStats};
+use ppr_core::dp::ChunkScratch;
 use ppr_mac::frame::Frame;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,12 +137,15 @@ pub fn collect_seeded(n_packets: usize, seed: u64) -> PpArqRun {
     let mut channel = RadioLinkChannel::marginal(seed);
     let mut retx_sizes = Vec::new();
     let mut sessions = Vec::new();
+    // One planner scratch for the whole link: the receiver side of
+    // every session reuses the same feedback-DP buffers.
+    let mut scratch = ChunkScratch::new();
     for i in 0..n_packets {
         let payload: Vec<u8> = {
             let mut r = StdRng::seed_from_u64(i as u64);
             (0..packet_bytes).map(|_| r.gen()).collect()
         };
-        let stats = run_session(&payload, PpArqConfig::default(), &mut channel);
+        let stats = run_session_with(&payload, PpArqConfig::default(), &mut channel, &mut scratch);
         retx_sizes.extend(stats.retx_sizes.iter().copied());
         sessions.push(stats);
     }

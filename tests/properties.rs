@@ -3,7 +3,10 @@
 
 use ppr::channel::chip_channel::{corrupt_chips, ErrorProfile};
 use ppr::core::arq::{RetxPacket, Segment};
-use ppr::core::dp::{plan_chunks, plan_chunks_brute, CostModel};
+use ppr::core::dp::{
+    plan_chunks, plan_chunks_brute, plan_chunks_interval, plan_chunks_monotone,
+    plan_chunks_quadratic, CostModel,
+};
 use ppr::core::feedback::{complement_ranges, Feedback};
 use ppr::core::runs::{RunLengths, UnitRange};
 use ppr::mac::crc::{append_crc32, crc16, crc32, verify_crc32_trailer};
@@ -78,6 +81,74 @@ proptest! {
         }
         for c in &dp.chunks {
             prop_assert!(!labels[c.start] && !labels[c.end - 1]);
+        }
+    }
+
+    /// All planner implementations return *identical chunk vectors* (not
+    /// just equal costs) for arbitrary labelings: the `O(L²)` and `O(L)`
+    /// partition planners, and the production `plan_chunks`, against the
+    /// pinned `O(L³)` interval DP.
+    #[test]
+    fn partition_planners_match_interval_dp(
+        labels in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let rl = RunLengths::from_labels(&labels);
+        let cost = CostModel::bytes(labels.len().max(16));
+        let interval = plan_chunks_interval(&rl, &cost);
+        let quadratic = plan_chunks_quadratic(&rl, &cost);
+        let monotone = plan_chunks_monotone(&rl, &cost);
+        let production = plan_chunks(&rl, &cost);
+        prop_assert_eq!(&quadratic.chunks, &interval.chunks, "quadratic chunks");
+        prop_assert_eq!(&monotone.chunks, &interval.chunks, "monotone chunks");
+        prop_assert_eq!(&production.chunks, &interval.chunks, "plan_chunks chunks");
+        let tol = 1e-9 * (1.0 + interval.cost_bits.abs());
+        prop_assert!((quadratic.cost_bits - interval.cost_bits).abs() <= tol,
+            "quadratic cost {} vs interval {}", quadratic.cost_bits, interval.cost_bits);
+        prop_assert!((monotone.cost_bits - interval.cost_bits).abs() <= tol,
+            "monotone cost {} vs interval {}", monotone.cost_bits, interval.cost_bits);
+    }
+
+    /// Tie-pinning: under a dyadic cost model every atomic cost is an
+    /// integer-valued f64 (`log S` and `log λᵇ` of powers of two, good
+    /// contributions multiples of `bpu`), so group-cost sums are exact in
+    /// every planner and cost ties between different partitions are
+    /// genuine and frequent. The planners must still agree chunk-for-
+    /// chunk — tie-breaking is pinned (merged beats splits on ties, the
+    /// smallest split point wins), not accidental.
+    #[test]
+    fn planner_tie_breaking_is_pinned(
+        runs in proptest::collection::vec((0u32..4, 0usize..4, 0usize..3), 1..16),
+        leading in 0usize..3,
+    ) {
+        // Bad lengths 2^e ∈ {1,2,4,8}; good lengths 0..=6 in steps of 2
+        // (checksum saturation at 16 bits hits at good = 2, forcing
+        // collisions between singleton and merged costs).
+        let mut labels = vec![true; leading];
+        for &(bad_exp, good_half, extra) in &runs {
+            labels.extend(std::iter::repeat_n(false, 1usize << bad_exp));
+            labels.extend(std::iter::repeat_n(true, 2 * good_half + 2 * extra));
+        }
+        let rl = RunLengths::from_labels(&labels);
+        let cost = CostModel {
+            packet_units: 1024, // log S = 10, exactly
+            bits_per_unit: 8.0,
+            checksum_bits: 16.0,
+        };
+        let interval = plan_chunks_interval(&rl, &cost);
+        let quadratic = plan_chunks_quadratic(&rl, &cost);
+        let monotone = plan_chunks_monotone(&rl, &cost);
+        prop_assert_eq!(&quadratic.chunks, &interval.chunks, "quadratic ties");
+        prop_assert_eq!(&monotone.chunks, &interval.chunks, "monotone ties");
+        // Costs are exact integers here: demand bit-equality.
+        prop_assert_eq!(quadratic.cost_bits, interval.cost_bits);
+        prop_assert_eq!(monotone.cost_bits, interval.cost_bits);
+        if rl.l() <= 14 {
+            // Brute force scores in plain f64 (deliberately independent
+            // of the planners' fixed-point arithmetic): tolerance, not
+            // bit equality.
+            let brute = plan_chunks_brute(&rl, &cost);
+            prop_assert!((brute.cost_bits - interval.cost_bits).abs() < 1e-9,
+                "brute cost {} vs interval {}", brute.cost_bits, interval.cost_bits);
         }
     }
 
@@ -265,5 +336,67 @@ proptest! {
         prop_assert_eq!(hdr, trl);
         prop_assert_eq!(hdr.len as usize, body.len());
         prop_assert_eq!(frame.chips().len(), frame.chips_len());
+    }
+}
+
+/// Planner equivalence at production scale: random and tie-heavy
+/// instances up to L = 512 bad runs, checked against the `O(L³)`
+/// interval DP (too slow for the per-case proptest loop at this size,
+/// so a fixed deterministic corpus).
+#[test]
+fn partition_planners_match_interval_dp_at_large_l() {
+    use rand::Rng;
+    for (target_l, seed, dyadic) in [
+        (128usize, 0xD11u64, false),
+        (256, 0xD22, false),
+        (512, 0xD33, false),
+        (512, 0xD44, true),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut labels: Vec<bool> = Vec::new();
+        for _ in 0..target_l {
+            // Dyadic instances use power-of-two bad runs and even good
+            // runs so costs are exact and ties are frequent at scale.
+            let (bad, good) = if dyadic {
+                (
+                    1usize << rng.gen_range(0..3u32),
+                    2 * rng.gen_range(0..3usize),
+                )
+            } else {
+                (rng.gen_range(1..6usize), rng.gen_range(0..9usize))
+            };
+            labels.extend(std::iter::repeat_n(false, bad));
+            labels.extend(std::iter::repeat_n(true, good));
+        }
+        let rl = RunLengths::from_labels(&labels);
+        assert!(rl.l() >= target_l / 2, "instance lost its runs");
+        let packet = if dyadic { 4096 } else { labels.len().max(16) };
+        let cost = CostModel {
+            packet_units: packet,
+            bits_per_unit: 8.0,
+            checksum_bits: 16.0,
+        };
+        let interval = plan_chunks_interval(&rl, &cost);
+        let quadratic = plan_chunks_quadratic(&rl, &cost);
+        let monotone = plan_chunks_monotone(&rl, &cost);
+        assert_eq!(
+            quadratic.chunks,
+            interval.chunks,
+            "quadratic L={} seed={seed:#x}",
+            rl.l()
+        );
+        assert_eq!(
+            monotone.chunks,
+            interval.chunks,
+            "monotone L={} seed={seed:#x}",
+            rl.l()
+        );
+        let tol = 1e-9 * (1.0 + interval.cost_bits.abs());
+        assert!((quadratic.cost_bits - interval.cost_bits).abs() <= tol);
+        assert!((monotone.cost_bits - interval.cost_bits).abs() <= tol);
+        if dyadic {
+            assert_eq!(quadratic.cost_bits, interval.cost_bits, "dyadic exact");
+            assert_eq!(monotone.cost_bits, interval.cost_bits, "dyadic exact");
+        }
     }
 }
