@@ -65,7 +65,10 @@
 //! addition is associative — three different evaluation orders, one
 //! answer. `cost_bits` is the fixed-point optimum converted back to
 //! `f64` (within `≈ L · 2⁻⁴¹` bits of the exact real value), identical
-//! across planners.
+//! across planners. The `no-float` lint (`cargo run -p ppr-lint`)
+//! enforces this mechanically: the scoring and reconstruction spans
+//! below are declared `region(no-float)` and may not contain float
+//! tokens, so a stray `f64` cannot creep back into selection.
 //!
 //! The per-frame entry points take a caller-provided [`ChunkScratch`] so
 //! the hot feedback path ([`crate::arq::ReceiverPacket::make_feedback`])
@@ -144,9 +147,21 @@ struct FxCost {
 }
 
 impl FxCost {
+    /// Converts a fixed-point total back to bits (the only approved
+    /// float boundary on the way *out* of the planners).
+    fn to_bits(total: i64) -> f64 {
+        total as f64 / (1i64 << FX_SHIFT) as f64
+    }
+
+    // ppr-lint: region(no-float) begin — Eq. 4/5 scoring must stay in
+    // Q23.40 integer arithmetic: one stray float sum re-introduces the
+    // association-order tie flips PR 5 removed.
     /// Eq. 4: cost of a singleton chunk.
     fn singleton(&self, bad_len: usize, good_len: usize) -> i64 {
         self.log_s
+            // ppr-lint: allow(no-float) — quantizing the log λᵇ atom is
+            // the approved float boundary on the way in: a pure function
+            // of the integer run length, identical across planners.
             + fx((bad_len.max(2) as f64).log2())
             + (good_len as i64 * self.bits_per_unit).min(self.checksum_bits)
     }
@@ -157,11 +172,7 @@ impl FxCost {
     fn merged(&self, interior_good_units: usize) -> i64 {
         2 * self.log_s + interior_good_units as i64 * self.bits_per_unit
     }
-
-    /// Converts a fixed-point total back to bits.
-    fn to_bits(total: i64) -> f64 {
-        total as f64 / (1i64 << FX_SHIFT) as f64
-    }
+    // ppr-lint: region(no-float) end
 }
 
 /// The planner's output: the chunk ranges to request, in packet order,
@@ -280,6 +291,8 @@ pub fn plan_chunks_quadratic_with<'a>(
     scratch.fill_prefix(rl);
     scratch.subopt.clear();
     scratch.subopt.resize(l + 1, 0);
+    // ppr-lint: region(no-float) begin — partition DP selection and
+    // reconstruction compare exact Q23.40 integers only.
     for s in (0..l).rev() {
         let mut best =
             fxc.singleton(rl.pairs[s].bad_len, rl.pairs[s].good_len) + scratch.subopt[s + 1];
@@ -291,7 +304,6 @@ pub fn plan_chunks_quadratic_with<'a>(
         }
         scratch.subopt[s] = best;
     }
-    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
 
     // Greedy smallest-boundary reconstruction (see module docs): the
     // integer candidate sums are exactly the ones the DP minimized, so
@@ -325,6 +337,8 @@ pub fn plan_chunks_quadratic_with<'a>(
         scratch.plan.chunks.push(rl.chunk_range(s, e));
         s = e + 1;
     }
+    // ppr-lint: region(no-float) end
+    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
     &scratch.plan
 }
 
@@ -351,6 +365,8 @@ pub fn plan_chunks_monotone_with<'a>(
     scratch.fill_prefix(rl);
     scratch.subopt.clear();
     scratch.subopt.resize(l + 1, 0);
+    // ppr-lint: region(no-float) begin — suffix-min DP selection and
+    // reconstruction compare exact Q23.40 integers only.
     let two_log_s = 2 * fxc.log_s;
     // P[i]·bpu, exact in fixed point — the separable half of the merged
     // weight.
@@ -373,7 +389,6 @@ pub fn plan_chunks_monotone_with<'a>(
         scratch.subopt[s] = best;
         suffix_min = suffix_min.min(pb(scratch, s) + scratch.subopt[s + 1]);
     }
-    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
 
     // Greedy smallest-boundary reconstruction with the same integer
     // candidate values the DP minimized.
@@ -405,6 +420,8 @@ pub fn plan_chunks_monotone_with<'a>(
         scratch.plan.chunks.push(rl.chunk_range(s, e));
         s = e + 1;
     }
+    // ppr-lint: region(no-float) end
+    scratch.plan.cost_bits = FxCost::to_bits(scratch.subopt[0]);
 
     #[cfg(debug_assertions)]
     if l <= 96 {
@@ -432,6 +449,8 @@ pub fn plan_chunks_interval(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
         return ChunkPlan::empty();
     }
     let fxc = cost.fixed();
+    // ppr-lint: region(no-float) begin — the pinned reference scores in
+    // the same exact Q23.40 integers as the production planners.
     // cost_table[i][j], choice[i][j] for i ≤ j; j index shifted by i.
     let mut cost_table = vec![vec![0i64; l]; l];
     let mut split = vec![vec![usize::MAX; l]; l]; // usize::MAX = merged
@@ -459,6 +478,7 @@ pub fn plan_chunks_interval(rl: &RunLengths, cost: &CostModel) -> ChunkPlan {
     let mut chunks = Vec::new();
     reconstruct(rl, &split, 0, l - 1, &mut chunks);
     chunks.sort_by_key(|c| c.start);
+    // ppr-lint: region(no-float) end
     ChunkPlan {
         chunks,
         cost_bits: FxCost::to_bits(cost_table[0][l - 1]),

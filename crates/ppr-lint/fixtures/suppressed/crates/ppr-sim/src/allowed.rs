@@ -1,0 +1,7 @@
+//! Fixture: every violation carries a justified suppression.
+// ppr-lint: allow(determinism) — fixture exercising comment-line scope
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> { // ppr-lint: allow(determinism) — same-line scope
+    HashMap::new() // ppr-lint: allow(determinism) — same-line scope
+}

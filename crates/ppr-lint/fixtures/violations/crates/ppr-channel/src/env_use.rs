@@ -1,0 +1,4 @@
+//! Fixture: environment read outside the configuration seams.
+pub fn knob() -> Option<String> {
+    std::env::var("PPR_SECRET_KNOB").ok()
+}

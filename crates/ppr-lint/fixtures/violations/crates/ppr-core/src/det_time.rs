@@ -1,0 +1,6 @@
+//! Fixture: wall clock and OS randomness in protocol code.
+pub fn elapsed() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    let _r = thread_rng();
+    t0.elapsed()
+}

@@ -1,0 +1,7 @@
+//! Fixture: float tokens inside a declared no-float span.
+pub fn score(x: i64) -> i64 {
+    // ppr-lint: region(no-float) begin
+    let bad = (x as f64) * 2.0;
+    // ppr-lint: region(no-float) end
+    bad as i64
+}

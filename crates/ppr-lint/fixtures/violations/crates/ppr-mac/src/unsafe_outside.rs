@@ -1,0 +1,5 @@
+//! Fixture: unsafe outside the allowlisted module set.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: a justification does not move a module onto the allowlist.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture: allowlisted module, but an unjustified unsafe site.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

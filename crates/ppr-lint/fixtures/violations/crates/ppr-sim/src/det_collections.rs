@@ -1,0 +1,8 @@
+//! Fixture: hashed collections in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1u32);
+    HashMap::new()
+}

@@ -1,0 +1,225 @@
+//! `ppr-lint.toml`: the pinned-debt baseline.
+//!
+//! A baseline entry is one pre-existing violation, recorded as
+//! `"path:line:lint"` with the path relative to the workspace root.
+//! Violations matching a baseline entry are reported but do not fail
+//! the run — debt is *pinned*, not ignored: removing the offending code
+//! leaves a stale entry the tool reports, and new violations (different
+//! file, line or lint) still fail. `--fix-baseline` regenerates the
+//! file from the current findings.
+//!
+//! The format is a deliberately tiny TOML subset — one top-level
+//! `baseline = [ "…", … ]` string array plus `#` comments — parsed by
+//! hand because the workspace vendors no TOML crate. Line numbers in a
+//! baseline go stale when files are edited above an entry; that is the
+//! standard trade-off of line-keyed baselines, and the answer is to
+//! re-run `--fix-baseline` (the diff shows exactly which debt moved).
+
+use std::fmt;
+use std::path::Path;
+
+/// One pinned pre-existing violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the pinned violation.
+    pub line: u32,
+    /// Lint name (e.g. `determinism`).
+    pub lint: String,
+}
+
+impl fmt::Display for BaselineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.path, self.line, self.lint)
+    }
+}
+
+impl BaselineEntry {
+    /// Parses `path:line:lint` (path may itself contain `:` on exotic
+    /// systems, so the *last two* colon-separated fields are taken as
+    /// line and lint).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (rest, lint) = s
+            .rsplit_once(':')
+            .ok_or_else(|| format!("malformed baseline entry {s:?} (want path:line:lint)"))?;
+        let (path, line) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("malformed baseline entry {s:?} (want path:line:lint)"))?;
+        let line: u32 = line
+            .parse()
+            .map_err(|_| format!("non-numeric line in baseline entry {s:?}"))?;
+        if path.is_empty() || lint.is_empty() {
+            return Err(format!("empty field in baseline entry {s:?}"));
+        }
+        Ok(BaselineEntry {
+            path: path.to_string(),
+            line,
+            lint: lint.to_string(),
+        })
+    }
+}
+
+/// The parsed configuration file.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Pinned pre-existing violations.
+    pub baseline: Vec<BaselineEntry>,
+}
+
+impl Config {
+    /// Loads the config from `path`; a missing file is an empty config
+    /// (the tool runs baseline-free by default).
+    pub fn load(path: &Path) -> Result<Config, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Config::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut baseline = Vec::new();
+        let mut in_array = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if !in_array {
+                if let Some(rest) = line.strip_prefix("baseline") {
+                    let rest = rest.trim_start();
+                    let rest = rest
+                        .strip_prefix('=')
+                        .ok_or_else(|| format!("line {}: expected `baseline = [`", idx + 1))?
+                        .trim_start();
+                    let rest = rest
+                        .strip_prefix('[')
+                        .ok_or_else(|| format!("line {}: expected `baseline = [`", idx + 1))?;
+                    in_array = !consume_array_items(rest, &mut baseline, idx)?;
+                } else {
+                    return Err(format!(
+                        "line {}: unsupported config line {line:?} (only `baseline = [...]` and comments)",
+                        idx + 1
+                    ));
+                }
+            } else {
+                in_array = !consume_array_items(&line, &mut baseline, idx)?;
+            }
+        }
+        if in_array {
+            return Err("unterminated baseline array".to_string());
+        }
+        Ok(Config { baseline })
+    }
+
+    /// Renders the config back to the file format (`--fix-baseline`).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ppr-lint baseline: pre-existing violations pinned as known debt.\n\
+             # Regenerate with `cargo run -p ppr-lint -- --fix-baseline`; entries\n\
+             # are `path:line:lint` relative to the workspace root.\n",
+        );
+        if self.baseline.is_empty() {
+            out.push_str("baseline = []\n");
+        } else {
+            out.push_str("baseline = [\n");
+            let mut entries = self.baseline.clone();
+            entries.sort();
+            for e in entries {
+                out.push_str(&format!("    \"{e}\",\n"));
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment, respecting `"…"` strings (entries never
+/// contain `"` so escape handling is unnecessary).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Consumes quoted entries from one line of the array body; returns
+/// `true` when the closing `]` was seen.
+fn consume_array_items(
+    mut rest: &str,
+    baseline: &mut Vec<BaselineEntry>,
+    idx: usize,
+) -> Result<bool, String> {
+    loop {
+        rest = rest.trim_start_matches([' ', '\t', ',']);
+        if rest.is_empty() {
+            return Ok(false);
+        }
+        if let Some(after) = rest.strip_prefix(']') {
+            if !after.trim().is_empty() {
+                return Err(format!("line {}: trailing content after `]`", idx + 1));
+            }
+            return Ok(true);
+        }
+        let inner = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {}: expected quoted baseline entry", idx + 1))?;
+        let (entry, after) = inner
+            .split_once('"')
+            .ok_or_else(|| format!("line {}: unterminated string", idx + 1))?;
+        baseline.push(BaselineEntry::parse(entry)?);
+        rest = after;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let cfg = Config {
+            baseline: vec![
+                BaselineEntry::parse("crates/a/src/x.rs:12:determinism").unwrap(),
+                BaselineEntry::parse("src/lib.rs:3:env-hygiene").unwrap(),
+            ],
+        };
+        let text = cfg.render();
+        let back = Config::parse(&text).unwrap();
+        let mut want = cfg.baseline.clone();
+        want.sort();
+        assert_eq!(back.baseline, want);
+    }
+
+    #[test]
+    fn empty_array_and_comments() {
+        let cfg = Config::parse("# header\nbaseline = []  # none\n").unwrap();
+        assert!(cfg.baseline.is_empty());
+        let cfg = Config::parse("baseline = [\"a.rs:1:determinism\"]\n").unwrap();
+        assert_eq!(cfg.baseline.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Config::parse("baseline = [\n\"a.rs:1:determinism\"\n").is_err());
+        assert!(Config::parse("hashes = 3\n").is_err());
+        assert!(Config::parse("baseline = [\"no-line-field\"]\n").is_err());
+        assert!(BaselineEntry::parse("a.rs:x:determinism").is_err());
+        assert!(BaselineEntry::parse("a.rs:3:").is_err());
+    }
+
+    #[test]
+    fn entry_display_matches_parse() {
+        let e = BaselineEntry::parse("crates/a.rs:7:no-float").unwrap();
+        assert_eq!(e.to_string(), "crates/a.rs:7:no-float");
+        assert_eq!(e.line, 7);
+        assert_eq!(e.lint, "no-float");
+    }
+}

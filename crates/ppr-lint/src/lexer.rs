@@ -1,0 +1,488 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The lints in this crate are *lexical*: they match token sequences
+//! (`HashMap`, `unsafe`, `env :: var`, float literals), never types or
+//! name resolution. That is only sound if the lexer reliably separates
+//! code from non-code — a `HashMap` inside a doc comment, a string
+//! literal or a `#[cfg]`-ed out... no, the last one *is* code — must
+//! never fire a lint, and a float literal must never be confused with a
+//! range expression (`0..l`) or an integer method call (`1.max(2)`).
+//!
+//! So the lexer handles, with care, exactly the hard cases that matter
+//! for that separation:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//!   preserved as [`Comment`]s because lint directives
+//!   (`// ppr-lint: ...`) and `// SAFETY:` justifications live in them;
+//! * string, raw string (`r#"…"#`, any number of `#`s), byte string,
+//!   byte and char literals — skipped, with correct `'a'`-char versus
+//!   `'a`-lifetime disambiguation;
+//! * numeric literals with radix prefixes, `_` separators, exponents
+//!   and type suffixes, classified int-versus-float the way rustc does
+//!   (`0..l` lexes as int + range, `1.max` as int + dot + ident,
+//!   `2.`, `1e9` and `3.5f32` as floats);
+//! * identifiers (including raw `r#ident`) and single-char punctuation.
+//!
+//! Everything else (token *meaning*) is the lint layer's problem.
+
+/// One code token: what the lints actually match against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe` arrives as `Ident("unsafe")`).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// Numeric literal; `float` distinguishes `2.0`/`1e9` from `2`.
+    Number {
+        /// True for float literals (fractional part, exponent, or an
+        /// `f32`/`f64` suffix).
+        float: bool,
+    },
+    /// String, raw-string, byte-string, byte or char literal (contents
+    /// deliberately dropped: literals never trigger lints).
+    Literal,
+}
+
+/// A code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its text and the lines it spans (inclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (> `line` only for multi-line
+    /// block comments).
+    pub end_line: u32,
+}
+
+/// The lexed form of one source file: code tokens and comments on
+/// separate tracks.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if `line` carries at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search keeps the engine's
+        // per-finding suppression scans cheap even on big files.
+        self.tokens.binary_search_by(|t| t.line.cmp(&line)).is_ok()
+    }
+
+    /// The first code token on `line`, if any.
+    pub fn first_token_on_line(&self, line: u32) -> Option<&Token> {
+        let idx = self.tokens.partition_point(|t| t.line < line);
+        self.tokens.get(idx).filter(|t| t.line == line)
+    }
+}
+
+/// Lexes one file. Unterminated literals or comments are tolerated (the
+/// remainder of the file is consumed as that literal/comment) — the
+/// real compiler rejects such files anyway, and the linter must not
+/// panic on them.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, line: u32) {
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_follows(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_literal(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
+                'r' if self.raw_string_follows(1) => {
+                    self.bump();
+                    self.raw_string_literal(line);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#ident.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                _ if is_ident_start(Some(c)) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `r` already seen at offset 0; is what follows `#*"` (raw string)?
+    fn raw_string_follows(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, line);
+    }
+
+    fn raw_string_literal(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, line);
+    }
+
+    /// `'` at position 0: a char literal or a lifetime. `'x'` (ident
+    /// char then closing quote) and `'\…'` are char literals; `'ident`
+    /// with no closing quote is a lifetime (emitted as punct + ident).
+    fn char_or_lifetime(&mut self, line: u32) {
+        if is_ident_start(self.peek(1)) && self.peek(2) != Some('\'') {
+            // Lifetime: consume the quote, let ident() take the rest.
+            self.bump();
+            self.push_token(TokenKind::Punct('\''), line);
+            return;
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident(name), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: no fraction or exponent possible; consume
+            // digits, separators and any suffix.
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Number { float: false }, line);
+            return;
+        }
+        self.eat_digits();
+        // Fractional part: a `.` begins one only if NOT followed by a
+        // second `.` (range `0..n`) or an identifier (method `1.max(2)`)
+        // — the same disambiguation rustc applies.
+        if self.peek(0) == Some('.') && self.peek(1) != Some('.') && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            self.eat_digits();
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digits_at = if sign { 2 } else { 1 };
+            if self.peek(digits_at).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                if sign {
+                    self.bump();
+                }
+                self.eat_digits();
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        self.push_token(TokenKind::Number { float }, line);
+    }
+
+    fn eat_digits(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn floats(src: &str) -> usize {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Number { float: true }))
+            .count()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code_words() {
+        let src = r##"
+            // HashMap in a comment
+            /* unsafe in a block /* nested */ still comment */
+            let s = "HashMap::new() unsafe 1.0";
+            let r = r#"thread_rng"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert_eq!(floats(src), 0);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn float_versus_range_versus_method() {
+        assert_eq!(floats("for i in 0..l {}"), 0);
+        assert_eq!(floats("let x = 1.max(2);"), 0);
+        assert_eq!(floats("let x = 2.0;"), 1);
+        assert_eq!(floats("let x = 2.;"), 1);
+        assert_eq!(floats("let x = 1e9;"), 1);
+        assert_eq!(floats("let x = 1_000e-3;"), 1);
+        assert_eq!(floats("let x = 3f64;"), 1);
+        assert_eq!(floats("let x = 3.5f32;"), 1);
+        assert_eq!(floats("let x = 0xEDB8_8320u32;"), 0);
+        assert_eq!(floats("let x = 10u64;"), 0);
+        // Hex `E` is a digit, not an exponent.
+        assert_eq!(floats("let x = 0x1E;"), 0);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If `'a` were lexed as an unterminated char literal the rest of
+        // the file would be swallowed and `HashMap` would disappear.
+        let ids = idents("fn f<'a>(x: &'a str) { let m: HashMap<u8, u8>; let c = 'x'; }");
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let src = "let a = r##\"quote \" and # inside\"##; let b: HashSet<u8>;";
+        let ids = idents(src);
+        assert!(ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn byte_literals_are_literals() {
+        let src = "let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#; unsafe {}";
+        let lexed = lex(src);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 3);
+        assert!(idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_idents_are_idents() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "let a = 1;\nlet b = 2;\n// c\nlet d = 3;\n";
+        let lexed = lex(src);
+        assert!(lexed.line_has_code(1));
+        assert!(lexed.line_has_code(2));
+        assert!(!lexed.line_has_code(3));
+        assert!(lexed.line_has_code(4));
+        assert_eq!(lexed.comments[0].line, 3);
+        assert_eq!(
+            lexed.first_token_on_line(4).map(|t| &t.kind),
+            Some(&TokenKind::Ident("let".to_string()))
+        );
+    }
+
+    #[test]
+    fn multiline_block_comment_spans() {
+        let src = "/* a\nb\nc */ let x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert!(lexed.line_has_code(3));
+    }
+}

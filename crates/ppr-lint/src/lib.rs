@@ -1,0 +1,27 @@
+//! `ppr-lint` — the workspace invariant checker.
+//!
+//! The correctness story of this reproduction rests on contracts no
+//! compiler checks: bit-identical parity between the bool/packed/SIMD
+//! backends, seeded per-reception RNG streams, Q23.40 fixed-point
+//! planner scoring (PR 5 exists *because* `f64` sum association flipped
+//! exact cost ties), and `unsafe` confined to `ppr_phy::simd`. This
+//! crate turns those conventions into CI-enforced invariants: a
+//! hand-rolled lexer ([`lexer`]), the lint definitions ([`lints`]),
+//! directive/region extraction ([`source`]), the pinned-debt baseline
+//! ([`config`]) and the driver ([`engine`]).
+//!
+//! Run it with `cargo run -p ppr-lint`; see `docs/ARCHITECTURE.md`
+//! ("Invariants & lints") for what each lint guards and why.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use config::{BaselineEntry, Config};
+pub use engine::{run, Report};
+pub use lints::{Finding, LINT_NAMES};

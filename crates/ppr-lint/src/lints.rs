@@ -1,0 +1,446 @@
+//! The workspace invariants, as named lints.
+//!
+//! Each lint is a lexical pass over one [`SourceFile`]'s code tokens —
+//! comments, strings and doc text never fire. The lints encode the
+//! conventions the compiler cannot check (see `docs/ARCHITECTURE.md`,
+//! "Invariants & lints"):
+//!
+//! | Lint | Invariant |
+//! |---|---|
+//! | `determinism` | no `HashMap`/`HashSet` (default `RandomState` iteration order) in the deterministic crates; no `Instant::now`/`SystemTime::now`/`thread_rng` outside `ppr-bench`/`ppr-cli` |
+//! | `unsafe-containment` | `unsafe` only in the allowlisted modules, and every `unsafe` site carries a `// SAFETY:` justification |
+//! | `no-float` | no float literals or `f32`/`f64` tokens inside declared `region(no-float)` spans (the Q23.40 planner scoring and CRC paths) |
+//! | `env-hygiene` | `std::env::var`/`var_os` only in `ppr_sim::env`, `ppr-cli` and `ppr-bench` |
+//! | `directive` | `ppr-lint:` comments themselves parse and regions match (not suppressible) |
+//!
+//! Being lexical is a feature (no `syn`, no build, runs in
+//! milliseconds) and a limit: a call like `FxCost::to_bits(x)` returns
+//! `f64` without any float *token* on the line, and a `HashMap` behind
+//! a type alias would hide. The lints guard the conventions as written
+//! in this codebase — idiomatic std names, spelled out — which review
+//! keeps true.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One lint violation (before suppression/baseline filtering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name.
+    pub lint: &'static str,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// Trimmed source line for context.
+    pub context: String,
+}
+
+/// Names of every lint, for `--list` and allow(...) validation.
+pub const LINT_NAMES: [&str; 5] = [
+    "determinism",
+    "unsafe-containment",
+    "no-float",
+    "env-hygiene",
+    "directive",
+];
+
+/// Crates whose iteration order and RNG usage feed `Reception` streams
+/// and experiment output: the `determinism` collection scope.
+const DETERMINISTIC_SCOPES: [&str; 6] = [
+    "crates/ppr-core/",
+    "crates/ppr-phy/",
+    "crates/ppr-mac/",
+    "crates/ppr-channel/",
+    "crates/ppr-sim/",
+    "src/", // the facade crate re-exports the deterministic surface
+];
+
+/// Crates allowed to read wall-clock time and OS randomness (drivers
+/// and benchmarks — never simulation or protocol code).
+const TIMING_EXEMPT_SCOPES: [&str; 2] = ["crates/ppr-bench/", "crates/ppr-cli/"];
+
+/// The only modules allowed to contain `unsafe` (each must justify
+/// every site with a `// SAFETY:` comment).
+const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/ppr-phy/src/simd.rs"];
+
+/// Files/crates allowed to read environment variables. Everything else
+/// must take configuration through `Scenario`/arguments so runs are
+/// reproducible from their inputs alone.
+const ENV_ALLOWLIST: [&str; 3] = [
+    "crates/ppr-sim/src/env.rs",
+    "crates/ppr-cli/",
+    "crates/ppr-bench/",
+];
+
+fn in_scope(path: &str, scopes: &[&str]) -> bool {
+    scopes.iter().any(|s| path.starts_with(s))
+}
+
+/// Runs every lint over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    directive_lint(file, &mut findings);
+    determinism_lint(file, &mut findings);
+    unsafe_containment_lint(file, &mut findings);
+    no_float_lint(file, &mut findings);
+    env_hygiene_lint(file, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn finding(file: &SourceFile, line: u32, lint: &'static str, message: String) -> Finding {
+    Finding {
+        path: file.rel_path.clone(),
+        line,
+        lint,
+        message,
+        context: file.context(line),
+    }
+}
+
+/// Malformed `ppr-lint:` comments are violations themselves, so a typo
+/// in a suppression cannot silently disable it.
+fn directive_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    for err in &file.directive_errors {
+        out.push(finding(file, err.line, "directive", err.message.clone()));
+    }
+    for allow in &file.allows {
+        for lint in &allow.lints {
+            if !LINT_NAMES.contains(&lint.as_str()) {
+                out.push(finding(
+                    file,
+                    allow.line,
+                    "directive",
+                    format!("allow({lint}) names an unknown lint"),
+                ));
+            }
+        }
+    }
+}
+
+/// `determinism`: hashed collections in the deterministic crates, and
+/// wall-clock/OS-randomness outside the driver/bench crates.
+fn determinism_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    let collection_scope = in_scope(&file.rel_path, &DETERMINISTIC_SCOPES);
+    let timing_scope = !in_scope(&file.rel_path, &TIMING_EXEMPT_SCOPES);
+    if !collection_scope && !timing_scope {
+        return;
+    }
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if collection_scope {
+            match name.as_str() {
+                "HashMap" | "HashSet" => out.push(finding(
+                    file,
+                    tok.line,
+                    "determinism",
+                    format!(
+                        "`{name}` iterates in `RandomState` hash order, which can leak into \
+                         Reception streams and experiment output; use `BTreeMap`/`BTreeSet` \
+                         or a fixed-seed hasher"
+                    ),
+                )),
+                "RandomState" => out.push(finding(
+                    file,
+                    tok.line,
+                    "determinism",
+                    "`RandomState` is seeded from OS entropy per process".to_string(),
+                )),
+                _ => {}
+            }
+        }
+        if timing_scope {
+            match name.as_str() {
+                "Instant" | "SystemTime" if followed_by_now(tokens, i) => out.push(finding(
+                    file,
+                    tok.line,
+                    "determinism",
+                    format!(
+                        "`{name}::now` reads the wall clock; simulation and protocol code \
+                         must be a function of its inputs (only ppr-bench/ppr-cli may time)"
+                    ),
+                )),
+                "thread_rng" => out.push(finding(
+                    file,
+                    tok.line,
+                    "determinism",
+                    "`thread_rng` draws OS-seeded randomness; use the seeded per-reception \
+                     RNG streams"
+                        .to_string(),
+                )),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Is token `i` followed by `:: now`?
+fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    matches!(
+        tokens.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct(':'))
+    ) && matches!(
+        tokens.get(i + 2).map(|t| &t.kind),
+        Some(TokenKind::Punct(':'))
+    ) && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(TokenKind::Ident(n)) if n == "now")
+}
+
+/// `unsafe-containment`: `unsafe` only in the allowlist, and every site
+/// justified by a `// SAFETY:` comment (same line, or immediately above
+/// across attribute/comment/blank lines).
+fn unsafe_containment_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    let allowlisted = UNSAFE_ALLOWLIST
+        .iter()
+        .any(|m| file.rel_path.starts_with(m));
+    for tok in &file.lexed.tokens {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if name != "unsafe" {
+            continue;
+        }
+        if !allowlisted {
+            out.push(finding(
+                file,
+                tok.line,
+                "unsafe-containment",
+                "`unsafe` outside the allowlisted module set (currently ppr_phy::simd); \
+                 extend the allowlist deliberately or keep the code safe"
+                    .to_string(),
+            ));
+        } else if !has_safety_comment(file, tok.line) {
+            out.push(finding(
+                file,
+                tok.line,
+                "unsafe-containment",
+                "`unsafe` site without a `// SAFETY:` comment justifying it".to_string(),
+            ));
+        }
+    }
+}
+
+/// Looks for a SAFETY comment covering `line`: on the line itself, or
+/// scanning upward while lines are blank, comment-only, or attributes.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let is_safety = |l: u32| {
+        file.lexed
+            .comments
+            .iter()
+            .any(|c| c.line <= l && l <= c.end_line && comment_is_safety(&c.text))
+    };
+    if is_safety(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if is_safety(l) {
+            return true;
+        }
+        match file.lexed.first_token_on_line(l) {
+            // Attributes (e.g. #[target_feature]) may sit between the
+            // SAFETY comment and the unsafe fn.
+            Some(tok) if tok.kind == TokenKind::Punct('#') => continue,
+            Some(_) => return false,
+            None => continue, // blank or comment-only line
+        }
+    }
+    false
+}
+
+fn comment_is_safety(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+/// `no-float`: float literals and `f32`/`f64` tokens inside declared
+/// `region(no-float)` spans. The regions cover the fixed-point planner
+/// scoring and the CRC kernels, where one stray float re-introduces
+/// the exact-tie nondeterminism PR 5 removed.
+fn no_float_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.regions.iter().any(|r| r.name == "no-float") {
+        return;
+    }
+    for tok in &file.lexed.tokens {
+        if !file.in_region("no-float", tok.line) {
+            continue;
+        }
+        match &tok.kind {
+            TokenKind::Number { float: true } => out.push(finding(
+                file,
+                tok.line,
+                "no-float",
+                "float literal inside a region(no-float) span".to_string(),
+            )),
+            TokenKind::Ident(name) if name == "f64" || name == "f32" => out.push(finding(
+                file,
+                tok.line,
+                "no-float",
+                format!("`{name}` inside a region(no-float) span"),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// `env-hygiene`: `env::var`/`env::var_os` only in the allowlisted
+/// configuration seams.
+fn env_hygiene_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    if in_scope(&file.rel_path, &ENV_ALLOWLIST) {
+        return;
+    }
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if name != "env" || !followed_by_var(tokens, i) {
+            continue;
+        }
+        out.push(finding(
+            file,
+            tok.line,
+            "env-hygiene",
+            "`std::env::var` outside ppr_sim::env / ppr-cli / ppr-bench; route \
+             configuration through Scenario so runs are reproducible"
+                .to_string(),
+        ));
+    }
+}
+
+/// Is token `i` followed by `:: var` or `:: var_os`?
+fn followed_by_var(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    matches!(
+        tokens.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct(':'))
+    ) && matches!(
+        tokens.get(i + 2).map(|t| &t.kind),
+        Some(TokenKind::Punct(':'))
+    ) && matches!(tokens.get(i + 3).map(|t| &t.kind),
+            Some(TokenKind::Ident(n)) if n == "var" || n == "var_os")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_deterministic_scope() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check("crates/ppr-sim/src/x.rs", src).len(), 1);
+        assert_eq!(check("crates/ppr-core/src/x.rs", src).len(), 1);
+        assert!(check("crates/ppr-bench/src/x.rs", src).is_empty());
+        assert!(check("crates/ppr-lint/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_bench_and_cli() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(check("crates/ppr-sim/src/x.rs", src).len(), 1);
+        assert!(check("crates/ppr-bench/src/bin/b.rs", src).is_empty());
+        assert!(check("crates/ppr-cli/src/main.rs", src).is_empty());
+        // `Instant` alone (e.g. storing one passed in) is fine.
+        assert!(check("crates/ppr-sim/src/x.rs", "fn f(t: Instant) {}\n").is_empty());
+        assert_eq!(
+            check("crates/ppr-mac/src/x.rs", "let x = SystemTime::now();\n").len(),
+            1
+        );
+        assert_eq!(
+            check("crates/ppr-core/src/x.rs", "let r = thread_rng();\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_and_missing_safety() {
+        let src = "fn f() { unsafe { g() } }\n";
+        let f = check("crates/ppr-core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "unsafe-containment");
+
+        // Allowlisted module without SAFETY comment: still a violation.
+        let f = check("crates/ppr-phy/src/simd.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SAFETY"));
+
+        // SAFETY on the preceding line, across attributes.
+        let ok = "\
+// SAFETY: feature checked at dispatch.
+#[target_feature(enable = \"avx2\")]
+unsafe fn g() {}
+";
+        assert!(check("crates/ppr-phy/src/simd.rs", ok).is_empty());
+        // Same-line SAFETY.
+        let ok2 = "let x = unsafe { p.read() }; // SAFETY: p is valid.\n";
+        assert!(check("crates/ppr-phy/src/simd.rs", ok2).is_empty());
+    }
+
+    #[test]
+    fn safety_scan_stops_at_code() {
+        let src = "\
+// SAFETY: this belongs to f, not g.
+fn f() {}
+unsafe fn g() {}
+";
+        let f = check("crates/ppr-phy/src/simd.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn no_float_only_inside_regions() {
+        let src = "\
+let a = 1.0;
+// ppr-lint: region(no-float) begin
+let b = 2;
+let c = 3.0;
+let d: f64 = e as f64;
+// ppr-lint: region(no-float) end
+let f = 4.0;
+";
+        let f = check("crates/ppr-core/src/dp.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == "no-float"));
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[1].line, 5); // two findings on line 5 (f64 twice)
+    }
+
+    #[test]
+    fn env_var_flagged_outside_allowlist() {
+        let src = "let v = std::env::var(\"X\");\n";
+        assert_eq!(check("crates/ppr-phy/src/simd.rs", src).len(), 1);
+        assert!(check("crates/ppr-sim/src/env.rs", src).is_empty());
+        assert!(check("crates/ppr-cli/src/main.rs", src).is_empty());
+        assert!(check("crates/ppr-bench/src/lib.rs", src).is_empty());
+        let os = "if std::env::var_os(\"X\").is_some() {}\n";
+        assert_eq!(check("crates/ppr-sim/src/network.rs", os).len(), 1);
+        // env::args (no var) is fine anywhere.
+        assert!(check("crates/ppr-lint/src/main.rs", "let a = std::env::args();\n").is_empty());
+    }
+
+    #[test]
+    fn directive_errors_surface_as_findings() {
+        let src = "// ppr-lint: allow(not-a-lint)\nlet x = 1;\n";
+        let f = check("crates/ppr-core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "directive");
+    }
+
+    #[test]
+    fn words_in_comments_and_strings_never_fire() {
+        let src = "\
+// HashMap, unsafe, thread_rng, Instant::now — prose only
+let s = \"std::env::var HashMap 3.0\";
+";
+        assert!(check("crates/ppr-sim/src/x.rs", src).is_empty());
+    }
+}

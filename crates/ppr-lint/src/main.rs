@@ -1,0 +1,133 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p ppr-lint                  # check the workspace
+//! cargo run -p ppr-lint -- --verbose     # also list suppressed/baselined
+//! cargo run -p ppr-lint -- --fix-baseline  # pin current debt in ppr-lint.toml
+//! cargo run -p ppr-lint -- --list        # describe the lints
+//! ```
+//!
+//! Exits 0 when no finding fails (suppressed and baselined findings are
+//! reported but do not fail), 1 on failing findings, 2 on usage or I/O
+//! errors.
+
+use ppr_lint::{config::Config, engine, lints};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    fix_baseline: bool,
+    list: bool,
+    verbose: bool,
+}
+
+fn usage() -> String {
+    "usage: ppr-lint [--root DIR] [--config FILE] [--fix-baseline] [--list] [--verbose]".to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace this binary was built from. Robust
+    // under `cargo run` from any subdirectory, and overridable for
+    // linting fixture trees.
+    let mut args = Args {
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        config: None,
+        fix_baseline: false,
+        list: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| format!("--root needs a value\n{}", usage()))?,
+                );
+            }
+            "--config" => {
+                args.config =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        format!("--config needs a value\n{}", usage())
+                    })?));
+            }
+            "--fix-baseline" => args.fix_baseline = true,
+            "--list" => args.list = true,
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ppr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        println!("ppr-lint enforces these invariants:");
+        for name in lints::LINT_NAMES {
+            println!("  {name}");
+        }
+        println!("suppress one occurrence with `// ppr-lint: allow(<name>) <why>`;");
+        println!("pin pre-existing debt with `--fix-baseline` (writes ppr-lint.toml).");
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ppr-lint: bad --root {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("ppr-lint.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ppr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match engine::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ppr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.fix_baseline {
+        let new_cfg = report.as_baseline();
+        let n = new_cfg.baseline.len();
+        if let Err(e) = std::fs::write(&config_path, new_cfg.render()) {
+            eprintln!("ppr-lint: writing {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ppr-lint: wrote {} with {n} baseline entr{}",
+            config_path.display(),
+            if n == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", report.render(args.verbose));
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,276 @@
+//! One parsed source file: lexed tokens plus the lint directives and
+//! regions declared in its comments.
+//!
+//! Directives are comments of the form `// ppr-lint: <command>`:
+//!
+//! * `// ppr-lint: allow(<lint>[, <lint>…]) [prose]` — suppresses
+//!   findings of the named lints on the directive's own line, or (for a
+//!   comment-only line) on the next line that carries code. Suppressed
+//!   findings are counted and reported, never silently dropped.
+//! * `// ppr-lint: region(<name>) begin [prose]` /
+//!   `// ppr-lint: region(<name>) end [prose]` — delimit a named region
+//!   (the `no-float` lint only checks inside `region(no-float)` spans).
+//!   Regions of the same name nest; an unmatched begin/end is itself a
+//!   violation (lint `directive`).
+//!
+//! Anything after the closing parenthesis (and the begin/end keyword) is
+//! free prose — directives are expected to carry a justification.
+
+use crate::lexer::{lex, Lexed};
+
+/// A suppression declared in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// The lints it suppresses.
+    pub lints: Vec<String>,
+}
+
+/// A named `begin`..`end` region (inclusive line span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name (e.g. `no-float`).
+    pub name: String,
+    /// Line of the `begin` directive.
+    pub start: u32,
+    /// Line of the `end` directive.
+    pub end: u32,
+}
+
+/// A malformed or unmatched directive, reported as a violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// Line of the offending directive.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// A source file in the form the lints consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Lexed tokens and comments.
+    pub lexed: Lexed,
+    /// Raw source lines (for diagnostic context snippets).
+    pub lines: Vec<String>,
+    /// Suppression directives.
+    pub allows: Vec<Allow>,
+    /// Closed regions.
+    pub regions: Vec<Region>,
+    /// Malformed/unmatched directives.
+    pub directive_errors: Vec<DirectiveError>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and extracts its directives.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let mut allows = Vec::new();
+        let mut regions = Vec::new();
+        let mut errors = Vec::new();
+        // One stack per region name would be overkill: a single stack
+        // with name matching on `end` keeps nesting honest.
+        let mut open: Vec<(String, u32)> = Vec::new();
+
+        for comment in &lexed.comments {
+            let Some(cmd) = directive_text(&comment.text) else {
+                continue;
+            };
+            match parse_directive(cmd) {
+                Ok(Directive::Allow(lints)) => allows.push(Allow {
+                    line: comment.line,
+                    lints,
+                }),
+                Ok(Directive::RegionBegin(name)) => open.push((name, comment.line)),
+                Ok(Directive::RegionEnd(name)) => match open.last() {
+                    Some((open_name, start)) if *open_name == name => {
+                        let start = *start;
+                        open.pop();
+                        regions.push(Region {
+                            name,
+                            start,
+                            end: comment.line,
+                        });
+                    }
+                    Some((open_name, start)) => errors.push(DirectiveError {
+                        line: comment.line,
+                        message: format!(
+                            "region({name}) end does not match region({open_name}) begun on line {start}"
+                        ),
+                    }),
+                    None => errors.push(DirectiveError {
+                        line: comment.line,
+                        message: format!("region({name}) end with no matching begin"),
+                    }),
+                },
+                Err(msg) => errors.push(DirectiveError {
+                    line: comment.line,
+                    message: msg,
+                }),
+            }
+        }
+        for (name, line) in open {
+            errors.push(DirectiveError {
+                line,
+                message: format!("region({name}) begin is never closed"),
+            });
+        }
+
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed,
+            lines: text.lines().map(str::to_string).collect(),
+            allows,
+            regions,
+            directive_errors: errors,
+        }
+    }
+
+    /// The trimmed source of `line` (1-based), truncated for reports.
+    pub fn context(&self, line: u32) -> String {
+        let Some(text) = self.lines.get(line as usize - 1) else {
+            return String::new();
+        };
+        let trimmed = text.trim();
+        if trimmed.chars().count() > 90 {
+            let cut: String = trimmed.chars().take(87).collect();
+            format!("{cut}...")
+        } else {
+            trimmed.to_string()
+        }
+    }
+
+    /// True if `line` falls inside a closed region named `name`.
+    pub fn in_region(&self, name: &str, line: u32) -> bool {
+        self.regions
+            .iter()
+            .any(|r| r.name == name && r.start <= line && line <= r.end)
+    }
+
+    /// The first line after `from` that carries code (for comment-only
+    /// suppression lines, the line they apply to).
+    pub fn next_code_line(&self, from: u32) -> Option<u32> {
+        let idx = self.lexed.tokens.partition_point(|t| t.line <= from);
+        self.lexed.tokens.get(idx).map(|t| t.line)
+    }
+}
+
+enum Directive {
+    Allow(Vec<String>),
+    RegionBegin(String),
+    RegionEnd(String),
+}
+
+/// Extracts the directive command from a comment, *anchored*: the
+/// comment (after its `//`/`/*` sigils and whitespace) must begin with
+/// `ppr-lint:`. Prose that merely mentions the marker mid-sentence —
+/// like this crate's own documentation — is not a directive.
+fn directive_text(comment: &str) -> Option<&str> {
+    let t = comment.trim_start();
+    let t = t
+        .strip_prefix("//")
+        .or_else(|| t.strip_prefix("/*"))
+        .unwrap_or(t);
+    let t = t.trim_start_matches(['/', '!']).trim_start();
+    Some(t.strip_prefix("ppr-lint:")?.trim())
+}
+
+/// Parses the text after `ppr-lint:`.
+fn parse_directive(cmd: &str) -> Result<Directive, String> {
+    if let Some(rest) = cmd.strip_prefix("allow(") {
+        let (inner, _prose) = rest
+            .split_once(')')
+            .ok_or_else(|| format!("unterminated allow(...) in {cmd:?}"))?;
+        let lints: Vec<String> = inner
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if lints.is_empty() {
+            return Err(format!("allow() names no lints in {cmd:?}"));
+        }
+        return Ok(Directive::Allow(lints));
+    }
+    if let Some(rest) = cmd.strip_prefix("region(") {
+        let (name, after) = rest
+            .split_once(')')
+            .ok_or_else(|| format!("unterminated region(...) in {cmd:?}"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("region() names no region in {cmd:?}"));
+        }
+        let keyword = after.split_whitespace().next().unwrap_or("");
+        return match keyword {
+            "begin" => Ok(Directive::RegionBegin(name.to_string())),
+            "end" => Ok(Directive::RegionEnd(name.to_string())),
+            _ => Err(format!(
+                "region({name}) must be followed by `begin` or `end`, got {keyword:?}"
+            )),
+        };
+    }
+    Err(format!(
+        "unknown directive {cmd:?} (expected allow(...) or region(...) begin|end)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directives_are_extracted() {
+        let src = "\
+let a = 1; // ppr-lint: allow(determinism) timing assertion only
+// ppr-lint: allow(env-hygiene, unsafe-containment)
+let b = 2;
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].line, 1);
+        assert_eq!(f.allows[0].lints, vec!["determinism"]);
+        assert_eq!(f.allows[1].lints, vec!["env-hygiene", "unsafe-containment"]);
+        assert_eq!(f.next_code_line(2), Some(3));
+        assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn regions_close_and_nest() {
+        let src = "\
+// ppr-lint: region(no-float) begin integer scoring
+let a = 1;
+// ppr-lint: region(no-float) begin inner
+let b = 2;
+// ppr-lint: region(no-float) end inner
+// ppr-lint: region(no-float) end
+let c = 3.0;
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.regions.len(), 2);
+        assert!(f.in_region("no-float", 2));
+        assert!(f.in_region("no-float", 4));
+        assert!(!f.in_region("no-float", 7));
+        assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn unmatched_and_malformed_directives_error() {
+        let src = "\
+// ppr-lint: region(no-float) begin
+// ppr-lint: region(other) end
+// ppr-lint: allow()
+// ppr-lint: frobnicate(x)
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.directive_errors.len(), 4, "{:?}", f.directive_errors);
+    }
+
+    #[test]
+    fn context_is_trimmed() {
+        let f = SourceFile::parse("x.rs", "    let x = 1;\n");
+        assert_eq!(f.context(1), "let x = 1;");
+        assert_eq!(f.context(9), "");
+    }
+}

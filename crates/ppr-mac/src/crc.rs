@@ -18,6 +18,9 @@
 //! reference the parity tests and the `crc32_*` bench rows compare
 //! against.
 
+// ppr-lint: region(no-float) begin — CRC table generation and folding
+// are pure integer paths; a float anywhere here could only mean a unit
+// mix-up (and floats in a `const fn` table would not even build).
 /// Generates the `N` CRC-32 lookup tables for the reflected IEEE 802.3
 /// polynomial `0xEDB88320`. `TABLES[0]` is the classic byte-at-a-time
 /// table; `TABLES[k][b]` is the CRC of byte `b` followed by `k` zero
@@ -153,6 +156,7 @@ pub fn append_crc32(data: &mut Vec<u8>) {
     let c = crc32(data);
     data.extend_from_slice(&c.to_le_bytes());
 }
+// ppr-lint: region(no-float) end
 
 #[cfg(test)]
 mod tests {

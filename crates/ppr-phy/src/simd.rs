@@ -36,7 +36,10 @@
 //! This module is the only place in the workspace that uses `unsafe`
 //! (the crate is `#![deny(unsafe_code)]`): every unsafe block is a
 //! `core::arch` intrinsic call guarded by the corresponding runtime
-//! feature check at dispatch time.
+//! feature check at dispatch time. The `unsafe-containment` lint
+//! (`cargo run -p ppr-lint`) enforces both halves mechanically — only
+//! this module may contain `unsafe`, and every site must carry a
+//! `// SAFETY:` justification.
 
 use crate::chips::{decide, Decision};
 use std::sync::OnceLock;
@@ -92,6 +95,9 @@ impl DespreadKernel {
     pub fn active() -> DespreadKernel {
         static ACTIVE: OnceLock<DespreadKernel> = OnceLock::new();
         *ACTIVE.get_or_init(|| {
+            // ppr-lint: allow(env-hygiene) — the documented kernel escape
+            // hatch; read once per process and cached, so it cannot make
+            // two despread calls in one run disagree.
             if std::env::var_os("PPR_NO_SIMD").is_some_and(|v| v == "1") {
                 return DespreadKernel::Scalar;
             }
@@ -233,6 +239,9 @@ mod x86 {
     /// lookup, then `maddubs`/`madd` to sum the four byte counts of each
     /// lane (counts ≤ 8 per byte, so the 16-bit partials cannot
     /// overflow).
+    // SAFETY: caller must ensure SSSE3 is available (`run_ssse3`
+    // asserts it); the body is pure register arithmetic — no memory
+    // access, no alignment or validity obligations.
     #[inline]
     #[target_feature(enable = "ssse3")]
     unsafe fn popcnt_epi32_sse(x: __m128i) -> __m128i {
@@ -246,6 +255,9 @@ mod x86 {
     }
 
     /// SSSE3 kernel: 4 received codewords per iteration.
+    // SAFETY: caller must ensure SSSE3 is available (`run_ssse3`
+    // asserts it). All loads/stores are `loadu`/`storeu` (no alignment
+    // requirement) on in-bounds `chunks_exact` slices and local arrays.
     #[target_feature(enable = "ssse3")]
     unsafe fn ssse3_batch(received: &[u32], out: &mut Vec<Decision>) {
         let mut chunks = received.chunks_exact(4);
@@ -274,6 +286,8 @@ mod x86 {
 
     /// Per-32-bit-lane popcount for 256-bit vectors (same nibble LUT,
     /// duplicated across both 128-bit halves for the in-lane `pshufb`).
+    // SAFETY: caller must ensure AVX2 is available (`run_avx2` asserts
+    // it); pure register arithmetic, no memory access.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn popcnt_epi32_avx2(x: __m256i) -> __m256i {
@@ -291,6 +305,9 @@ mod x86 {
     }
 
     /// AVX2 kernel: 8 received codewords per iteration.
+    // SAFETY: caller must ensure AVX2 is available (`run_avx2` asserts
+    // it). Unaligned `loadu`/`storeu` only, on in-bounds `chunks_exact`
+    // slices and local arrays.
     #[target_feature(enable = "avx2")]
     unsafe fn avx2_batch(received: &[u32], out: &mut Vec<Decision>) {
         let mut chunks = received.chunks_exact(8);
@@ -314,6 +331,10 @@ mod x86 {
 
     /// AVX-512 kernel: 16 received codewords per iteration with native
     /// per-lane popcount; the tail is a masked load, not a scalar loop.
+    // SAFETY: caller must ensure AVX512F + AVX512VPOPCNTDQ are
+    // available (`run_avx512` asserts both). The masked `loadu` reads
+    // only the `n` lanes covered by `mask`, all inside `received[i..]`;
+    // the store targets a local array.
     #[target_feature(enable = "avx512f,avx512vpopcntdq")]
     unsafe fn avx512_batch(received: &[u32], out: &mut Vec<Decision>) {
         let mut i = 0;

@@ -105,7 +105,10 @@ impl LinkStats {
 pub fn per_link_stats(env: &RadioEnv, recs: &[Reception]) -> Vec<((usize, usize), LinkStats)> {
     let links = env.links();
     let mut stats: Vec<LinkStats> = vec![LinkStats::default(); links.len()];
-    let index: std::collections::HashMap<(usize, usize), usize> =
+    // BTreeMap, not HashMap: output order is driven by `links`, but the
+    // experiment layer is deterministic *by construction* — no hashed
+    // iteration order anywhere it could someday leak into results.
+    let index: std::collections::BTreeMap<(usize, usize), usize> =
         links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     for rec in recs {
         let Some(&i) = index.get(&(rec.sender, rec.receiver)) else {

@@ -97,7 +97,7 @@ mod tests {
 
     #[test]
     fn registry_ids_are_unique_and_findable() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for exp in registry() {
             assert!(seen.insert(exp.id()), "duplicate id {}", exp.id());
             assert!(find(exp.id()).is_some());

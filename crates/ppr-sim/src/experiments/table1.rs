@@ -154,6 +154,9 @@ mod tests {
         let f16 = fig16::Fig16.run(&sc);
         let prior = vec![fig10.clone(), f03.clone(), f16.clone()];
 
+        // ppr-lint: allow(determinism) — wall-clock use is the point of
+        // this test (it asserts reuse does no recomputation); the timing
+        // never feeds simulation state.
         let t0 = std::time::Instant::now();
         let reused = Table1.run_with(&sc, &prior);
         let reuse_time = t0.elapsed();
