@@ -4,6 +4,9 @@
 //!   `O(L²)` and `O(L)` partition planners, up to L = 4096),
 //! * nearest-codeword despreading (the per-codeword receive cost),
 //! * the fast chip channel (geometric skipping vs dense Bernoulli),
+//! * sparse corruption across the geometric/mask crossover
+//!   (`corrupt_sparse`),
+//! * the DSP and CRC kernel ladders, tier by tier (`dsp_kernels`),
 //! * the feedback codec,
 //! * a full PP-ARQ session over a perfect pipe.
 
@@ -177,6 +180,125 @@ fn bench_packed_vs_bool(c: &mut Criterion) {
     });
 }
 
+/// Sparse corruption around the geometric/mask crossover: the packed
+/// sampler (one RNG draw per flip, geometric chip skipping) against the
+/// dense per-chip Bernoulli mask, at probabilities bracketing the
+/// measured p ≈ 0.029 break-even, plus the allocation-free in-place
+/// entry the feedback path uses.
+fn bench_corrupt_sparse(c: &mut Criterion) {
+    use ppr_channel::chip_channel::{
+        corrupt_chip_words, corrupt_chip_words_in_place, corrupt_chips, ErrorProfile,
+    };
+    use ppr_phy::chips::ChipWords;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let l = 100_000usize;
+    let chips: Vec<bool> = (0..l).map(|_| rng.gen()).collect();
+    let packed = ChipWords::from_bools(&chips);
+    let mut group = c.benchmark_group("corrupt_sparse_100k");
+    for p in [0.001f64, 0.01, 0.02, 0.029, 0.05] {
+        let profile = ErrorProfile::uniform(l as u64, p);
+        group.bench_with_input(BenchmarkId::new("bool", p), &p, |b, _| {
+            b.iter(|| corrupt_chips(black_box(&chips), black_box(&profile), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", p), &p, |b, _| {
+            b.iter(|| corrupt_chip_words(black_box(&packed), black_box(&profile), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("packed_inplace", p), &p, |b, _| {
+            b.iter(|| {
+                let mut w = packed.clone();
+                corrupt_chip_words_in_place(&mut w, black_box(&profile), &mut rng);
+                w
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The DSP backend kernel ladder (superposition, matched-filter bank,
+/// SOVA trellis — each tier this CPU offers vs the scalar reference it
+/// must bit-match) and the CRC-32 kernel ladder on a 1500 B packet.
+fn bench_dsp_kernels(c: &mut Criterion) {
+    use ppr_phy::complex::Complex32;
+    use ppr_phy::pulse::HalfSine;
+    use ppr_phy::simd::DspKernel;
+    use ppr_phy::sova;
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let cpx = |n: usize, rng: &mut StdRng| -> Vec<Complex32> {
+        (0..n)
+            .map(|_| Complex32 {
+                re: rng.gen_range(-1.0f32..1.0),
+                im: rng.gen_range(-1.0f32..1.0),
+            })
+            .collect()
+    };
+
+    let wave = cpx(4096, &mut rng);
+    let rot = Complex32 { re: 0.6, im: -0.8 };
+    let mut group = c.benchmark_group("dsp_axpy_4096");
+    for kernel in DspKernel::available() {
+        let mut out = cpx(wave.len(), &mut rng);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| kernel.axpy_rotated(&mut out, black_box(&wave), rot, 0.5))
+        });
+    }
+    group.finish();
+
+    let sps = 4usize;
+    let pulse = HalfSine::new(sps);
+    let n_chips = 1000usize;
+    let samples = cpx(n_chips * sps + pulse.len(), &mut rng);
+    let mut group = c.benchmark_group("dsp_demod_1000chips");
+    for kernel in DspKernel::available() {
+        let mut soft = Vec::with_capacity(n_chips);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                soft.clear();
+                kernel.demod_full_windows(
+                    black_box(&samples),
+                    pulse.samples(),
+                    pulse.energy(),
+                    0,
+                    sps,
+                    n_chips,
+                    true,
+                    &mut soft,
+                );
+            })
+        });
+    }
+    group.finish();
+
+    let bits: Vec<bool> = (0..500).map(|_| rng.gen()).collect();
+    let mut soft = sova::modulate_coded(&bits);
+    for s in &mut soft {
+        *s += rng.gen_range(-0.5f32..0.5);
+    }
+    let mut group = c.benchmark_group("dsp_sova_500bits");
+    for kernel in DspKernel::available() {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| kernel.sova_decode(black_box(&soft)))
+        });
+    }
+    group.finish();
+
+    let buf: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
+    let mut group = c.benchmark_group("crc32_1500B");
+    group.bench_function("1table", |b| {
+        b.iter(|| ppr_mac::crc::crc32_1table(black_box(&buf)))
+    });
+    group.bench_function("slice16", |b| {
+        b.iter(|| ppr_mac::crc::crc32_slice16(black_box(&buf)))
+    });
+    if ppr_mac::clmul::available() {
+        group.bench_function("clmul", |b| {
+            b.iter(|| ppr_mac::clmul::crc32_clmul(black_box(&buf)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_feedback_codec(c: &mut Criterion) {
     let bytes = vec![0xA5u8; 1500];
     let chunks: Vec<UnitRange> = (0..12)
@@ -222,6 +344,8 @@ criterion_group!(
     bench_lazy_decode,
     bench_chip_channel,
     bench_packed_vs_bool,
+    bench_corrupt_sparse,
+    bench_dsp_kernels,
     bench_feedback_codec,
     bench_pparq_session,
     bench_modem,

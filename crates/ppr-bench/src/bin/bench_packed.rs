@@ -1,15 +1,19 @@
 //! Quick-bench snapshot of the packed chip pipeline: times the
-//! packed-vs-bool stages at L ∈ {1k, 10k, 100k} chips, the chunking-DP
-//! planner ladder (`plan_chunks_{interval,quadratic,monotone}_L*`), the
-//! CRC-32 slice-by-16 vs 1-table rows, plus a small end-to-end reception
-//! run, and writes `BENCH_packed.json` (schema v3) so CI can archive the
-//! perf trajectory from PR 2 onward.
+//! packed-vs-bool stages at L ∈ {1k, 10k, 100k} chips (including the
+//! allocation-free in-place corruption entry), the chunking-DP planner
+//! ladder (`plan_chunks_{interval,quadratic,monotone}_L*`), the CRC-32
+//! ladder (1-table vs slice-by-16 vs PCLMULQDQ folding), the DSP kernel
+//! ladder (`dsp_{axpy,demod,sova}_<kernel>`), plus a small end-to-end
+//! reception run, and writes `BENCH_packed.json` (schema v4) so CI can
+//! archive the perf trajectory from PR 2 onward.
 //!
 //! Timings are coarse (tens of milliseconds per entry) on purpose — this
 //! is a smoke-level trend tracker, not a statistics engine; use
 //! `cargo bench -p ppr-bench` for interactive comparisons.
 
-use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr_channel::chip_channel::{
+    corrupt_chip_words, corrupt_chip_words_in_place, corrupt_chips, ErrorProfile,
+};
 use ppr_core::dp::{
     plan_chunks_interval, plan_chunks_monotone_with, plan_chunks_quadratic_with, ChunkScratch,
     CostModel,
@@ -17,8 +21,11 @@ use ppr_core::dp::{
 use ppr_core::runs::RunLengths;
 use ppr_mac::schemes::DeliveryScheme;
 use ppr_phy::chips::ChipWords;
+use ppr_phy::complex::Complex32;
 use ppr_phy::frame_rx::ChipReceiver;
-use ppr_phy::simd::DespreadKernel;
+use ppr_phy::pulse::HalfSine;
+use ppr_phy::simd::{DespreadKernel, DspKernel};
+use ppr_phy::sova;
 use ppr_sim::network::{generate_timeline, process_receptions, RadioEnv, RxArm, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +64,17 @@ fn main() {
             entries.push((
                 format!("corrupt_packed_{regime}_{l}"),
                 time_ns(|| corrupt_chip_words(&packed, &profile, &mut rng)),
+            ));
+            // The production shape since the feedback path went
+            // allocation-free: clone a packed template, corrupt it in
+            // place (the clone is a memcpy, not a per-chip rebuild).
+            entries.push((
+                format!("corrupt_packed_inplace_{regime}_{l}"),
+                time_ns(|| {
+                    let mut w = packed.clone();
+                    corrupt_chip_words_in_place(&mut w, &profile, &mut rng);
+                    w
+                }),
             ));
         }
         let rx = ChipReceiver::default();
@@ -157,8 +175,9 @@ fn main() {
         }
     }
 
-    // CRC-32 over a 1500 B packet: the sliced production kernel
-    // (slice-by-16) vs the pinned 1-table reference.
+    // CRC-32 over a 1500 B packet: the 1-table reference, the portable
+    // slice-by-16 kernel, and the PCLMULQDQ folding kernel the packet
+    // path dispatches to on CPUs that have it.
     {
         let buf: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
         entries.push((
@@ -167,8 +186,76 @@ fn main() {
         ));
         entries.push((
             "crc32_slice16_1500B".into(),
-            time_ns(|| ppr_mac::crc::crc32(&buf)),
+            time_ns(|| ppr_mac::crc::crc32_slice16(&buf)),
         ));
+        if ppr_mac::clmul::available() {
+            entries.push((
+                "crc32_clmul_1500B".into(),
+                time_ns(|| ppr_mac::clmul::crc32_clmul(&buf)),
+            ));
+        }
+    }
+
+    // DSP kernel ladder: each vector tier this CPU offers against the
+    // scalar reference, on the three kernels the sample-level pipeline
+    // dispatches — transmitter superposition (axpy), the matched-filter
+    // bank (demod), and the SOVA trellis.
+    {
+        let wave: Vec<Complex32> = (0..4096)
+            .map(|_| Complex32 {
+                re: rng.gen_range(-1.0f32..1.0),
+                im: rng.gen_range(-1.0f32..1.0),
+            })
+            .collect();
+        let rot = Complex32 { re: 0.6, im: -0.8 };
+        let mut out = vec![Complex32 { re: 0.0, im: 0.0 }; wave.len()];
+        for kernel in DspKernel::available() {
+            entries.push((
+                format!("dsp_axpy_{}_4096", kernel.name()),
+                time_ns(|| kernel.axpy_rotated(&mut out, &wave, rot, 0.5)),
+            ));
+        }
+
+        let sps = 4usize;
+        let pulse = HalfSine::new(sps);
+        let n_chips = 1000usize;
+        let samples: Vec<Complex32> = (0..n_chips * sps + pulse.len())
+            .map(|_| Complex32 {
+                re: rng.gen_range(-1.0f32..1.0),
+                im: rng.gen_range(-1.0f32..1.0),
+            })
+            .collect();
+        for kernel in DspKernel::available() {
+            let mut soft = Vec::with_capacity(n_chips);
+            entries.push((
+                format!("dsp_demod_{}_1000chips", kernel.name()),
+                time_ns(|| {
+                    soft.clear();
+                    kernel.demod_full_windows(
+                        &samples,
+                        pulse.samples(),
+                        pulse.energy(),
+                        0,
+                        sps,
+                        n_chips,
+                        true,
+                        &mut soft,
+                    );
+                }),
+            ));
+        }
+
+        let bits: Vec<bool> = (0..500).map(|_| rng.gen()).collect();
+        let mut soft = sova::modulate_coded(&bits);
+        for s in &mut soft {
+            *s += rng.gen_range(-0.5f32..0.5);
+        }
+        for kernel in DspKernel::available() {
+            entries.push((
+                format!("dsp_sova_{}_500bits", kernel.name()),
+                time_ns(|| kernel.sova_decode(&soft)),
+            ));
+        }
     }
 
     // Small end-to-end run through the parallel packed reception loop.
@@ -196,11 +283,12 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"ppr-bench-packed/v3\",\n  \"threads\": {},\n  \"despread_kernel\": \"{}\",\n",
+        "  \"schema\": \"ppr-bench-packed/v4\",\n  \"threads\": {},\n  \"despread_kernel\": \"{}\",\n  \"dsp_kernel\": \"{}\",\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-        DespreadKernel::active().name()
+        DespreadKernel::active().name(),
+        DspKernel::active().name()
     ));
     for (i, (name, v)) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };

@@ -184,14 +184,27 @@ pub fn corrupt_chips<R: Rng>(chips: &[bool], profile: &ErrorProfile, rng: &mut R
 /// Packed fast path of [`corrupt_chips`]: identical chip flips for a
 /// given seed (the shared draw contract), but jammed spans overwrite
 /// whole 64-chip lanes with one RNG word, collision-grade spans XOR one
-/// flip mask per lane, and sparse spans toggle single bits — no per-chip
-/// `Vec<bool>` traffic.
+/// flip mask per lane, and sparse spans make one in-bounds 64-bit XOR
+/// per flip — no per-chip `Vec<bool>` traffic, no per-flip assert
+/// formatting or tail re-masking.
 pub fn corrupt_chip_words<R: Rng>(
     chips: &ChipWords,
     profile: &ErrorProfile,
     rng: &mut R,
 ) -> ChipWords {
     let mut out = chips.clone();
+    corrupt_chip_words_in_place(&mut out, profile, rng);
+    out
+}
+
+/// In-place form of [`corrupt_chip_words`] for callers that own their
+/// chip buffer (the reception pipeline corrupts a freshly rendered frame
+/// it never reads clean again) — same draw contract, zero clone traffic.
+pub fn corrupt_chip_words_in_place<R: Rng>(
+    out: &mut ChipWords,
+    profile: &ErrorProfile,
+    rng: &mut R,
+) {
     let len = out.len();
     for &(start, end, p) in profile.spans() {
         if p < 1e-12 {
@@ -219,18 +232,69 @@ pub fn corrupt_chip_words<R: Rng>(
             });
             continue;
         }
-        // Sparse span: geometric skips, bit toggles.
-        for_each_geometric_flip(lo, hi, p, rng, |i| out.toggle(i));
+        // Sparse span: geometric skips, one unconditioned 64-bit XOR
+        // per flip. Batching flips into a per-lane mask flushed on lane
+        // change was measured *slower* here: at p ≈ 0.01 roughly a
+        // quarter of consecutive flips land in the same lane, so the
+        // lane-change branch mispredicts (~+6 ns/flip) while saving no
+        // work — see docs/PERF.md §Channel corruption. The sampler
+        // guarantees `i < hi ≤ len`, so the in-bounds toggle applies.
+        let mut flips = GeometricFlips::new(lo, hi, p);
+        while let Some(i) = flips.next(rng) {
+            out.toggle_in_bounds(i);
+        }
     }
-    out
 }
 
-/// Geometric-skip sampler of the sparse regime: visits each flipped chip
+/// Geometric-skip sampler of the sparse regime: yields each flipped chip
 /// index of `[lo, hi)` under per-chip error probability `p`, jumping
 /// straight to the next error instead of rolling a Bernoulli per chip —
 /// for good links (p ~ 1e-6) this is what makes minutes of simulated
 /// airtime cheap. One `f64` draw per skip; single-sourced here so the
 /// reference and packed corruption paths cannot drift apart.
+///
+/// The running index is accumulated in `i64`, not `f64`: with the
+/// `p ≥ 1e-12` guard the largest possible skip is
+/// `ln(f64::MIN_POSITIVE)/ln(1-p) ≈ 745/1e-12 < 2^53`, so every skip is
+/// an exactly representable integer-valued f64 and integer accumulation
+/// visits bit-identical indices while keeping the hot loop free of f64
+/// compare/convert traffic. The `(u.ln() / q).floor()` expression itself
+/// is part of the draw contract and must not be rearranged (e.g. into a
+/// reciprocal multiply).
+struct GeometricFlips {
+    idx: i64,
+    hi: i64,
+    q: f64, // ln(1 - p), accurate for small p via ln_1p
+}
+
+impl GeometricFlips {
+    fn new(lo: usize, hi: usize, p: f64) -> Self {
+        GeometricFlips {
+            // Start one position before the span so the first chip can err.
+            idx: lo as i64 - 1,
+            hi: hi as i64,
+            q: (-p).ln_1p(),
+        }
+    }
+
+    #[inline]
+    fn next<R: Rng>(&mut self, rng: &mut R) -> Option<usize> {
+        loop {
+            let u: f64 = rng.gen();
+            if u <= f64::MIN_POSITIVE {
+                continue;
+            }
+            self.idx += (u.ln() / self.q).floor() as i64 + 1;
+            if self.idx >= self.hi {
+                return None;
+            }
+            return Some(self.idx as usize);
+        }
+    }
+}
+
+/// Reference-path driver over [`GeometricFlips`], kept as a named seam
+/// for the edge-case proptests in `tests/packed_parity.rs`.
 fn for_each_geometric_flip<R: Rng>(
     lo: usize,
     hi: usize,
@@ -238,19 +302,9 @@ fn for_each_geometric_flip<R: Rng>(
     rng: &mut R,
     mut flip: impl FnMut(usize),
 ) {
-    let q = (-p).ln_1p(); // ln(1 - p), accurate for small p
-                          // Start one position before the span so the first chip can err.
-    let mut idx = lo as f64 - 1.0;
-    loop {
-        let u: f64 = rng.gen();
-        if u <= f64::MIN_POSITIVE {
-            continue;
-        }
-        idx += (u.ln() / q).floor() + 1.0;
-        if idx >= hi as f64 {
-            break;
-        }
-        flip(idx as usize);
+    let mut flips = GeometricFlips::new(lo, hi, p);
+    while let Some(i) = flips.next(rng) {
+        flip(i);
     }
 }
 
@@ -258,6 +312,19 @@ fn for_each_geometric_flip<R: Rng>(
 /// flips per 64-chip block (< ~1.3) make the geometric sampler cheaper;
 /// above it the per-flip `ln()` of the geometric sampler loses to the
 /// ~7 expected RNG words of [`bernoulli_mask64`].
+///
+/// Re-measured 2026-08 against the reworked sparse path (PR 7) by
+/// sweeping `corrupt_chip_words` over p at 100k chips (repro:
+/// `docs/PERF.md` §Channel corruption): the geometric path costs
+/// ~15 ns per expected flip (one f64 draw + `ln` + divide), i.e.
+/// ~15·p ns/chip, while the mask path is flat at ~0.43 ns/chip
+/// (~7.3 RNG words per 64-chip lane), putting the true crossover near
+/// p ≈ 0.029. The boundary nevertheless stays at 0.02: it is part of
+/// the RNG draw contract (which regime draws for a given p), and moving
+/// it re-randomizes every experiment with spans in p ∈ [0.02, 0.03) —
+/// verified to break the golden registry fingerprint. The cost curves
+/// are within ~30% of each other across that band, so the pinned
+/// boundary gives up little.
 const BLOCK_FLIP_MIN_P: f64 = 0.02;
 
 /// Binary expansion of a probability `p ∈ [0, 1)` as a 64-bit fraction

@@ -35,7 +35,10 @@ pub mod pathloss;
 pub mod sample_channel;
 
 pub use ber::{chip_error_prob, sinr};
-pub use chip_channel::{codeword_flip_counts, corrupt_chip_words, corrupt_chips, ErrorProfile};
+pub use chip_channel::{
+    codeword_flip_counts, corrupt_chip_words, corrupt_chip_words_in_place, corrupt_chips,
+    ErrorProfile,
+};
 pub use overlap::{interference_profile, HeardTx, InterferenceSpan};
 pub use pathloss::{Link, PathLossModel};
 pub use sample_channel::{render, render_single, WaveformTx};

@@ -10,6 +10,7 @@
 use crate::pathloss::sample_normal;
 use ppr_phy::complex::Complex32;
 use ppr_phy::modem::MskModem;
+use ppr_phy::simd::DspKernel;
 use rand::Rng;
 
 /// One transmission to superpose at a receiver.
@@ -38,7 +39,10 @@ pub fn render<R: Rng>(
     rng: &mut R,
 ) -> Vec<Complex32> {
     let mut out = vec![Complex32::ZERO; duration_samples];
-    // Noise first: σ² per rail = noise_mw / 2.
+    // Noise first: σ² per rail = noise_mw / 2. This loop stays scalar
+    // on purpose — each sample draws two sequential Box–Muller values,
+    // so vectorizing it would reorder the RNG stream and change every
+    // downstream result.
     if noise_mw > 0.0 {
         let sigma = (noise_mw / 2.0).sqrt() as f32;
         for s in &mut out {
@@ -46,17 +50,23 @@ pub fn render<R: Rng>(
             s.im += sigma * sample_normal(rng) as f32;
         }
     }
+    let kernel = DspKernel::active();
     for tx in txs {
         let amp = (tx.power_mw as f32).sqrt();
         let rot = Complex32::from_polar(1.0, tx.phase);
         let wave = modem.modulate(&tx.chips);
-        for (i, &w) in wave.iter().enumerate() {
-            let idx = tx.start_sample + i;
-            if idx >= duration_samples {
-                break;
-            }
-            out[idx] += (w * rot).scale(amp);
+        if tx.start_sample >= duration_samples {
+            continue;
         }
+        // Clip to the buffer, then superpose `out += (wave · rot) · amp`
+        // with the active DSP kernel (bit-identical across kernels).
+        let n = wave.len().min(duration_samples - tx.start_sample);
+        kernel.axpy_rotated(
+            &mut out[tx.start_sample..tx.start_sample + n],
+            &wave[..n],
+            rot,
+            amp,
+        );
     }
     out
 }

@@ -1,4 +1,5 @@
-//! `ppr-lint.toml`: the pinned-debt baseline.
+//! `ppr-lint.toml`: the pinned-debt baseline and the configured
+//! `unsafe` allowlist.
 //!
 //! A baseline entry is one pre-existing violation, recorded as
 //! `"path:line:lint"` with the path relative to the workspace root.
@@ -8,12 +9,20 @@
 //! file, line or lint) still fail. `--fix-baseline` regenerates the
 //! file from the current findings.
 //!
-//! The format is a deliberately tiny TOML subset — one top-level
-//! `baseline = [ "…", … ]` string array plus `#` comments — parsed by
-//! hand because the workspace vendors no TOML crate. Line numbers in a
-//! baseline go stale when files are edited above an entry; that is the
-//! standard trade-off of line-keyed baselines, and the answer is to
-//! re-run `--fix-baseline` (the diff shows exactly which debt moved).
+//! `unsafe-allowlist` entries are workspace-relative path prefixes that
+//! may contain `unsafe`, *in addition to* the built-in allowlist in
+//! [`crate::lints`]. Allowlisting a module never waives the per-site
+//! `// SAFETY:` requirement. Growing this list is a deliberate,
+//! reviewed act — which is exactly why it lives in the checked-in
+//! config rather than in a code edit to the lint tool.
+//!
+//! The format is a deliberately tiny TOML subset — top-level
+//! `baseline = [ "…", … ]` / `unsafe-allowlist = [ "…", … ]` string
+//! arrays plus `#` comments — parsed by hand because the workspace
+//! vendors no TOML crate. Line numbers in a baseline go stale when
+//! files are edited above an entry; that is the standard trade-off of
+//! line-keyed baselines, and the answer is to re-run `--fix-baseline`
+//! (the diff shows exactly which debt moved).
 
 use std::fmt;
 use std::path::Path;
@@ -65,6 +74,26 @@ impl BaselineEntry {
 pub struct Config {
     /// Pinned pre-existing violations.
     pub baseline: Vec<BaselineEntry>,
+    /// Path prefixes allowed to contain `unsafe`, on top of the
+    /// built-in allowlist (`// SAFETY:` comments are still required at
+    /// every site).
+    pub unsafe_allowlist: Vec<String>,
+}
+
+/// Which top-level array a config line belongs to.
+#[derive(Debug, Clone, Copy)]
+enum ArrayKey {
+    Baseline,
+    UnsafeAllowlist,
+}
+
+impl ArrayKey {
+    fn name(self) -> &'static str {
+        match self {
+            ArrayKey::Baseline => "baseline",
+            ArrayKey::UnsafeAllowlist => "unsafe-allowlist",
+        }
+    }
 }
 
 impl Config {
@@ -80,38 +109,48 @@ impl Config {
 
     /// Parses the TOML subset described in the module docs.
     pub fn parse(text: &str) -> Result<Config, String> {
-        let mut baseline = Vec::new();
-        let mut in_array = false;
+        let mut cfg = Config::default();
+        let mut open: Option<ArrayKey> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line = strip_toml_comment(raw).trim().to_string();
             if line.is_empty() {
                 continue;
             }
-            if !in_array {
-                if let Some(rest) = line.strip_prefix("baseline") {
-                    let rest = rest.trim_start();
+            let (key, rest) = match open {
+                Some(key) => (key, line.as_str()),
+                None => {
+                    // `unsafe-allowlist` must be tried first: neither key
+                    // is a prefix of the other today, but keeping the
+                    // longer match first is cheap insurance.
+                    let key = if line.starts_with("unsafe-allowlist") {
+                        ArrayKey::UnsafeAllowlist
+                    } else if line.starts_with("baseline") {
+                        ArrayKey::Baseline
+                    } else {
+                        return Err(format!(
+                            "line {}: unsupported config line {line:?} (only `baseline = [...]`, \
+                             `unsafe-allowlist = [...]` and comments)",
+                            idx + 1
+                        ));
+                    };
+                    let rest = line[key.name().len()..].trim_start();
                     let rest = rest
                         .strip_prefix('=')
-                        .ok_or_else(|| format!("line {}: expected `baseline = [`", idx + 1))?
+                        .ok_or_else(|| format!("line {}: expected `{} = [`", idx + 1, key.name()))?
                         .trim_start();
-                    let rest = rest
-                        .strip_prefix('[')
-                        .ok_or_else(|| format!("line {}: expected `baseline = [`", idx + 1))?;
-                    in_array = !consume_array_items(rest, &mut baseline, idx)?;
-                } else {
-                    return Err(format!(
-                        "line {}: unsupported config line {line:?} (only `baseline = [...]` and comments)",
-                        idx + 1
-                    ));
+                    let rest = rest.strip_prefix('[').ok_or_else(|| {
+                        format!("line {}: expected `{} = [`", idx + 1, key.name())
+                    })?;
+                    (key, rest)
                 }
-            } else {
-                in_array = !consume_array_items(&line, &mut baseline, idx)?;
-            }
+            };
+            let closed = consume_array_items(rest, key, &mut cfg, idx)?;
+            open = if closed { None } else { Some(key) };
         }
-        if in_array {
-            return Err("unterminated baseline array".to_string());
+        if let Some(key) = open {
+            return Err(format!("unterminated {} array", key.name()));
         }
-        Ok(Config { baseline })
+        Ok(cfg)
     }
 
     /// Renders the config back to the file format (`--fix-baseline`).
@@ -126,6 +165,21 @@ impl Config {
         } else {
             out.push_str("baseline = [\n");
             let mut entries = self.baseline.clone();
+            entries.sort();
+            for e in entries {
+                out.push_str(&format!("    \"{e}\",\n"));
+            }
+            out.push_str("]\n");
+        }
+        out.push_str(
+            "\n# Modules (path prefixes) allowed to contain `unsafe`, on top of the\n\
+             # built-in allowlist; every site still needs a `// SAFETY:` comment.\n",
+        );
+        if self.unsafe_allowlist.is_empty() {
+            out.push_str("unsafe-allowlist = []\n");
+        } else {
+            out.push_str("unsafe-allowlist = [\n");
+            let mut entries = self.unsafe_allowlist.clone();
             entries.sort();
             for e in entries {
                 out.push_str(&format!("    \"{e}\",\n"));
@@ -150,11 +204,12 @@ fn strip_toml_comment(line: &str) -> &str {
     line
 }
 
-/// Consumes quoted entries from one line of the array body; returns
-/// `true` when the closing `]` was seen.
+/// Consumes quoted entries from one line of an array body into the
+/// field `key` selects; returns `true` when the closing `]` was seen.
 fn consume_array_items(
     mut rest: &str,
-    baseline: &mut Vec<BaselineEntry>,
+    key: ArrayKey,
+    cfg: &mut Config,
     idx: usize,
 ) -> Result<bool, String> {
     loop {
@@ -170,11 +225,19 @@ fn consume_array_items(
         }
         let inner = rest
             .strip_prefix('"')
-            .ok_or_else(|| format!("line {}: expected quoted baseline entry", idx + 1))?;
+            .ok_or_else(|| format!("line {}: expected quoted {} entry", idx + 1, key.name()))?;
         let (entry, after) = inner
             .split_once('"')
             .ok_or_else(|| format!("line {}: unterminated string", idx + 1))?;
-        baseline.push(BaselineEntry::parse(entry)?);
+        match key {
+            ArrayKey::Baseline => cfg.baseline.push(BaselineEntry::parse(entry)?),
+            ArrayKey::UnsafeAllowlist => {
+                if entry.is_empty() {
+                    return Err(format!("line {}: empty unsafe-allowlist entry", idx + 1));
+                }
+                cfg.unsafe_allowlist.push(entry.to_string());
+            }
+        }
         rest = after;
     }
 }
@@ -190,12 +253,14 @@ mod tests {
                 BaselineEntry::parse("crates/a/src/x.rs:12:determinism").unwrap(),
                 BaselineEntry::parse("src/lib.rs:3:env-hygiene").unwrap(),
             ],
+            unsafe_allowlist: vec!["crates/b/src/intrinsics.rs".to_string()],
         };
         let text = cfg.render();
         let back = Config::parse(&text).unwrap();
         let mut want = cfg.baseline.clone();
         want.sort();
         assert_eq!(back.baseline, want);
+        assert_eq!(back.unsafe_allowlist, cfg.unsafe_allowlist);
     }
 
     #[test]
@@ -207,10 +272,31 @@ mod tests {
     }
 
     #[test]
+    fn unsafe_allowlist_parses() {
+        let cfg = Config::parse(
+            "baseline = []\n\
+             unsafe-allowlist = [\n\
+                 \"crates/x/src/simd.rs\",  # kernels\n\
+                 \"crates/y/src/clmul.rs\",\n\
+             ]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.unsafe_allowlist,
+            vec!["crates/x/src/simd.rs", "crates/y/src/clmul.rs"]
+        );
+        // The key alone, no baseline, is valid too.
+        let cfg = Config::parse("unsafe-allowlist = []\n").unwrap();
+        assert!(cfg.unsafe_allowlist.is_empty());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(Config::parse("baseline = [\n\"a.rs:1:determinism\"\n").is_err());
         assert!(Config::parse("hashes = 3\n").is_err());
         assert!(Config::parse("baseline = [\"no-line-field\"]\n").is_err());
+        assert!(Config::parse("unsafe-allowlist = [\"\"]\n").is_err());
+        assert!(Config::parse("unsafe-allowlist = [\n\"a.rs\"\n").is_err());
         assert!(BaselineEntry::parse("a.rs:x:determinism").is_err());
         assert!(BaselineEntry::parse("a.rs:3:").is_err());
     }

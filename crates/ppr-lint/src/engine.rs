@@ -106,6 +106,9 @@ impl Report {
             .collect();
         Config {
             baseline: entries.into_iter().collect(),
+            // Policy, not debt: the caller decides whether to carry the
+            // configured allowlist over (the CLI does).
+            unsafe_allowlist: Vec::new(),
         }
     }
 }
@@ -129,7 +132,7 @@ pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let rel = rel_path(root, path);
         let file = SourceFile::parse(&rel, &text);
-        for finding in check_file(&file) {
+        for finding in check_file(&file, cfg) {
             if finding.lint != "directive" && is_suppressed(&file, &finding) {
                 report.suppressed.push(finding);
             } else if let Some(i) = cfg.baseline.iter().position(|e| {
@@ -253,6 +256,28 @@ mod tests {
         let report3 = run(&ws, &cfg).unwrap();
         assert!(report3.is_clean());
         assert_eq!(report3.stale_baseline.len(), 1);
+        let _ = std::fs::remove_dir_all(&ws);
+    }
+
+    #[test]
+    fn config_unsafe_allowlist_applies_end_to_end() {
+        let ws = temp_ws("unsafecfg");
+        write(
+            &ws,
+            "crates/ppr-mac/src/clmul.rs",
+            "// SAFETY: pclmulqdq checked by the dispatcher.\nunsafe fn fold() {}\n",
+        );
+        // Without the config entry the module fails containment…
+        let report = run(&ws, &Config::default()).unwrap();
+        assert_eq!(report.failing.len(), 1);
+        assert_eq!(report.failing[0].lint, "unsafe-containment");
+        // …and with it the run is clean (no baseline involved).
+        let cfg = Config {
+            unsafe_allowlist: vec!["crates/ppr-mac/src/clmul.rs".to_string()],
+            ..Config::default()
+        };
+        let report = run(&ws, &cfg).unwrap();
+        assert!(report.is_clean(), "{}", report.render(true));
         let _ = std::fs::remove_dir_all(&ws);
     }
 

@@ -20,6 +20,7 @@
 //! in this codebase — idiomatic std names, spelled out — which review
 //! keeps true.
 
+use crate::config::Config;
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 
@@ -62,8 +63,10 @@ const DETERMINISTIC_SCOPES: [&str; 6] = [
 /// and benchmarks — never simulation or protocol code).
 const TIMING_EXEMPT_SCOPES: [&str; 2] = ["crates/ppr-bench/", "crates/ppr-cli/"];
 
-/// The only modules allowed to contain `unsafe` (each must justify
-/// every site with a `// SAFETY:` comment).
+/// The built-in modules allowed to contain `unsafe` (each must justify
+/// every site with a `// SAFETY:` comment). Further modules are added
+/// through the `unsafe-allowlist` array in `ppr-lint.toml` — a config
+/// edit is reviewable debt, a lint-tool edit is not.
 const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/ppr-phy/src/simd.rs"];
 
 /// Files/crates allowed to read environment variables. Everything else
@@ -79,12 +82,14 @@ fn in_scope(path: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| path.starts_with(s))
 }
 
-/// Runs every lint over one file.
-pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+/// Runs every lint over one file. `cfg` supplies the configured
+/// extension of the `unsafe` allowlist; the baseline is applied later
+/// by the engine, not here.
+pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
     directive_lint(file, &mut findings);
     determinism_lint(file, &mut findings);
-    unsafe_containment_lint(file, &mut findings);
+    unsafe_containment_lint(file, cfg, &mut findings);
     no_float_lint(file, &mut findings);
     env_hygiene_lint(file, &mut findings);
     findings.sort_by_key(|f| f.line);
@@ -191,13 +196,18 @@ fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
     ) && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(TokenKind::Ident(n)) if n == "now")
 }
 
-/// `unsafe-containment`: `unsafe` only in the allowlist, and every site
+/// `unsafe-containment`: `unsafe` only in the allowlist (the built-in
+/// set unioned with the config's `unsafe-allowlist`), and every site
 /// justified by a `// SAFETY:` comment (same line, or immediately above
 /// across attribute/comment/blank lines).
-fn unsafe_containment_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+fn unsafe_containment_lint(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     let allowlisted = UNSAFE_ALLOWLIST
         .iter()
-        .any(|m| file.rel_path.starts_with(m));
+        .any(|m| file.rel_path.starts_with(m))
+        || cfg
+            .unsafe_allowlist
+            .iter()
+            .any(|m| file.rel_path.starts_with(m.as_str()));
     for tok in &file.lexed.tokens {
         let TokenKind::Ident(name) = &tok.kind else {
             continue;
@@ -210,8 +220,9 @@ fn unsafe_containment_lint(file: &SourceFile, out: &mut Vec<Finding>) {
                 file,
                 tok.line,
                 "unsafe-containment",
-                "`unsafe` outside the allowlisted module set (currently ppr_phy::simd); \
-                 extend the allowlist deliberately or keep the code safe"
+                "`unsafe` outside the allowlisted module set (built in: ppr_phy::simd; \
+                 configured: the `unsafe-allowlist` array in ppr-lint.toml); extend the \
+                 allowlist deliberately or keep the code safe"
                     .to_string(),
             ));
         } else if !has_safety_comment(file, tok.line) {
@@ -330,7 +341,7 @@ mod tests {
     use super::*;
 
     fn check(path: &str, src: &str) -> Vec<Finding> {
-        check_file(&SourceFile::parse(path, src))
+        check_file(&SourceFile::parse(path, src), &Config::default())
     }
 
     #[test]
@@ -382,6 +393,29 @@ unsafe fn g() {}
         // Same-line SAFETY.
         let ok2 = "let x = unsafe { p.read() }; // SAFETY: p is valid.\n";
         assert!(check("crates/ppr-phy/src/simd.rs", ok2).is_empty());
+    }
+
+    #[test]
+    fn configured_unsafe_allowlist_extends_builtin() {
+        let src = "// SAFETY: feature checked at dispatch.\nunsafe fn g() {}\n";
+        let cfg = Config {
+            unsafe_allowlist: vec!["crates/ppr-mac/src/clmul.rs".to_string()],
+            ..Config::default()
+        };
+        // Configured module: allowed (with SAFETY), like the built-in one.
+        let f = check_file(&SourceFile::parse("crates/ppr-mac/src/clmul.rs", src), &cfg);
+        assert!(f.is_empty(), "{f:?}");
+        // The SAFETY requirement is not waived by configuration.
+        let f = check_file(
+            &SourceFile::parse("crates/ppr-mac/src/clmul.rs", "unsafe fn g() {}\n"),
+            &cfg,
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SAFETY"));
+        // Other modules still fail even with the config present.
+        let f = check_file(&SourceFile::parse("crates/ppr-mac/src/crc.rs", src), &cfg);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "unsafe-containment");
     }
 
     #[test]

@@ -110,7 +110,10 @@ fn main() -> ExitCode {
     };
 
     if args.fix_baseline {
-        let new_cfg = report.as_baseline();
+        let mut new_cfg = report.as_baseline();
+        // The baseline is regenerated; the unsafe allowlist is policy,
+        // not debt, and carries over verbatim.
+        new_cfg.unsafe_allowlist = cfg.unsafe_allowlist.clone();
         let n = new_cfg.baseline.len();
         if let Err(e) = std::fs::write(&config_path, new_cfg.render()) {
             eprintln!("ppr-lint: writing {}: {e}", config_path.display());

@@ -6,15 +6,18 @@
 //! verification checksums, where 4 bytes of check over ~10 bytes of data
 //! would be disproportionate.
 //!
-//! [`crc32`] runs **sliced**: `const fn`-generated shift tables fold a
-//! whole block of input per step (one table lookup per byte, but the
-//! lookups within a block are independent — no serial 8-bit shift chain
-//! between them), which is what makes the 1500 B packet-CRC check cheap
-//! enough to no longer dominate a demand-driven frame decode. The table
-//! generator is block-size-generic; the shipped kernel slices 16 bytes
-//! (slice-by-8 measured ~3.7× over the byte-at-a-time loop on the CI
-//! container — halving the serial chain again clears 4×). The classic
-//! 1-table byte-at-a-time form is kept as [`crc32_1table`], the pinned
+//! [`crc32`] dispatches between two kernels: buffers of 64 bytes and
+//! up use the PCLMULQDQ folding kernel in [`crate::clmul`] when the
+//! CPU has it; everything else runs [`crc32_slice16`] — `const
+//! fn`-generated shift tables folding a whole block of input per step
+//! (one table lookup per byte, but the lookups within a block are
+//! independent — no serial 8-bit shift chain between them), which is
+//! what makes the 1500 B packet-CRC check cheap enough to no longer
+//! dominate a demand-driven frame decode. The table generator is
+//! block-size-generic; the shipped kernel slices 16 bytes (slice-by-8
+//! measured ~3.7× over the byte-at-a-time loop on the CI container —
+//! halving the serial chain again clears 4×). The classic 1-table
+//! byte-at-a-time form is kept as [`crc32_1table`], the pinned
 //! reference the parity tests and the `crc32_*` bench rows compare
 //! against.
 
@@ -78,12 +81,29 @@ const fn crc16_table() -> [u16; 256] {
     table
 }
 
-const CRC32_TABLES: [[u32; 256]; 16] = crc32_tables();
+pub(crate) const CRC32_TABLES: [[u32; 256]; 16] = crc32_tables();
 const CRC16_TABLE: [u16; 256] = crc16_table();
 
 /// CRC-32/ISO-HDLC (the "zlib" CRC): reflected, init `0xFFFFFFFF`, final
-/// XOR `0xFFFFFFFF`. Slice-by-16; bit-identical to [`crc32_1table`].
+/// XOR `0xFFFFFFFF`.
+///
+/// Dispatches once per call on buffer size: packets of 64 bytes and up
+/// go through the PCLMULQDQ folding kernel
+/// ([`crc32_clmul`](crate::clmul::crc32_clmul)) when the CPU supports
+/// it and `PPR_NO_SIMD=1` is not set; everything else (and every
+/// pre-SSE4.1 machine) takes the sliced table kernel
+/// [`crc32_slice16`]. All paths are bit-identical.
 pub fn crc32(data: &[u8]) -> u32 {
+    if data.len() >= 64 && crate::clmul::available() {
+        return crate::clmul::crc32_clmul(data);
+    }
+    crc32_slice16(data)
+}
+
+/// The slice-by-16 table kernel — the pinned portable reference the
+/// CLMUL kernel is parity-tested against, and the CRC every target
+/// without `pclmulqdq` computes. Bit-identical to [`crc32_1table`].
+pub fn crc32_slice16(data: &[u8]) -> u32 {
     let t = &CRC32_TABLES;
     let mut crc = 0xFFFF_FFFFu32;
     let mut chunks = data.chunks_exact(16);
@@ -182,6 +202,8 @@ mod tests {
         };
         for len in (0usize..=64).chain([100, 1023, 1500, 4096]) {
             let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+            assert_eq!(crc32_slice16(&buf), crc32_1table(&buf), "len {len}");
+            // The public dispatcher (whatever kernel it picks) agrees.
             assert_eq!(crc32(&buf), crc32_1table(&buf), "len {len}");
         }
     }

@@ -6,6 +6,9 @@
 //!
 //! * [`crc`] — table-driven CRC-32 (IEEE) and CRC-16 (CCITT), built from
 //!   scratch.
+//! * [`clmul`] — PCLMULQDQ CRC-32 folding for packet-sized buffers,
+//!   with compile-time-derived constants; the workspace's second
+//!   `unsafe`-allowlisted module (see `ppr-lint.toml`).
 //! * [`frame`] — the Fig. 2 frame: header (`len`,`dst`,`src`,`seq` +
 //!   CRC-16), body, packet CRC-32, and a **trailer replicating the
 //!   header** so the frame is decodable from either end.
@@ -16,9 +19,14 @@
 //!   (hint-threshold) delivery.
 //! * [`csma`] — the carrier-sense rule toggled across experiments.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `clmul` module carries a scoped
+// `#[allow(unsafe_code)]` for its `core::arch` intrinsics, exactly like
+// `ppr_phy::simd`. The unsafe-containment lint enforces that no other
+// module does.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clmul;
 pub mod crc;
 pub mod csma;
 pub mod frame;

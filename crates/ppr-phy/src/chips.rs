@@ -288,6 +288,19 @@ impl ChipWords {
         self.words[i / 64] ^= 1 << (i % 64);
     }
 
+    /// Flips chip `i` on the hot path: the caller guarantees `i < len`
+    /// (only debug-asserted). A caller that breaks that contract either
+    /// panics on the word index or flips a canonical-zero tail bit,
+    /// corrupting equality comparisons — use [`Self::toggle`] unless the
+    /// bound is already established. The sparse corruption loop lives on
+    /// this: one predictable slice check and one 64-bit XOR per flip,
+    /// with no per-flip assert formatting or tail re-masking.
+    #[inline]
+    pub fn toggle_in_bounds(&mut self, i: usize) {
+        debug_assert!(i < self.len, "chip index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
     /// Appends one chip.
     pub fn push(&mut self, chip: bool) {
         if self.len.is_multiple_of(64) {

@@ -8,7 +8,12 @@
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 
 /// A complex baseband sample, `re + j·im`, in 32-bit floats.
+///
+/// `#[repr(C)]` is load-bearing: the DSP SIMD kernels
+/// ([`crate::simd`]) reinterpret `&[Complex32]` as interleaved
+/// `[re, im, re, im, …]` `f32`s, which requires this exact layout.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex32 {
     /// In-phase (real) component.
     pub re: f32,

@@ -56,7 +56,7 @@ pub use complex::Complex32;
 pub use frame_rx::{ChipReceiver, ChipStream, SampleReceiver};
 pub use modem::MskModem;
 pub use sample_buf::SampleBuffer;
-pub use simd::{decide_batch, DespreadKernel};
+pub use simd::{decide_batch, DespreadKernel, DspKernel};
 pub use softphy::{SoftSpan, SoftSymbol};
 pub use sync::{SyncHit, SyncKind, SyncPattern};
 pub use view::SymbolView;

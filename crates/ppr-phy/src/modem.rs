@@ -104,6 +104,12 @@ impl MskModem {
     /// Demodulates `n_chips` chips starting at sample offset `start`,
     /// where the chip at `start` has parity `first_chip_even` (controls
     /// which rail it is read from). Returns one soft value per chip.
+    ///
+    /// Chips whose full correlation window lies inside `samples` run
+    /// through the process-wide
+    /// [`DspKernel`](crate::simd::DspKernel) matched-filter bank
+    /// (bit-identical to [`Self::chip_soft_value`]); truncated tail
+    /// chips keep the scalar loop and its graceful mid-pulse cutoff.
     pub fn demodulate(
         &self,
         samples: &[Complex32],
@@ -111,12 +117,28 @@ impl MskModem {
         n_chips: usize,
         first_chip_even: bool,
     ) -> Vec<f32> {
-        (0..n_chips)
-            .map(|k| {
-                let even = (k % 2 == 0) == first_chip_even;
-                self.chip_soft_value(samples, start + k * self.sps, even)
-            })
-            .collect()
+        let plen = self.pulse.len();
+        let full = if samples.len() >= start + plen {
+            ((samples.len() - start - plen) / self.sps + 1).min(n_chips)
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(n_chips);
+        crate::simd::DspKernel::active().demod_full_windows(
+            samples,
+            self.pulse.samples(),
+            self.pulse.energy(),
+            start,
+            self.sps,
+            full,
+            first_chip_even,
+            &mut out,
+        );
+        for k in full..n_chips {
+            let even = (k % 2 == 0) == first_chip_even;
+            out.push(self.chip_soft_value(samples, start + k * self.sps, even));
+        }
+        out
     }
 
     /// Convenience: demodulate and slice soft values into hard chips.

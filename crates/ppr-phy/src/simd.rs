@@ -1,4 +1,19 @@
-//! Vectorized nearest-codeword despreading.
+//! Runtime-dispatched SIMD kernels: despreading and the DSP backend.
+//!
+//! Two kernel families live here, sharing one discipline — a portable
+//! scalar reference, runtime feature detection, a cached process-wide
+//! choice, and the `PPR_NO_SIMD=1` escape hatch:
+//!
+//! * [`DespreadKernel`] — the vectorized nearest-codeword scan (PR 6).
+//! * [`DspKernel`] — the sample-level DSP backend's inner loops
+//!   (this PR): waveform superposition ([`DspKernel::axpy_rotated`]),
+//!   the matched-filter bank ([`DspKernel::demod_full_windows`]) and
+//!   the SOVA trellis passes ([`DspKernel::sova_decode`]). Every
+//!   kernel is **bit-identical** to its scalar reference — mandatory,
+//!   because the collision-anatomy experiment (Fig. 13) feeds the DSP
+//!   path into the pinned golden-registry fingerprint.
+//!
+//! ## Despreading
 //!
 //! [`chips::decide`](crate::chips::decide) scans all sixteen codewords of
 //! the 802.15.4 book with an XOR + popcount per candidate — 16 popcounts
@@ -26,22 +41,27 @@
 //!
 //! ## Kernel selection
 //!
-//! [`DespreadKernel::active`] picks the widest kernel the CPU supports
-//! (via `is_x86_feature_detected!`) once per process and caches it.
-//! Setting the environment variable `PPR_NO_SIMD=1` before the first
-//! despread forces the scalar reference path — the escape hatch for
-//! debugging and for apples-to-apples baseline measurements. On
-//! non-x86-64 targets only the scalar kernel exists.
+//! [`DespreadKernel::active`] and [`DspKernel::active`] each pick the
+//! widest kernel the CPU supports (via `is_x86_feature_detected!`)
+//! once per process and cache it. Setting the environment variable
+//! `PPR_NO_SIMD=1` before the first use forces the scalar reference
+//! paths — the escape hatch for debugging and for apples-to-apples
+//! baseline measurements. On non-x86-64 targets only the scalar
+//! kernels exist.
 //!
-//! This module is the only place in the workspace that uses `unsafe`
-//! (the crate is `#![deny(unsafe_code)]`): every unsafe block is a
+//! This module is one of exactly two places in the workspace that use
+//! `unsafe` (the other is `ppr_mac::clmul`, the PCLMULQDQ CRC-32; the
+//! crate is `#![deny(unsafe_code)]`): every unsafe block is a
 //! `core::arch` intrinsic call guarded by the corresponding runtime
 //! feature check at dispatch time. The `unsafe-containment` lint
 //! (`cargo run -p ppr-lint`) enforces both halves mechanically — only
-//! this module may contain `unsafe`, and every site must carry a
-//! `// SAFETY:` justification.
+//! this module and the `unsafe-allowlist` entries in `ppr-lint.toml`
+//! may contain `unsafe`, and every site must carry a `// SAFETY:`
+//! justification.
 
 use crate::chips::{decide, Decision};
+use crate::complex::Complex32;
+use crate::sova::SovaBit;
 use std::sync::OnceLock;
 
 /// One despreading implementation: the scalar reference or one of the
@@ -176,6 +196,210 @@ fn scalar_batch(received: &[u32], out: &mut Vec<Decision>) {
     out.extend(received.iter().map(|&w| decide(w)));
 }
 
+/// One DSP-backend implementation: the scalar reference or one of the
+/// vectorized tiers.
+///
+/// Unlike despreading (integer XOR + popcount, where lane order is
+/// irrelevant), these kernels run floating-point reductions, so each
+/// one is built to reproduce the scalar reference's exact operation
+/// *order and shape* — same multiplies, same addition order, no FMA
+/// contraction — which is what makes them bit-identical rather than
+/// merely close. `tests/dsp_simd_parity.rs` at the workspace root
+/// proves the parity on arbitrary inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DspKernel {
+    /// The portable scalar reference paths.
+    Scalar,
+    /// 128-bit tier: `addsub`-based complex rotation (SSE3) and the
+    /// four-state SOVA trellis passes (one state per lane). The
+    /// matched-filter bank stays scalar at this tier — it needs
+    /// AVX2's gathers to beat the scalar loop.
+    Sse3,
+    /// 256-bit tier: adds the wide complex rotation and the gathered
+    /// matched-filter bank (8 chips per step).
+    Avx2,
+}
+
+impl DspKernel {
+    /// Short name used in bench output and JSON snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            DspKernel::Scalar => "scalar",
+            DspKernel::Sse3 => "sse3",
+            DspKernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Every kernel this CPU can run, widest last. Always starts with
+    /// [`DspKernel::Scalar`]; ignores `PPR_NO_SIMD`.
+    pub fn available() -> Vec<DspKernel> {
+        let mut out = vec![DspKernel::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("sse3") {
+                out.push(DspKernel::Sse3);
+            }
+            if is_x86_feature_detected!("avx2") {
+                out.push(DspKernel::Avx2);
+            }
+        }
+        out
+    }
+
+    /// The kernel every DSP call in this process uses: the widest
+    /// available one, or the scalar reference when `PPR_NO_SIMD=1` is
+    /// set. Detected once and cached, independently of
+    /// [`DespreadKernel::active`].
+    pub fn active() -> DspKernel {
+        static ACTIVE: OnceLock<DspKernel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            // ppr-lint: allow(env-hygiene) — the documented kernel escape
+            // hatch; read once per process and cached, so it cannot make
+            // two DSP calls in one run disagree.
+            if std::env::var_os("PPR_NO_SIMD").is_some_and(|v| v == "1") {
+                return DspKernel::Scalar;
+            }
+            *Self::available().last().expect("scalar always available")
+        })
+    }
+
+    /// Superposes a rotated, scaled waveform:
+    /// `out[i] += (wave[i] * rot) * amp` for
+    /// `i < min(out.len(), wave.len())` — the inner loop of the
+    /// sample-level channel's transmitter superposition.
+    ///
+    /// Bit-identical to the scalar loop for every kernel: the complex
+    /// multiply is decomposed into the same four products and two
+    /// same-order additions as
+    /// [`Complex32::mul`](crate::complex::Complex32), with no FMA
+    /// contraction.
+    pub fn axpy_rotated(self, out: &mut [Complex32], wave: &[Complex32], rot: Complex32, amp: f32) {
+        match self {
+            DspKernel::Scalar => axpy_rotated_scalar(out, wave, rot, amp),
+            #[cfg(target_arch = "x86_64")]
+            DspKernel::Sse3 => x86::run_axpy_sse3(out, wave, rot, amp),
+            #[cfg(target_arch = "x86_64")]
+            DspKernel::Avx2 => x86::run_axpy_avx2(out, wave, rot, amp),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => axpy_rotated_scalar(out, wave, rot, amp),
+        }
+    }
+
+    /// Matched-filter bank over chips whose correlation window lies
+    /// fully inside `samples`: appends one soft value per chip for
+    /// chips `0..full`, where chip `k` correlates
+    /// `samples[start + k·sps ..][..pulse.len()]` (rail selected by
+    /// the chip's parity against `first_chip_even`) against `pulse`
+    /// and normalizes by `energy`.
+    ///
+    /// The *caller* (`MskModem::demodulate`) computes `full` so that
+    /// every window is in bounds and handles truncated tail chips with
+    /// the scalar `chip_soft_value`, which keeps the graceful
+    /// mid-pulse truncation semantics out of the hot kernel.
+    ///
+    /// # Panics
+    /// Panics if any window `start + k·sps + pulse.len()`, `k < full`,
+    /// exceeds `samples.len()`.
+    #[allow(clippy::too_many_arguments)] // mirrors the demodulator's geometry verbatim
+    pub fn demod_full_windows(
+        self,
+        samples: &[Complex32],
+        pulse: &[f32],
+        energy: f32,
+        start: usize,
+        sps: usize,
+        full: usize,
+        first_chip_even: bool,
+        out: &mut Vec<f32>,
+    ) {
+        if full > 0 {
+            assert!(
+                start + (full - 1) * sps + pulse.len() <= samples.len(),
+                "window of chip {} out of bounds",
+                full - 1
+            );
+        }
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            DspKernel::Avx2 => x86::run_demod_avx2(
+                samples,
+                pulse,
+                energy,
+                start,
+                sps,
+                full,
+                first_chip_even,
+                out,
+            ),
+            _ => demod_full_windows_scalar(
+                samples,
+                pulse,
+                energy,
+                start,
+                sps,
+                full,
+                first_chip_even,
+                out,
+            ),
+        }
+    }
+
+    /// Max-log-MAP (SOVA) decode with this kernel. The scalar tier is
+    /// [`sova::decode_reference`](crate::sova::decode_reference); the
+    /// vector tiers run all three trellis passes with the four states
+    /// of the (7,5) code in the four lanes of a 128-bit register.
+    ///
+    /// Bit-identical to the reference for matched-filter-scale inputs
+    /// (see the kernel's derivation comment for the exact contract).
+    pub fn sova_decode(self, soft: &[f32]) -> Option<Vec<SovaBit>> {
+        match self {
+            DspKernel::Scalar => crate::sova::decode_reference(soft),
+            #[cfg(target_arch = "x86_64")]
+            DspKernel::Sse3 | DspKernel::Avx2 => x86::run_sova(soft),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => crate::sova::decode_reference(soft),
+        }
+    }
+}
+
+/// Scalar reference for [`DspKernel::axpy_rotated`] — the exact loop
+/// the sample-level channel ran before vectorization.
+fn axpy_rotated_scalar(out: &mut [Complex32], wave: &[Complex32], rot: Complex32, amp: f32) {
+    for (o, &w) in out.iter_mut().zip(wave) {
+        *o += (w * rot).scale(amp);
+    }
+}
+
+/// Scalar reference for [`DspKernel::demod_full_windows`]: the body of
+/// `MskModem::chip_soft_value` specialized to in-bounds windows (the
+/// truncation branch can never fire, so dropping it changes nothing).
+#[allow(clippy::too_many_arguments)] // mirrors the demodulator's geometry verbatim
+fn demod_full_windows_scalar(
+    samples: &[Complex32],
+    pulse: &[f32],
+    energy: f32,
+    start: usize,
+    sps: usize,
+    full: usize,
+    first_chip_even: bool,
+    out: &mut Vec<f32>,
+) {
+    for k in 0..full {
+        let even = (k % 2 == 0) == first_chip_even;
+        let base = start + k * sps;
+        let mut acc = 0.0f32;
+        for (i, &p) in pulse.iter().enumerate() {
+            let s = if even {
+                samples[base + i].re
+            } else {
+                samples[base + i].im
+            };
+            acc += s * p;
+        }
+        out.push(acc / energy);
+    }
+}
+
 /// Unpacks a `(distance << 4) | symbol` key lane into a [`Decision`].
 #[cfg(target_arch = "x86_64")]
 #[inline]
@@ -191,6 +415,8 @@ fn decision_from_key(key: u32) -> Decision {
 mod x86 {
     use super::decision_from_key;
     use crate::chips::{decide, Decision, CODEBOOK};
+    use crate::complex::Complex32;
+    use crate::sova::SovaBit;
     use core::arch::x86_64::*;
 
     // All kernels fold `(hamming << 4) | symbol` keys with an unsigned
@@ -357,6 +583,342 @@ mod x86 {
             i += n;
         }
     }
+
+    // ---- DSP kernels ---------------------------------------------------
+    //
+    // `Complex32` is `#[repr(C)] { re: f32, im: f32 }`, so a slice of
+    // complex samples is layout-identical to interleaved
+    // `[re, im, re, im, …]` f32s — even float lanes carry I, odd lanes
+    // carry Q. Every kernel below leans on that layout.
+
+    /// Safe entry for the SSE3 superposition kernel (see [`run_ssse3`]).
+    pub(super) fn run_axpy_sse3(
+        out: &mut [Complex32],
+        wave: &[Complex32],
+        rot: Complex32,
+        amp: f32,
+    ) {
+        assert!(is_x86_feature_detected!("sse3"));
+        // SAFETY: feature presence checked on the line above.
+        unsafe { axpy_sse3(out, wave, rot, amp) }
+    }
+
+    /// Safe entry for the AVX2 superposition kernel (see [`run_ssse3`]).
+    pub(super) fn run_axpy_avx2(
+        out: &mut [Complex32],
+        wave: &[Complex32],
+        rot: Complex32,
+        amp: f32,
+    ) {
+        assert!(is_x86_feature_detected!("avx2"));
+        // SAFETY: feature presence checked on the line above.
+        unsafe { axpy_avx2(out, wave, rot, amp) }
+    }
+
+    /// SSE3 superposition: 2 complex samples per 128-bit register.
+    ///
+    /// The complex multiply is the textbook `addsub` decomposition:
+    /// with `w = [re, im, …]` interleaved,
+    /// `t1 = w · rot.re` and `t2 = swap_pairs(w) · rot.im`, then
+    /// `addsub(t1, t2)` subtracts in the even (I) lanes and adds in the
+    /// odd (Q) lanes, yielding exactly
+    /// `(re·rr − im·ri, im·rr + re·ri)` — the same four products and
+    /// same-order additions as the scalar `Complex32::mul` (addition
+    /// commutes bit-exactly; no FMA is emitted from intrinsics), so the
+    /// result is bit-identical to the scalar reference.
+    // SAFETY: caller must ensure SSE3 is available (`run_axpy_sse3`
+    // asserts it). All loads/stores are unaligned `loadu`/`storeu` on
+    // index `i ≤ n − 2` of slices of length ≥ n; the `Complex32` →
+    // interleaved-f32 reinterpretation is sound because the type is
+    // `#[repr(C)] { f32, f32 }`.
+    #[target_feature(enable = "sse3")]
+    unsafe fn axpy_sse3(out: &mut [Complex32], wave: &[Complex32], rot: Complex32, amp: f32) {
+        let n = out.len().min(wave.len());
+        let vrr = _mm_set1_ps(rot.re);
+        let vri = _mm_set1_ps(rot.im);
+        let vamp = _mm_set1_ps(amp);
+        let mut i = 0;
+        while i + 2 <= n {
+            let w = _mm_loadu_ps(wave.as_ptr().add(i) as *const f32);
+            let o = _mm_loadu_ps(out.as_ptr().add(i) as *const f32);
+            let t1 = _mm_mul_ps(w, vrr);
+            // Swap re/im within each complex pair: lanes [1,0,3,2].
+            let t2 = _mm_mul_ps(_mm_shuffle_ps(w, w, 0b10_11_00_01), vri);
+            let prod = _mm_addsub_ps(t1, t2);
+            let r = _mm_add_ps(o, _mm_mul_ps(prod, vamp));
+            _mm_storeu_ps(out.as_mut_ptr().add(i) as *mut f32, r);
+            i += 2;
+        }
+        for j in i..n {
+            out[j] += (wave[j] * rot).scale(amp);
+        }
+    }
+
+    /// AVX2 superposition: 4 complex samples per 256-bit register
+    /// (same `addsub` decomposition as [`axpy_sse3`]).
+    // SAFETY: caller must ensure AVX2 is available (`run_axpy_avx2`
+    // asserts it). Unaligned `loadu`/`storeu` on index `i ≤ n − 4` of
+    // slices of length ≥ n; `Complex32` is `#[repr(C)] { f32, f32 }`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2(out: &mut [Complex32], wave: &[Complex32], rot: Complex32, amp: f32) {
+        let n = out.len().min(wave.len());
+        let vrr = _mm256_set1_ps(rot.re);
+        let vri = _mm256_set1_ps(rot.im);
+        let vamp = _mm256_set1_ps(amp);
+        let mut i = 0;
+        while i + 4 <= n {
+            let w = _mm256_loadu_ps(wave.as_ptr().add(i) as *const f32);
+            let o = _mm256_loadu_ps(out.as_ptr().add(i) as *const f32);
+            let t1 = _mm256_mul_ps(w, vrr);
+            // In-lane swap of re/im within each complex pair.
+            let t2 = _mm256_mul_ps(_mm256_permute_ps(w, 0b10_11_00_01), vri);
+            let prod = _mm256_addsub_ps(t1, t2);
+            let r = _mm256_add_ps(o, _mm256_mul_ps(prod, vamp));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i) as *mut f32, r);
+            i += 4;
+        }
+        for j in i..n {
+            out[j] += (wave[j] * rot).scale(amp);
+        }
+    }
+
+    /// Safe entry for the AVX2 matched-filter bank (see [`run_ssse3`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the demodulator's geometry verbatim
+    pub(super) fn run_demod_avx2(
+        samples: &[Complex32],
+        pulse: &[f32],
+        energy: f32,
+        start: usize,
+        sps: usize,
+        full: usize,
+        first_chip_even: bool,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(is_x86_feature_detected!("avx2"));
+        // Gather indices are 32-bit; `demod_full_windows` already
+        // asserted every window is inside `samples`.
+        assert!(
+            samples.len() <= i32::MAX as usize / 2,
+            "sample buffer too large for 32-bit gather"
+        );
+        // SAFETY: feature presence checked above; index bounds asserted
+        // here and by the caller.
+        unsafe {
+            demod_avx2(
+                samples,
+                pulse,
+                energy,
+                start,
+                sps,
+                full,
+                first_chip_even,
+                out,
+            )
+        }
+    }
+
+    /// AVX2 matched-filter bank: 8 chips per step via `vgatherdps`.
+    ///
+    /// Lane `l` of a step handles chip `k + l`. Its gather base is the
+    /// flat-f32 index of the chip's first window sample on its rail —
+    /// `2·(start + (k+l)·sps)` plus 0 (I rail, even chip) or 1 (Q rail,
+    /// odd chip) — and each pulse tap advances all lanes by 2 floats.
+    /// The per-tap loop accumulates `acc += s · p` in the same order as
+    /// the scalar `chip_soft_value`, one multiply and one add per tap,
+    /// then divides by the pulse energy: bit-identical per lane.
+    // SAFETY: caller must ensure AVX2 is available (`run_demod_avx2`
+    // asserts it). The flat view is sound because `Complex32` is
+    // `#[repr(C)] { f32, f32 }`; every gathered index is
+    // `2·(start + c·sps) + rail + 2·tap < 2·samples.len()` for chips
+    // `c < full` because the caller asserted the last window fits, and
+    // `2·samples.len()` fits in `i32` (asserted in `run_demod_avx2`).
+    // The store targets a local array.
+    #[allow(clippy::too_many_arguments)] // mirrors the demodulator's geometry verbatim
+    #[target_feature(enable = "avx2")]
+    unsafe fn demod_avx2(
+        samples: &[Complex32],
+        pulse: &[f32],
+        energy: f32,
+        start: usize,
+        sps: usize,
+        full: usize,
+        first_chip_even: bool,
+        out: &mut Vec<f32>,
+    ) {
+        let flat = samples.as_ptr() as *const f32;
+        let venergy = _mm256_set1_ps(energy);
+        let mut k = 0;
+        while k + 8 <= full {
+            let mut base = [0i32; 8];
+            for (l, b) in base.iter_mut().enumerate() {
+                let even = ((k + l) % 2 == 0) == first_chip_even;
+                *b = (2 * (start + (k + l) * sps) + usize::from(!even)) as i32;
+            }
+            let vbase = _mm256_loadu_si256(base.as_ptr() as *const __m256i);
+            let mut acc = _mm256_setzero_ps();
+            for (i, &p) in pulse.iter().enumerate() {
+                let idx = _mm256_add_epi32(vbase, _mm256_set1_epi32(2 * i as i32));
+                let s = _mm256_i32gather_ps::<4>(flat, idx);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(s, _mm256_set1_ps(p)));
+            }
+            let mut lanes = [0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), _mm256_div_ps(acc, venergy));
+            out.extend_from_slice(&lanes);
+            k += 8;
+        }
+        // Remaining full-window chips: the scalar reference loop. `k` is
+        // a multiple of 8, so the chip-parity phase carries over as-is.
+        super::demod_full_windows_scalar(
+            samples,
+            pulse,
+            energy,
+            start + k * sps,
+            sps,
+            full - k,
+            first_chip_even,
+            out,
+        );
+    }
+
+    /// Safe entry for the SSE SOVA kernel (see [`run_ssse3`]).
+    pub(super) fn run_sova(soft: &[f32]) -> Option<Vec<SovaBit>> {
+        assert!(is_x86_feature_detected!("sse3"));
+        // SAFETY: feature presence checked on the line above (the
+        // kernel itself needs nothing newer than SSE2, which the SSE3
+        // dispatch tier implies).
+        unsafe { sova_sse(soft) }
+    }
+
+    /// Horizontal maximum of a 4-lane vector. `max` is associative and
+    /// commutative on non-NaN floats, so any reduction order yields
+    /// the same value as the scalar left-to-right fold.
+    // SAFETY: pure register arithmetic; caller provides the feature.
+    #[inline]
+    #[target_feature(enable = "sse3")]
+    unsafe fn hmax_ps(v: __m128) -> f32 {
+        let hi = _mm_movehl_ps(v, v); // [v2, v3, v2, v3]
+        let m = _mm_max_ps(v, hi); // [max(v0,v2), max(v1,v3), …]
+        let s = _mm_shuffle_ps(m, m, 0b01_01_01_01);
+        _mm_cvtss_f32(_mm_max_ss(m, s))
+    }
+
+    /// SSE SOVA: all three max-log-MAP passes with the four trellis
+    /// states in the four lanes of one `__m128`.
+    ///
+    /// ## Lane derivation (generators 7,5 octal; `reg = b·4 | s`,
+    /// `ns = reg >> 1`)
+    ///
+    /// Every branch metric is `±A` or `±B` where `A = r0 + r1` and
+    /// `B = r0 − r1` (`r` = the step's two soft values): coded bits
+    /// `(c0, c1)` contribute `±r0 ± r1` with signs `+` for a coded 1.
+    /// Enumerating `branch(s, b)`:
+    ///
+    /// | s | b | ns | metric |   | s | b | ns | metric |
+    /// |---|---|----|--------|---|---|---|----|--------|
+    /// | 0 | 0 | 0  | −A     |   | 0 | 1 | 2  | +A     |
+    /// | 1 | 0 | 0  | +A     |   | 1 | 1 | 2  | −A     |
+    /// | 2 | 0 | 1  | +B     |   | 2 | 1 | 3  | −B     |
+    /// | 3 | 0 | 1  | −B     |   | 3 | 1 | 3  | +B     |
+    ///
+    /// so the forward step is
+    /// `alpha' = max([α0,α2,α0,α2] + [−A,B,A,−B],
+    ///               [α1,α3,α1,α3] + [A,−B,−A,B])`,
+    /// the backward step is
+    /// `beta' = max([−A,A,B,−B] + [β0,β0,β1,β1],
+    ///              [A,−A,−B,B] + [β2,β2,β3,β3])`,
+    /// and the per-bit hypothesis metrics are horizontal maxima of
+    /// `(α + m_b) + β_next` with the same `m` vectors as the backward
+    /// step. Negation (`−A` from `A`) is a sign-bit flip and rounding
+    /// is sign-symmetric, so `−A == (−r0) + (−r1)` bit-exactly.
+    ///
+    /// ## Why dropping the scalar reachability guards is exact
+    ///
+    /// The scalar reference skips states with `α = NEG_INF` (−1e30);
+    /// this kernel instead lets their candidates flow through the max.
+    /// For matched-filter-scale inputs (|r| ≤ ~1e6, the documented
+    /// contract of `sova::decode`) every such candidate is
+    /// `−1e30 + m`, which rounds to exactly −1e30 because
+    /// `|m| ≪ ulp(1e30)/2 ≈ 3.8e22` — identical to the untouched
+    /// NEG_INF the scalar path leaves behind, and always beaten by any
+    /// reachable path's candidate (bounded by ±Σ|r| ≪ 1e30). The
+    /// explicit floor at NEG_INF below mirrors the scalar
+    /// initialization for states with no surviving predecessor.
+    // SAFETY: caller must ensure the dispatch tier's feature is
+    // available (`run_sova` asserts SSE3). All loads/stores are
+    // unaligned `loadu`/`storeu` on in-bounds `[f32; 4]` rows of the
+    // `alpha`/`beta` tables.
+    #[target_feature(enable = "sse3")]
+    unsafe fn sova_sse(soft: &[f32]) -> Option<Vec<SovaBit>> {
+        use crate::sova::{CONSTRAINT, NEG_INF};
+        if !soft.len().is_multiple_of(2) {
+            return None;
+        }
+        let steps = soft.len() / 2;
+        if steps < CONSTRAINT - 1 {
+            return None;
+        }
+        let n_info = steps - (CONSTRAINT - 1);
+        let vneg = _mm_set1_ps(NEG_INF);
+
+        // Forward (alpha) pass.
+        let mut alpha = vec![[NEG_INF; 4]; steps + 1];
+        alpha[0][0] = 0.0;
+        for t in 0..steps {
+            let (a, b) = (soft[2 * t] + soft[2 * t + 1], soft[2 * t] - soft[2 * t + 1]);
+            let prev = _mm_loadu_ps(alpha[t].as_ptr());
+            let c1 = _mm_add_ps(
+                _mm_shuffle_ps(prev, prev, 0b10_00_10_00), // [α0, α2, α0, α2]
+                _mm_setr_ps(-a, b, a, -b),
+            );
+            let c2 = _mm_add_ps(
+                _mm_shuffle_ps(prev, prev, 0b11_01_11_01), // [α1, α3, α1, α3]
+                _mm_setr_ps(a, -b, -a, b),
+            );
+            let next = _mm_max_ps(_mm_max_ps(c1, c2), vneg);
+            _mm_storeu_ps(alpha[t + 1].as_mut_ptr(), next);
+        }
+
+        // Backward (beta) pass, anchored at state 0.
+        let mut beta = vec![[NEG_INF; 4]; steps + 1];
+        beta[steps][0] = 0.0;
+        for t in (0..steps).rev() {
+            let (a, b) = (soft[2 * t] + soft[2 * t + 1], soft[2 * t] - soft[2 * t + 1]);
+            let nxt = _mm_loadu_ps(beta[t + 1].as_ptr());
+            let c1 = _mm_add_ps(
+                _mm_setr_ps(-a, a, b, -b),
+                _mm_shuffle_ps(nxt, nxt, 0b01_01_00_00), // [β0, β0, β1, β1]
+            );
+            let c2 = _mm_add_ps(
+                _mm_setr_ps(a, -a, -b, b),
+                _mm_shuffle_ps(nxt, nxt, 0b11_11_10_10), // [β2, β2, β3, β3]
+            );
+            let best = _mm_max_ps(_mm_max_ps(c1, c2), vneg);
+            _mm_storeu_ps(beta[t].as_mut_ptr(), best);
+        }
+
+        // Per-bit pass: hypothesis metrics (α + m) + β, matching the
+        // scalar reference's left-to-right addition order.
+        let mut out = Vec::with_capacity(n_info);
+        for t in 0..n_info {
+            let (a, b) = (soft[2 * t] + soft[2 * t + 1], soft[2 * t] - soft[2 * t + 1]);
+            let va = _mm_loadu_ps(alpha[t].as_ptr());
+            let bn = _mm_loadu_ps(beta[t + 1].as_ptr());
+            let c0 = _mm_add_ps(
+                _mm_add_ps(va, _mm_setr_ps(-a, a, b, -b)),
+                _mm_shuffle_ps(bn, bn, 0b01_01_00_00),
+            );
+            let c1 = _mm_add_ps(
+                _mm_add_ps(va, _mm_setr_ps(a, -a, -b, b)),
+                _mm_shuffle_ps(bn, bn, 0b11_11_10_10),
+            );
+            let best0 = hmax_ps(c0).max(NEG_INF);
+            let best1 = hmax_ps(c1).max(NEG_INF);
+            let bit = best1 > best0;
+            let reliability = (best1 - best0).abs();
+            out.push(SovaBit { bit, reliability });
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -441,5 +1003,115 @@ mod tests {
         let mut dedup = names.clone();
         dedup.dedup();
         assert_eq!(names, dedup);
+    }
+
+    /// Deterministic xorshift f32 stream in roughly [-1, 1).
+    fn floats(n: usize, mut state: u64) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as u32 as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn complexes(n: usize, state: u64) -> Vec<Complex32> {
+        floats(2 * n, state)
+            .chunks_exact(2)
+            .map(|p| Complex32::new(p[0], p[1]))
+            .collect()
+    }
+
+    #[test]
+    fn dsp_active_kernel_is_available() {
+        assert!(DspKernel::available().contains(&DspKernel::active()));
+    }
+
+    #[test]
+    fn dsp_kernel_names_are_distinct() {
+        let names: Vec<_> = [DspKernel::Scalar, DspKernel::Sse3, DspKernel::Avx2]
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn axpy_kernels_match_scalar_bitwise() {
+        let rot = Complex32::from_polar(1.0, 0.83);
+        for kernel in DspKernel::available() {
+            for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 257] {
+                let wave = complexes(n, 0x5EED ^ n as u64);
+                let base = complexes(n, 0xACC ^ n as u64);
+                let mut expect = base.clone();
+                axpy_rotated_scalar(&mut expect, &wave, rot, 0.7);
+                let mut got = base.clone();
+                kernel.axpy_rotated(&mut got, &wave, rot, 0.7);
+                assert_eq!(got, expect, "kernel {} n {n}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn demod_kernels_match_scalar_bitwise() {
+        for kernel in DspKernel::available() {
+            for sps in [1usize, 2, 4] {
+                let pulse: Vec<f32> = (0..2 * sps)
+                    .map(|i| (std::f32::consts::PI * i as f32 / (2 * sps) as f32).sin())
+                    .collect();
+                let energy: f32 = pulse.iter().map(|p| p * p).sum();
+                for n_chips in [0usize, 1, 7, 8, 9, 16, 33, 100] {
+                    let samples = complexes((n_chips + 2) * sps + 3, 0xD503 ^ n_chips as u64);
+                    for start in [0usize, 1, 5] {
+                        // Same in-bounds window count the demodulator computes.
+                        let full = if samples.len() >= start + pulse.len() {
+                            ((samples.len() - start - pulse.len()) / sps + 1).min(n_chips)
+                        } else {
+                            0
+                        };
+                        let mut expect = Vec::new();
+                        demod_full_windows_scalar(
+                            &samples,
+                            &pulse,
+                            energy,
+                            start,
+                            sps,
+                            full,
+                            true,
+                            &mut expect,
+                        );
+                        let mut got = Vec::new();
+                        kernel.demod_full_windows(
+                            &samples, &pulse, energy, start, sps, full, true, &mut got,
+                        );
+                        assert_eq!(
+                            got,
+                            expect,
+                            "kernel {} sps {sps} chips {n_chips} start {start}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sova_kernels_match_scalar_bitwise() {
+        for kernel in DspKernel::available() {
+            for steps in [2usize, 3, 4, 10, 129] {
+                let soft = floats(2 * steps, 0x50FA ^ steps as u64);
+                let expect = crate::sova::decode_reference(&soft);
+                let got = kernel.sova_decode(&soft);
+                assert_eq!(got, expect, "kernel {} steps {steps}", kernel.name());
+            }
+            // Malformed inputs are rejected by every kernel.
+            assert!(kernel.sova_decode(&[1.0]).is_none());
+            assert!(kernel.sova_decode(&[1.0, -1.0]).is_none());
+        }
     }
 }

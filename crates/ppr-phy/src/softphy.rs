@@ -91,7 +91,11 @@ impl SoftSpan {
         if self.symbols.is_empty() {
             return 0.0;
         }
-        self.labels(eta).iter().filter(|&&g| g).count() as f64 / self.symbols.len() as f64
+        // Count directly rather than materializing `labels()`: the
+        // byte-compare loop auto-vectorizes, and the span-sized
+        // `Vec<bool>` was pure allocation traffic.
+        let good = self.symbols.iter().filter(|s| s.hint <= eta).count();
+        good as f64 / self.symbols.len() as f64
     }
 }
 

@@ -64,7 +64,10 @@ impl SovaBit {
     }
 }
 
-const NEG_INF: f32 = -1.0e30;
+/// "Minus infinity" path metric. A finite sentinel (rather than
+/// `f32::NEG_INFINITY`) so metric arithmetic stays NaN-free; shared
+/// with the vectorized decoder in [`crate::simd`].
+pub(crate) const NEG_INF: f32 = -1.0e30;
 
 /// Branch metric table entry: for state `s` and input bit `b`, the two
 /// coded bits emitted and the successor state.
@@ -85,7 +88,20 @@ fn branch(s: usize, b: bool) -> (usize, [bool; 2]) {
 ///
 /// Returns `None` when `soft` is too short or not a whole number of
 /// trellis steps.
+///
+/// Dispatches to the process-wide
+/// [`DspKernel`](crate::simd::DspKernel): the vectorized trellis
+/// passes on x86-64, or [`decode_reference`] (also forced by
+/// `PPR_NO_SIMD=1`). Soft inputs are matched-filter-scale values
+/// (|r| ≲ 1e6 — far below the NEG_INF sentinel), for which every
+/// kernel is bit-identical to the reference.
 pub fn decode(soft: &[f32]) -> Option<Vec<SovaBit>> {
+    crate::simd::DspKernel::active().sova_decode(soft)
+}
+
+/// The pinned scalar reference for [`decode`] — the decoder the SIMD
+/// kernels are proven against (`tests/dsp_simd_parity.rs`).
+pub fn decode_reference(soft: &[f32]) -> Option<Vec<SovaBit>> {
     if !soft.len().is_multiple_of(2) {
         return None;
     }
@@ -301,5 +317,45 @@ mod tests {
     fn decode_rejects_malformed_input() {
         assert!(decode(&[1.0]).is_none());
         assert!(decode(&[1.0, -1.0]).is_none()); // shorter than the tail
+        assert!(decode_reference(&[1.0]).is_none());
+        assert!(decode_reference(&[1.0, -1.0]).is_none());
+    }
+
+    #[test]
+    fn branch_metrics_match_simd_lane_table() {
+        // The vectorized decoder (crate::simd) hardcodes each
+        // transition's metric as ±A or ±B with A = r0 + r1 and
+        // B = r0 − r1, per the table in its derivation comment. Pin
+        // that table against branch()/metric() here so a generator
+        // change cannot silently diverge from the kernel.
+        let r = [1.0f32, 10.0];
+        let (a, b) = (r[0] + r[1], r[0] - r[1]);
+        let expect = [
+            ((0, -a), (2, a)),
+            ((0, a), (2, -a)),
+            ((1, b), (3, -b)),
+            ((1, -b), (3, b)),
+        ];
+        for (s, &((ns0, m0), (ns1, m1))) in expect.iter().enumerate() {
+            let (n0, c0) = branch(s, false);
+            let (n1, c1) = branch(s, true);
+            assert_eq!((n0, metric(&r, &c0)), (ns0, m0), "s={s} b=0");
+            assert_eq!((n1, metric(&r, &c1)), (ns1, m1), "s={s} b=1");
+        }
+    }
+
+    #[test]
+    fn dispatched_decode_matches_reference_in_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let bits = info_bits(&mut rng, 257);
+            let mut soft = modulate_coded(&bits);
+            for s in soft.iter_mut() {
+                *s += ppr_box_muller(&mut rng);
+            }
+            let got = decode(&soft).unwrap();
+            let expect = decode_reference(&soft).unwrap();
+            assert_eq!(got, expect);
+        }
     }
 }

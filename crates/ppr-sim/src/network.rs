@@ -45,7 +45,7 @@
 use crate::geometry::Testbed;
 use crate::rxpath::{Acquisition, FastRx};
 use crate::traffic::{secs_to_chips, PoissonArrivals};
-use ppr_channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr_channel::chip_channel::{corrupt_chip_words_in_place, corrupt_chips, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
 use ppr_channel::pathloss::PathLossModel;
 use ppr_mac::frame::Frame;
@@ -517,11 +517,11 @@ pub fn process_receptions_with_workers(
         let payload = payload_pattern(tx.sender, tx.seq, payload_len);
         let body = build_body_padded(&arm.scheme, &payload, cfg.body_bytes);
         let frame = Frame::new(job.r as u16, tx.sender as u16, tx.seq, body);
-        let chips = frame.chip_words();
+        let mut corrupted = frame.chip_words();
         let profile_spans = interference_profile(&heard[job.r][job.idx], &heard[job.r]);
         let profile = ErrorProfile::from_interference(signal, noise, &profile_spans);
         let mut rng = StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, job.r));
-        let corrupted = corrupt_chip_words(&chips, &profile, &mut rng);
+        corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
         let pre_hit = fast.preamble_hit_words(&corrupted);
         PreparedRx {
             frame,

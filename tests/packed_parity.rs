@@ -7,7 +7,9 @@
 //! end-to-end experiment runs (sequential reference vs. packed parallel
 //! loop) — under fixed seeds and proptest-generated inputs.
 
-use ppr::channel::chip_channel::{corrupt_chip_words, corrupt_chips, ErrorProfile};
+use ppr::channel::chip_channel::{
+    corrupt_chip_words, corrupt_chip_words_in_place, corrupt_chips, ErrorProfile,
+};
 use ppr::mac::frame::Frame;
 use ppr::mac::rx::FrameReceiver;
 use ppr::mac::schemes::DeliveryScheme;
@@ -73,6 +75,83 @@ fn corruption_parity_fixed_seeds() {
             );
             // Both paths must also leave the RNG in the same state, or
             // parity would silently break for the *next* consumer.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "profile {pi}");
+        }
+    }
+}
+
+/// Geometric-sampler edge cases: sparse spans whose boundaries straddle
+/// 64-chip lane edges, probabilities sitting exactly on the sparse/dense
+/// crossover constants (`BLOCK_FLIP_MIN_P = 0.02` and `0.5`, where the
+/// q = ln(1-p) skip math meets its boundary behavior), and spans whose
+/// `hi` is clipped mid-lane by a truncated reception. Each case must
+/// flip bit-identical chips *and* leave the RNG in the same state as
+/// the `&[bool]` reference.
+#[test]
+fn corruption_parity_sampler_edge_cases() {
+    // 3 lanes + a 37-chip partial lane: every boundary below is
+    // deliberately off the 64-chip grid.
+    let n_chips = 64 * 3 + 37;
+    let chips: Vec<bool> = (0..n_chips).map(|i| i % 5 < 2).collect();
+    let packed = ChipWords::from_bools(&chips);
+    let profiles = [
+        // Sparse spans straddling lane edges (63..65, 127..130) and one
+        // ending exactly on an edge (start mid-lane, end = 192).
+        ErrorProfile::from_pieces(vec![(63, 65, 0.005), (127, 130, 0.01), (150, 192, 0.015)]),
+        // p exactly at the sparse/dense crossover constant.
+        ErrorProfile::uniform(n_chips as u64, 0.02),
+        // p exactly 0.5 — ln(1-p) boundary of the dense-side regimes.
+        ErrorProfile::uniform(n_chips as u64, 0.5),
+        // Single span overrunning the reception: hi clips to 229,
+        // mid-way through the final partial lane.
+        ErrorProfile::from_pieces(vec![(100, 10_000, 0.008)]),
+        // Span entirely inside one lane (no word boundary crossed).
+        ErrorProfile::from_pieces(vec![(70, 90, 0.012)]),
+    ];
+    for (pi, profile) in profiles.iter().enumerate() {
+        for seed in 0..20u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let reference = corrupt_chips(&chips, profile, &mut rng_a);
+            let fast = corrupt_chip_words(&packed, profile, &mut rng_b);
+            assert_eq!(
+                fast,
+                ChipWords::from_bools(&reference),
+                "profile {pi} seed {seed}"
+            );
+            assert_eq!(
+                rng_a.gen::<u64>(),
+                rng_b.gen::<u64>(),
+                "RNG state diverged: profile {pi} seed {seed}"
+            );
+        }
+    }
+}
+
+/// The in-place corruption entry point is bit-identical to the
+/// allocating one (same flips, same RNG draws) — it is the same
+/// algorithm minus the clone, and this pins that.
+#[test]
+fn corruption_in_place_matches_allocating() {
+    let chips: Vec<bool> = (0..9_999).map(|i| i % 11 < 4).collect();
+    let packed = ChipWords::from_bools(&chips);
+    let profiles = [
+        ErrorProfile::uniform(9_999, 0.01),
+        ErrorProfile::uniform(9_999, 0.25),
+        ErrorProfile::from_pieces(vec![
+            (0, 63, 0.004),
+            (63, 6_000, 0.6),
+            (6_000, 12_000, 0.02),
+        ]),
+    ];
+    for (pi, profile) in profiles.iter().enumerate() {
+        for seed in 0..5u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed + 17);
+            let mut rng_b = StdRng::seed_from_u64(seed + 17);
+            let allocating = corrupt_chip_words(&packed, profile, &mut rng_a);
+            let mut in_place = packed.clone();
+            corrupt_chip_words_in_place(&mut in_place, profile, &mut rng_b);
+            assert_eq!(allocating, in_place, "profile {pi} seed {seed}");
             assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "profile {pi}");
         }
     }
@@ -251,6 +330,36 @@ proptest! {
         let reference = corrupt_chips(&chips, &profile, &mut rng_a);
         let fast = corrupt_chip_words(&packed, &profile, &mut rng_b);
         prop_assert_eq!(fast, ChipWords::from_bools(&reference));
+    }
+
+    /// Sparse-sampler parity over arbitrary lane-straddling spans: all
+    /// probabilities are kept strictly below the 0.02 crossover so the
+    /// geometric skip path (not the mask path) is always the one under
+    /// test, and stream lengths are drawn around 64-chip lane edges.
+    #[test]
+    fn corruption_parity_sparse_lane_straddles(
+        seed in any::<u64>(),
+        n_lanes in 1usize..8,
+        tail in 0usize..64,
+        pieces in proptest::collection::vec((0u64..130, 1u64..200, 0.0f64..0.02), 1..5),
+    ) {
+        let n_chips = n_lanes * 64 + tail;
+        let mut cursor = 0u64;
+        let mut spans = Vec::new();
+        for (gap, len, p) in pieces {
+            let start = cursor + gap;
+            spans.push((start, start + len, p));
+            cursor = start + len;
+        }
+        let profile = ErrorProfile::from_pieces(spans);
+        let chips: Vec<bool> = (0..n_chips).map(|i| i % 2 == 0).collect();
+        let packed = ChipWords::from_bools(&chips);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let reference = corrupt_chips(&chips, &profile, &mut rng_a);
+        let fast = corrupt_chip_words(&packed, &profile, &mut rng_b);
+        prop_assert_eq!(fast, ChipWords::from_bools(&reference));
+        prop_assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     /// Despreading parity at arbitrary offsets/lengths over random chips.
