@@ -76,6 +76,32 @@ impl PathLossModel {
     pub fn snr(&self, d_meters: f64, shadowing_db: f64) -> f64 {
         self.rx_power_mw(d_meters, shadowing_db) / self.noise_mw()
     }
+
+    /// The distance (meters) at which the *mean* received power falls to
+    /// `snr_linear` times the noise floor — the inversion of
+    /// [`Self::mean_path_loss_db`]:
+    ///
+    /// `d = 10^((tx − noise − 10·log₁₀(snr) − PL₀) / (10·n))`.
+    ///
+    /// Shadowing is not included: with `shadow_sigma_db > 0` individual
+    /// links can exceed the mean, so this is a *mean-power* range, exact
+    /// only when shadowing is disabled.
+    pub fn range_at_snr_m(&self, snr_linear: f64) -> f64 {
+        assert!(snr_linear > 0.0, "SNR threshold must be positive");
+        let budget_db =
+            self.tx_power_dbm - self.noise_floor_dbm - 10.0 * snr_linear.log10() - self.pl0_db;
+        10f64.powf(budget_db / (10.0 * self.exponent)).max(0.1)
+    }
+
+    /// The interference radius: the distance at which the mean received
+    /// power equals the noise floor (SNR = 1). Beyond it a transmitter
+    /// contributes less than the ever-present thermal noise, so spatial
+    /// dispatch folds it into the noise floor instead of enumerating it.
+    /// Exact (a true upper bound on audibility) only when
+    /// `shadow_sigma_db == 0`.
+    pub fn interference_radius_m(&self) -> f64 {
+        self.range_at_snr_m(1.0)
+    }
 }
 
 /// One sender→receiver link with its frozen shadowing draw: yields the
@@ -204,6 +230,24 @@ mod tests {
         let l = Link::with_shadowing(&m, 10.0, 3.0);
         assert!((l.rx_power_mw - m.rx_power_mw(10.0, 3.0)).abs() < 1e-15);
         assert!(l.snr(m.noise_mw()) > 0.0);
+    }
+
+    #[test]
+    fn range_inverts_mean_path_loss() {
+        let m = PathLossModel {
+            shadow_sigma_db: 0.0,
+            ..Default::default()
+        };
+        for snr in [1.0, 2.5, 10.0, 100.0] {
+            let d = m.range_at_snr_m(snr);
+            // At the returned distance the mean-power SNR equals the
+            // threshold (round trip through the log-distance model).
+            assert!((m.snr(d, 0.0) - snr).abs() / snr < 1e-9, "snr {snr}: d {d}");
+        }
+        // Higher thresholds shrink the range; the interference radius
+        // (SNR = 1) is the largest of them.
+        assert!(m.range_at_snr_m(2.5) < m.interference_radius_m());
+        assert!(m.range_at_snr_m(100.0) < m.range_at_snr_m(10.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `unsafe-containment` | `unsafe` only in the allowlisted modules, and every `unsafe` site carries a `// SAFETY:` justification |
 //! | `no-float` | no float literals or `f32`/`f64` tokens inside declared `region(no-float)` spans (the Q23.40 planner scoring and CRC paths) |
 //! | `env-hygiene` | `std::env::var`/`var_os` only in `ppr_sim::env`, `ppr-cli` and `ppr-bench` |
+//! | `event-key-doc` | `ppr_sim::event` documents the heap ordering key verbatim — the literal `(time, priority, seq)` must appear in the module, so the total-order contract every driver leans on cannot silently rot out of the docs |
 //! | `directive` | `ppr-lint:` comments themselves parse and regions match (not suppressible) |
 //!
 //! Being lexical is a feature (no `syn`, no build, runs in
@@ -40,11 +41,12 @@ pub struct Finding {
 }
 
 /// Names of every lint, for `--list` and allow(...) validation.
-pub const LINT_NAMES: [&str; 5] = [
+pub const LINT_NAMES: [&str; 6] = [
     "determinism",
     "unsafe-containment",
     "no-float",
     "env-hygiene",
+    "event-key-doc",
     "directive",
 ];
 
@@ -92,6 +94,7 @@ pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     unsafe_containment_lint(file, cfg, &mut findings);
     no_float_lint(file, &mut findings);
     env_hygiene_lint(file, &mut findings);
+    event_key_doc_lint(file, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -182,6 +185,30 @@ fn determinism_lint(file: &SourceFile, out: &mut Vec<Finding>) {
                 _ => {}
             }
         }
+    }
+}
+
+/// `event-key-doc`: the event-core module must spell out its heap
+/// ordering key, `(time, priority, seq)`, verbatim. Every simulation
+/// driver's determinism argument reduces to that total order; the lint
+/// keeps the contract written down next to the queue it governs.
+fn event_key_doc_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.rel_path != "crates/ppr-sim/src/event.rs" {
+        return;
+    }
+    if !file
+        .lines
+        .iter()
+        .any(|l| l.contains("(time, priority, seq)"))
+    {
+        out.push(finding(
+            file,
+            1,
+            "event-key-doc",
+            "the event module must document its total ordering key with the literal \
+             `(time, priority, seq)` — drivers rely on that contract for bit-identical replay"
+                .to_string(),
+        ));
     }
 }
 
@@ -369,6 +396,20 @@ mod tests {
             check("crates/ppr-core/src/x.rs", "let r = thread_rng();\n").len(),
             1
         );
+    }
+
+    #[test]
+    fn event_module_must_document_its_ordering_key() {
+        // Any other file is out of scope, key or no key.
+        assert!(check("crates/ppr-sim/src/network.rs", "fn f() {}\n").is_empty());
+
+        let bare = "//! An event queue.\npub struct Q;\n";
+        let f = check("crates/ppr-sim/src/event.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "event-key-doc");
+
+        let documented = "//! Keys order as (time, priority, seq).\npub struct Q;\n";
+        assert!(check("crates/ppr-sim/src/event.rs", documented).is_empty());
     }
 
     #[test]

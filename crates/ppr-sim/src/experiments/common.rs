@@ -5,13 +5,14 @@
 //! [`crate::scenario`] — this module only consumes a resolved
 //! [`Scenario`].
 
+use crate::geometry::Testbed;
 use crate::metrics::Cdf;
 use crate::network::{
-    generate_timeline, process_receptions_with_workers, RadioEnv, Reception, RxArm, SimConfig,
-    Transmission,
+    generate_timeline, office_model, process_receptions_timestep, process_receptions_with_workers,
+    RadioEnv, Reception, RxArm, SimConfig, Transmission, SQUELCH_SNR,
 };
 use crate::rxpath::Acquisition;
-use crate::scenario::{Scenario, DEFAULT_SEED};
+use crate::scenario::{Driver, Scenario, DEFAULT_SEED};
 use ppr_mac::schemes::DeliveryScheme;
 
 /// One standard capacity run: environment + timeline, reusable across
@@ -25,11 +26,13 @@ pub struct CapacityRun {
     pub timeline: Vec<Transmission>,
     /// Reception-loop worker override (`None` = environment default).
     pub threads: Option<usize>,
+    /// Which reception driver evaluates the arms.
+    pub driver: Driver,
 }
 
 impl CapacityRun {
     /// Builds a run at the given load and carrier-sense arm under the
-    /// historical defaults (master seed, 1500 B bodies).
+    /// historical defaults (master seed, 1500 B bodies, Fig. 7 floor).
     pub fn new(load_kbps: f64, carrier_sense: bool, duration_s: f64) -> Self {
         let cfg = SimConfig {
             load_kbps,
@@ -38,33 +41,59 @@ impl CapacityRun {
             duration_s,
             seed: DEFAULT_SEED,
         };
-        Self::from_config(cfg, None)
+        Self::from_config(cfg, None, Testbed::fig7(), Driver::Event)
     }
 
     /// Builds a run for a scenario at the experiment's canonical load
     /// and carrier-sense arm (both subject to the scenario's
-    /// overrides).
+    /// overrides), on the scenario's topology and driver.
     pub fn from_scenario(scenario: &Scenario, load_kbps: f64, carrier_sense: bool) -> Self {
+        // The random-geometric square is sized for the *communication*
+        // radius — the range at which a mean-power link still clears the
+        // squelch threshold.
+        let comm_radius_m = office_model().range_at_snr_m(SQUELCH_SNR);
         Self::from_config(
             scenario.sim_config(load_kbps, carrier_sense),
             scenario.threads,
+            scenario.topology.testbed(comm_radius_m),
+            scenario.driver,
         )
     }
 
-    fn from_config(cfg: SimConfig, threads: Option<usize>) -> Self {
-        let env = RadioEnv::new(cfg.seed);
+    fn from_config(
+        cfg: SimConfig,
+        threads: Option<usize>,
+        testbed: Testbed,
+        driver: Driver,
+    ) -> Self {
+        let env = RadioEnv::with_testbed(cfg.seed, testbed);
         let timeline = generate_timeline(&env, &cfg);
         CapacityRun {
             env,
             cfg,
             timeline,
             threads,
+            driver,
         }
     }
 
-    /// Evaluates one receiver arm over the shared timeline.
+    /// Evaluates one receiver arm over the shared timeline with the
+    /// run's driver (event-driven by default; the time-stepped pinned
+    /// reference under `driver=timestep`). Both produce bit-identical
+    /// [`Reception`] streams — `tests/event_parity.rs` pins it.
     pub fn receptions(&self, arm: &RxArm) -> Vec<Reception> {
-        process_receptions_with_workers(&self.env, &self.cfg, &self.timeline, arm, self.threads)
+        match self.driver {
+            Driver::Event => process_receptions_with_workers(
+                &self.env,
+                &self.cfg,
+                &self.timeline,
+                arm,
+                self.threads,
+            ),
+            Driver::Timestep => {
+                process_receptions_timestep(&self.env, &self.cfg, &self.timeline, arm, self.threads)
+            }
+        }
     }
 }
 

@@ -1,0 +1,758 @@
+//! `mesh10k` — the event core at scale: a 10 000-node mesh flood with
+//! PP-ARQ repair.
+//!
+//! The testbed experiments pair every transmission with every receiver —
+//! fine at 23×4, hopeless at 10 000 nodes. This experiment is the
+//! subsystem's stress article: a random-geometric mesh
+//! ([`Testbed::mesh`]) floods one 250 B PPR frame from the center node
+//! outward, every event flows through the deterministic
+//! [`BinaryHeapQueue`], and dispatch enumerates only the
+//! [`SpatialIndex`] candidates of each transmitter instead of the whole
+//! mesh.
+//!
+//! ## Protocol
+//!
+//! * The source broadcasts the frame; every node that *recovers* the
+//!   full payload (byte-correct against the known ground truth, PPR
+//!   delivery at η) rebroadcasts exactly once, after a deterministic
+//!   per-node jitter.
+//! * A node left with a *partial* payload arms a PP-ARQ timer. When it
+//!   fires, the node plans its repair request with the paper's chunking
+//!   DP ([`plan_chunks`]) over its byte-correct bitmask and asks its
+//!   best recovered neighbor for exactly those spans; the neighbor
+//!   unicasts a repair frame containing the requested bytes. Up to
+//!   [`MAX_ARQ_ROUNDS`] rounds.
+//! * Transmissions interfere: reception evaluation runs the real chip
+//!   pipeline (per-span SINR → chip corruption → [`FastRx`] decode), so
+//!   colliding rebroadcasts produce exactly the partial packets PP-ARQ
+//!   exists to repair.
+//!
+//! ## Determinism and the flush window
+//!
+//! Reception outcomes are decoded in parallel batches without ever
+//! becoming order-dependent:
+//!
+//! * completed receptions accumulate in a pending batch, flushed when
+//!   the clock reaches `earliest pending completion + `[`SAFE_WINDOW`]
+//!   (or when an ARQ timer — the only state-reading event — pops, or at
+//!   queue drain);
+//! * every outcome-scheduled event (rebroadcast, repair, timer) lands at
+//!   least [`SAFE_WINDOW`] chips after the reception that caused it, so
+//!   no event that could observe an outcome runs before its flush;
+//! * interference and half-duplex checks happen *at flush*, when every
+//!   transmission that could overlap a pending reception has already
+//!   popped (any overlapper starts strictly before the reception ends,
+//!   and the flush trigger time is later still);
+//! * the parallel decode (`fan_out`) preserves batch order and each
+//!   reception draws from its own `reception_rng_seed` stream, so the
+//!   result is bit-identical for any worker count — pinned by
+//!   `mesh_is_invariant_to_worker_count` below.
+//!
+//! Wall-clock events/sec is *measured* in `ppr-bench` (`bench_packed`,
+//! the `BENCH_packed.json` mesh rows); this experiment reports only
+//! deterministic counts, keeping ppr-sim free of wall-clock reads (the
+//! ppr-lint `determinism` rule).
+
+use super::Experiment;
+use crate::event::{prio, priority, BinaryHeapQueue, EventQueue, SimEvent};
+use crate::geometry::{Point, Testbed};
+use crate::network::{fan_out, office_model, payload_pattern, reception_rng_seed, SQUELCH_SNR};
+use crate::results::ExperimentResult;
+use crate::rxpath::FastRx;
+use crate::scenario::Scenario;
+use crate::spatial::SpatialIndex;
+use ppr_channel::chip_channel::{corrupt_chip_words_in_place, ErrorProfile};
+use ppr_channel::overlap::{interference_profile, HeardTx};
+use ppr_channel::pathloss::PathLossModel;
+use ppr_core::dp::{plan_chunks, CostModel};
+use ppr_core::runs::{RunLengths, UnitRange};
+use ppr_mac::frame::Frame;
+use ppr_mac::schemes::{Delivered, DeliveryScheme};
+use ppr_phy::chips::CHIP_RATE_HZ;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Flush window, chips: pending receptions are decoded before the clock
+/// passes `earliest completion + SAFE_WINDOW`, and every
+/// outcome-scheduled event is deferred by at least this much.
+pub const SAFE_WINDOW: u64 = 4096;
+
+/// Rebroadcast/repair jitter span, chips (2¹⁷ ≈ 66 ms at 2 Mchip/s).
+/// A 250 B frame is ~18 k chips of airtime, so two rebroadcasts inside
+/// this span collide ~27% of the time — frequent enough to produce the
+/// partial packets PP-ARQ exists to repair, rare enough that the flood
+/// still propagates.
+pub const JITTER_SPAN: u64 = 1 << 17;
+
+/// PP-ARQ timer delay after the arming reception's completion, chips —
+/// half a jitter span, so a partial node asks for repair only after the
+/// local rebroadcast wave has mostly played out.
+pub const ARQ_TIMEOUT: u64 = JITTER_SPAN / 2;
+
+/// Maximum PP-ARQ repair rounds per node.
+pub const MAX_ARQ_ROUNDS: u8 = 3;
+
+/// On-air body bytes of the flooded frame (the paper's PP-ARQ
+/// experiments use 250 B packets).
+pub const MESH_BODY_BYTES: usize = 250;
+
+/// Broadcast link-layer address.
+const BROADCAST: u16 = 0xFFFF;
+
+/// The mesh propagation model: the office chip-channel parameters with
+/// shadowing *disabled* — open-plan synthetic terrain, and the zero
+/// sigma is what makes the [`SpatialIndex`] candidate superset exact
+/// (a mean-power radius bounds every link).
+pub fn mesh_model() -> PathLossModel {
+    PathLossModel {
+        shadow_sigma_db: 0.0,
+        ..office_model()
+    }
+}
+
+/// Parameters of one mesh flood run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshParams {
+    /// Node count.
+    pub nodes: usize,
+    /// Expected neighbors within the communication radius.
+    pub density: f64,
+    /// Master seed (placement, corruption).
+    pub seed: u64,
+    /// PPR delivery threshold η.
+    pub eta: u8,
+    /// Body bytes of the flooded frame.
+    pub body_bytes: usize,
+}
+
+impl MeshParams {
+    /// Parameters from a scenario (`mesh_nodes`, `mesh_density`, seed,
+    /// η; 250 B bodies).
+    pub fn from_scenario(sc: &Scenario) -> Self {
+        MeshParams {
+            nodes: sc.mesh_nodes,
+            density: sc.mesh_density,
+            seed: sc.seed,
+            eta: sc.eta,
+            body_bytes: MESH_BODY_BYTES,
+        }
+    }
+}
+
+/// Deterministic counters of one mesh flood run — everything the
+/// experiment reports, and what the worker-count invariance test pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeshStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Nodes that recovered the full payload.
+    pub recovered: usize,
+    /// All transmissions (flood + rebroadcasts + repairs).
+    pub transmissions: usize,
+    /// Repair (PP-ARQ) transmissions among them.
+    pub repair_tx: usize,
+    /// Receptions scheduled by spatial dispatch.
+    pub receptions_scheduled: usize,
+    /// Receptions actually run through the chip pipeline.
+    pub receptions_evaluated: usize,
+    /// Receptions skipped: receiver already recovered, or a unicast
+    /// repair addressed elsewhere.
+    pub receptions_skipped: usize,
+    /// Receptions dropped because the receiver was transmitting
+    /// (half-duplex).
+    pub self_busy_drops: usize,
+    /// Events dispatched by the queue — the numerator of events/sec.
+    pub events_dispatched: u64,
+    /// Total payload bytes requested over all PP-ARQ repair plans.
+    pub repair_bytes_requested: usize,
+    /// Correct payload bytes accumulated across all nodes.
+    pub correct_bytes: usize,
+    /// Chip-clock time of the last dispatched event.
+    pub sim_chips: u64,
+    /// Spatial shards (grid cells) of the index.
+    pub shards: usize,
+    /// Decode flushes performed.
+    pub flush_batches: usize,
+    /// Largest single decode batch.
+    pub max_batch: usize,
+}
+
+impl MeshStats {
+    /// Simulated seconds covered by the run.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_chips as f64 / CHIP_RATE_HZ as f64
+    }
+
+    /// Fraction of nodes that recovered the payload.
+    pub fn coverage(&self) -> f64 {
+        self.recovered as f64 / self.nodes.max(1) as f64
+    }
+}
+
+/// One on-air frame of the mesh run.
+struct MeshTx {
+    sender: usize,
+    /// Link-layer destination ([`BROADCAST`] for flood frames, the
+    /// requester for repairs).
+    dst: u16,
+    start: u64,
+    len: u64,
+    frame: Frame,
+    /// For repairs: the payload spans this frame carries, in original
+    /// payload coordinates (the receiver maps delivered bytes back
+    /// through them).
+    spans: Option<Vec<UnitRange>>,
+}
+
+impl MeshTx {
+    fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// Per-node protocol state.
+#[derive(Clone)]
+struct NodeState {
+    /// Byte-correct bitmask over the payload.
+    mask: Vec<u64>,
+    correct: usize,
+    recovered: bool,
+    rebroadcasted: bool,
+    timer_armed: bool,
+}
+
+impl NodeState {
+    fn new(payload_len: usize) -> Self {
+        NodeState {
+            mask: vec![0u64; payload_len.div_ceil(64)],
+            correct: 0,
+            recovered: false,
+            rebroadcasted: false,
+            timer_armed: false,
+        }
+    }
+
+    fn has(&self, i: usize) -> bool {
+        self.mask[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set(&mut self, i: usize) {
+        self.mask[i / 64] |= 1 << (i % 64);
+    }
+}
+
+/// SplitMix64 — the stateless jitter hash (no RNG object, so scheduling
+/// order can never perturb a shared stream).
+fn jitter_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps an offset within a repair payload (the concatenation of `spans`)
+/// back to the original payload coordinate.
+fn map_repair_offset(spans: &[UnitRange], off: usize) -> Option<usize> {
+    let mut consumed = 0usize;
+    for s in spans {
+        let len = s.len();
+        if off < consumed + len {
+            return Some(s.start + (off - consumed));
+        }
+        consumed += len;
+    }
+    None
+}
+
+/// Runs one mesh flood. `threads` caps the decode fan-out (`None` =
+/// the `PPR_THREADS` / available-parallelism default); the returned
+/// stats are bit-identical for every value — the flush-window rule above
+/// is what guarantees it.
+pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
+    let model = mesh_model();
+    let noise = model.noise_mw();
+    let comm_radius = model.range_at_snr_m(SQUELCH_SNR);
+    let tb = Testbed::mesh(params.seed, params.nodes, params.density, comm_radius);
+    let pts: &[Point] = &tb.senders;
+    let n = pts.len();
+    let index = SpatialIndex::build(pts, model.interference_radius_m());
+
+    let scheme = DeliveryScheme::Ppr { eta: params.eta };
+    let payload_len = scheme.payload_len(params.body_bytes);
+
+    // Source: the node nearest the center of the deployment square.
+    let side = pts.iter().flat_map(|p| [p.x, p.y]).fold(0.0f64, f64::max);
+    let center = Point::new(side / 2.0, side / 2.0);
+    let source = (0..n)
+        .min_by(|&a, &b| {
+            pts[a]
+                .distance(&center)
+                .partial_cmp(&pts[b].distance(&center))
+                .unwrap()
+        })
+        .expect("mesh has nodes");
+
+    let truth = payload_pattern(source, 0, payload_len);
+    let gain = |s: usize, r: usize| model.rx_power_mw(pts[s].distance(&pts[r]), 0.0);
+    let fast = FastRx::new(true);
+    let workers = threads.unwrap_or_else(crate::env::threads_from_env).max(1);
+
+    let mut states: Vec<NodeState> = vec![NodeState::new(payload_len); n];
+    states[source].mask.fill(u64::MAX);
+    states[source].correct = payload_len;
+    states[source].recovered = true;
+    states[source].rebroadcasted = true;
+
+    let mut txs: Vec<MeshTx> = Vec::new();
+    let mut own_tx: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); n]; // (start, end, tx id)
+    let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::new();
+    let mut stats = MeshStats {
+        nodes: n,
+        shards: index.shard_count(),
+        ..Default::default()
+    };
+
+    let schedule_tx = |txs: &mut Vec<MeshTx>,
+                       q: &mut BinaryHeapQueue<SimEvent>,
+                       sender: usize,
+                       dst: u16,
+                       start: u64,
+                       body: Vec<u8>,
+                       spans: Option<Vec<UnitRange>>| {
+        let seq = txs.len() as u16;
+        let frame = Frame::new(dst, sender as u16, seq, body);
+        let len = frame.chips_len() as u64;
+        let idx = txs.len();
+        txs.push(MeshTx {
+            sender,
+            dst,
+            start,
+            len,
+            frame,
+            spans,
+        });
+        q.schedule(
+            start,
+            priority(prio::TX_START, sender as u32),
+            SimEvent::TxStart { tx: idx },
+        );
+    };
+
+    schedule_tx(&mut txs, &mut q, source, BROADCAST, 0, truth.clone(), None);
+
+    // Pending completed-but-undecoded receptions, in pop order.
+    let mut pending: Vec<(usize, usize)> = Vec::new(); // (tx idx, receiver)
+    let mut pending_deadline = u64::MAX;
+    let mut cand_buf: Vec<u32> = Vec::new();
+    let mut last_time = 0u64;
+
+    // Decodes the pending batch and applies outcomes in batch order.
+    // Outcomes: mask updates, first-recovery rebroadcast scheduling, ARQ
+    // timer arming. Everything the parallel phase reads (`txs`,
+    // `own_tx`, positions) is frozen for the duration of the flush.
+    macro_rules! flush {
+        () => {{
+            if !pending.is_empty() {
+                // Work selection is sequential and reads only
+                // pre-flush state, so it is batch-order deterministic.
+                let mut work: Vec<(usize, usize)> = Vec::new();
+                for &(ti, r) in &pending {
+                    let t = &txs[ti];
+                    if t.dst != BROADCAST && t.dst != r as u16 {
+                        stats.receptions_skipped += 1;
+                        continue;
+                    }
+                    // Half-duplex before anything else: a transmitting
+                    // node hears nothing, recovered or not.
+                    if own_tx[r]
+                        .iter()
+                        .any(|&(s, e, _)| s < t.end() && t.start < e)
+                    {
+                        stats.self_busy_drops += 1;
+                        continue;
+                    }
+                    if states[r].recovered {
+                        stats.receptions_skipped += 1;
+                        continue;
+                    }
+                    work.push((ti, r));
+                }
+                stats.receptions_evaluated += work.len();
+                stats.flush_batches += 1;
+                stats.max_batch = stats.max_batch.max(work.len());
+
+                let outcomes: Vec<Option<Vec<Delivered>>> = fan_out(workers, &work, |&(ti, r)| {
+                    let t = &txs[ti];
+                    let signal = gain(t.sender, r);
+                    let me = HeardTx {
+                        id: ti as u64,
+                        start_chip: t.start,
+                        len_chips: t.len,
+                        power_mw: signal,
+                    };
+                    // Interferers: every overlapping transmission
+                    // from a sender inside the receiver's 3×3 cell
+                    // neighborhood. Beyond that radius a sender's
+                    // mean power is below the noise floor.
+                    let mut heard = vec![me];
+                    let mut cands = Vec::new();
+                    index.candidates_into(&pts[r], &mut cands);
+                    for &s in &cands {
+                        let s = s as usize;
+                        if s == r {
+                            continue;
+                        }
+                        for &(os, oe, oid) in &own_tx[s] {
+                            if oid != ti as u64 && os < t.end() && t.start < oe {
+                                heard.push(HeardTx {
+                                    id: oid,
+                                    start_chip: os,
+                                    len_chips: oe - os,
+                                    power_mw: gain(s, r),
+                                });
+                            }
+                        }
+                    }
+                    let spans = interference_profile(&me, &heard);
+                    let profile = ErrorProfile::from_interference(signal, noise, &spans);
+                    let mut corrupted = t.frame.chip_words();
+                    let mut rng =
+                        StdRng::seed_from_u64(reception_rng_seed(params.seed, ti as u64, r));
+                    corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
+                    let (_acq, rx) = fast.receive_words(&t.frame, &corrupted, true);
+                    rx.map(|rx| scheme.deliver(&rx))
+                });
+
+                for ((ti, r), outcome) in work.into_iter().zip(outcomes) {
+                    let end = txs[ti].end();
+                    if let Some(delivered) = outcome {
+                        let st = &mut states[r];
+                        for d in &delivered {
+                            for (i, &b) in d.bytes.iter().enumerate() {
+                                let off = match &txs[ti].spans {
+                                    None => Some(d.offset + i),
+                                    Some(spans) => map_repair_offset(spans, d.offset + i),
+                                };
+                                if let Some(off) = off {
+                                    if off < payload_len && truth[off] == b && !st.has(off) {
+                                        st.set(off);
+                                        st.correct += 1;
+                                    }
+                                }
+                            }
+                        }
+                        if st.correct == payload_len && !st.recovered {
+                            st.recovered = true;
+                            if !st.rebroadcasted {
+                                st.rebroadcasted = true;
+                                let jitter = jitter_hash(params.seed ^ ((r as u64) << 20) ^ 0xB0)
+                                    % JITTER_SPAN;
+                                schedule_tx(
+                                    &mut txs,
+                                    &mut q,
+                                    r,
+                                    BROADCAST,
+                                    end + SAFE_WINDOW + jitter,
+                                    truth.clone(),
+                                    None,
+                                );
+                            }
+                        }
+                    }
+                    // A partial node arms its PP-ARQ timer off any
+                    // evaluated reception (it heard *something*).
+                    let st = &mut states[r];
+                    if !st.recovered && !st.timer_armed {
+                        st.timer_armed = true;
+                        q.schedule(
+                            end + ARQ_TIMEOUT,
+                            priority(prio::ARQ_TIMER, r as u32),
+                            SimEvent::ArqTimer { node: r, round: 0 },
+                        );
+                    }
+                }
+                pending.clear();
+            }
+            pending_deadline = u64::MAX;
+        }};
+    }
+
+    loop {
+        let Some((key, ev)) = q.pop() else {
+            // Queue drained — but the flush may recover nodes and
+            // schedule their rebroadcasts, so only a flush that adds
+            // nothing ends the run.
+            flush!();
+            if q.is_empty() {
+                break;
+            }
+            continue;
+        };
+        last_time = last_time.max(key.time);
+        // The flush rule: decode before the clock passes the window, and
+        // always before a state-reading timer runs.
+        if key.time >= pending_deadline || matches!(ev, SimEvent::ArqTimer { .. }) {
+            flush!();
+        }
+        match ev {
+            SimEvent::TxStart { tx } => {
+                let (sender, start, end) = {
+                    let t = &txs[tx];
+                    (t.sender, t.start, t.end())
+                };
+                stats.transmissions += 1;
+                own_tx[sender].push((start, end, tx as u64));
+                cand_buf.clear();
+                index.candidates_into(&pts[sender], &mut cand_buf);
+                for &r in &cand_buf {
+                    let r = r as usize;
+                    if r == sender || gain(sender, r) / noise < SQUELCH_SNR {
+                        continue;
+                    }
+                    stats.receptions_scheduled += 1;
+                    q.schedule(
+                        end,
+                        priority(prio::RECEPTION, r as u32),
+                        SimEvent::ReceptionComplete {
+                            tx,
+                            receiver: r,
+                            slot: 0,
+                        },
+                    );
+                }
+            }
+            SimEvent::ReceptionComplete { tx, receiver, .. } => {
+                if pending.is_empty() {
+                    pending_deadline = key.time + SAFE_WINDOW;
+                }
+                pending.push((tx, receiver));
+            }
+            SimEvent::ArqTimer { node, round } => {
+                let st = &mut states[node];
+                st.timer_armed = false;
+                if st.recovered {
+                    continue;
+                }
+                // Plan the repair request with the paper's chunking DP
+                // over the byte-correct mask.
+                let labels: Vec<bool> = (0..payload_len).map(|i| states[node].has(i)).collect();
+                let rl = RunLengths::from_labels(&labels);
+                let plan = plan_chunks(&rl, &CostModel::bytes(payload_len));
+                if plan.chunks.is_empty() {
+                    continue;
+                }
+                // Best recovered neighbor repairs; ties break to the
+                // lowest id (strict > comparison over exact gains).
+                cand_buf.clear();
+                index.candidates_into(&pts[node], &mut cand_buf);
+                let mut peer: Option<(usize, f64)> = None;
+                for &c in &cand_buf {
+                    let c = c as usize;
+                    if c == node || !states[c].recovered {
+                        continue;
+                    }
+                    let g = gain(c, node);
+                    if g / noise < SQUELCH_SNR {
+                        continue;
+                    }
+                    if peer.map(|(_, best)| g > best).unwrap_or(true) {
+                        peer = Some((c, g));
+                    }
+                }
+                if let Some((peer, _)) = peer {
+                    stats.repair_tx += 1;
+                    stats.repair_bytes_requested += plan.requested_units();
+                    let repair: Vec<u8> = plan
+                        .chunks
+                        .iter()
+                        .flat_map(|s| truth[s.start..s.end].iter().copied())
+                        .collect();
+                    let jitter = jitter_hash(
+                        params.seed ^ ((node as u64) << 20) ^ ((round as u64) << 8) ^ 0xA7,
+                    ) % JITTER_SPAN;
+                    let start = key.time + SAFE_WINDOW + jitter;
+                    schedule_tx(
+                        &mut txs,
+                        &mut q,
+                        peer,
+                        node as u16,
+                        start,
+                        repair,
+                        Some(plan.chunks.clone()),
+                    );
+                    if round + 1 < MAX_ARQ_ROUNDS {
+                        let repair_end = txs.last().unwrap().end();
+                        states[node].timer_armed = true;
+                        q.schedule(
+                            repair_end + ARQ_TIMEOUT,
+                            priority(prio::ARQ_TIMER, node as u32),
+                            SimEvent::ArqTimer {
+                                node,
+                                round: round + 1,
+                            },
+                        );
+                    }
+                } else if round + 1 < MAX_ARQ_ROUNDS {
+                    // Nobody nearby has the payload yet — retry after
+                    // the flood has had time to advance.
+                    states[node].timer_armed = true;
+                    q.schedule(
+                        key.time + 2 * ARQ_TIMEOUT,
+                        priority(prio::ARQ_TIMER, node as u32),
+                        SimEvent::ArqTimer {
+                            node,
+                            round: round + 1,
+                        },
+                    );
+                }
+            }
+            other => unreachable!("unexpected {other:?} in the mesh driver"),
+        }
+    }
+    let _ = pending_deadline;
+
+    stats.events_dispatched = q.dispatched();
+    stats.sim_chips = last_time;
+    stats.recovered = states.iter().filter(|s| s.recovered).count();
+    stats.correct_bytes = states.iter().map(|s| s.correct).sum();
+    stats
+}
+
+/// The `mesh10k` experiment.
+pub struct Mesh10k;
+
+impl Experiment for Mesh10k {
+    fn id(&self) -> &'static str {
+        "mesh10k"
+    }
+
+    fn title(&self) -> &'static str {
+        "Event core at scale: mesh broadcast flood with PP-ARQ"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 8.4 (extension)"
+    }
+
+    fn description(&self) -> &'static str {
+        "10k-node random-geometric flood through the event queue + spatial shards"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let params = MeshParams::from_scenario(scenario);
+        let s = run_mesh(&params, scenario.threads);
+        let sim_s = s.sim_seconds();
+        let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
+        res.text(format!(
+            "Event core at scale: {} nodes, density {:.1}, {} B bodies, eta {}\n\n\
+             coverage            {:>10.3}  ({} of {} nodes recovered)\n\
+             transmissions       {:>10}  ({} PP-ARQ repairs)\n\
+             receptions          {:>10}  evaluated ({} scheduled, {} skipped, {} half-duplex drops)\n\
+             events dispatched   {:>10}\n\
+             simulated time      {:>10.3}  s  ({:.0} packets/s of simulated airtime)\n\
+             spatial shards      {:>10}  (largest decode batch {})\n\
+             repair bytes asked  {:>10}\n\n\
+             Deterministic counts only: wall-clock events/sec for this run is\n\
+             measured by ppr-bench (BENCH_packed.json, mesh rows).\n",
+            s.nodes,
+            params.density,
+            params.body_bytes,
+            params.eta,
+            s.coverage(),
+            s.recovered,
+            s.nodes,
+            s.transmissions,
+            s.repair_tx,
+            s.receptions_evaluated,
+            s.receptions_scheduled,
+            s.receptions_skipped,
+            s.self_busy_drops,
+            s.events_dispatched,
+            sim_s,
+            s.transmissions as f64 / sim_s.max(1e-9),
+            s.shards,
+            s.max_batch,
+            s.repair_bytes_requested,
+        ));
+        res.metric("nodes", s.nodes as f64);
+        res.metric("recovered", s.recovered as f64);
+        res.metric("coverage", s.coverage());
+        res.metric("transmissions", s.transmissions as f64);
+        res.metric("repair_tx", s.repair_tx as f64);
+        res.metric("receptions_evaluated", s.receptions_evaluated as f64);
+        res.metric("receptions_skipped", s.receptions_skipped as f64);
+        res.metric("self_busy_drops", s.self_busy_drops as f64);
+        res.metric("events_dispatched", s.events_dispatched as f64);
+        res.metric("sim_seconds", sim_s);
+        res.metric(
+            "sim_packets_per_sec",
+            s.transmissions as f64 / sim_s.max(1e-9),
+        );
+        res.metric("spatial_shards", s.shards as f64);
+        res.metric("repair_bytes_requested", s.repair_bytes_requested as f64);
+        res.metric("correct_bytes", s.correct_bytes as f64);
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MeshParams {
+        MeshParams {
+            nodes: 300,
+            density: 12.0,
+            seed: 3,
+            eta: 6,
+            body_bytes: 250,
+        }
+    }
+
+    #[test]
+    fn flood_covers_most_of_a_small_mesh() {
+        let s = run_mesh(&small(), Some(1));
+        assert_eq!(s.nodes, 300);
+        assert!(s.coverage() > 0.8, "coverage {}", s.coverage());
+        assert!(s.transmissions >= s.nodes / 2, "tx {}", s.transmissions);
+        assert!(
+            s.receptions_evaluated > s.nodes,
+            "rx {}",
+            s.receptions_evaluated
+        );
+        assert!(s.events_dispatched > 0 && s.sim_chips > 0);
+        assert!(s.shards > 1);
+    }
+
+    #[test]
+    fn mesh_is_invariant_to_worker_count() {
+        // The whole determinism argument in one assertion: parallel
+        // decode fan-out must never change an outcome.
+        let a = run_mesh(&small(), Some(1));
+        let b = run_mesh(&small(), Some(4));
+        let c = run_mesh(&small(), Some(7));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn mesh_is_seed_stable_but_seed_sensitive() {
+        let a = run_mesh(&small(), None);
+        let b = run_mesh(&small(), None);
+        assert_eq!(a, b);
+        let mut p = small();
+        p.seed = 4;
+        let c = run_mesh(&p, None);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn repair_offsets_map_through_spans() {
+        let spans = vec![UnitRange::new(3, 5), UnitRange::new(10, 13)];
+        assert_eq!(map_repair_offset(&spans, 0), Some(3));
+        assert_eq!(map_repair_offset(&spans, 1), Some(4));
+        assert_eq!(map_repair_offset(&spans, 2), Some(10));
+        assert_eq!(map_repair_offset(&spans, 4), Some(12));
+        assert_eq!(map_repair_offset(&spans, 5), None);
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`table2`] | Table 2 — fragmented-CRC chunk-size sweep |
 //! | [`mrd`] | §8.4 — multi-radio diversity combining |
 //! | [`relay`] | §8.4 — partial-packet mesh forwarding |
+//! | [`mesh`] | §8.4 extension — 10k-node event-core flood with PP-ARQ |
 //! | [`table1`] | Table 1 — findings summary, distilled from the rest |
 //!
 //! Every experiment implements [`Experiment`] and registers itself in
@@ -25,6 +26,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod mesh;
 pub mod mrd;
 pub mod relay;
 pub mod table1;
@@ -67,7 +69,7 @@ pub trait Experiment: Sync {
 /// (derived experiments last, so [`Experiment::run_with`] finds their
 /// dependencies already computed).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 14] = [
+    static REGISTRY: [&dyn Experiment; 15] = [
         &fig03::Fig03,
         &table2::Table2,
         &fdr::FIG08,
@@ -81,6 +83,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &fig16::Fig16,
         &mrd::Mrd,
         &relay::Relay,
+        &mesh::Mesh10k,
         &table1::Table1,
     ];
     &REGISTRY
@@ -105,7 +108,7 @@ mod tests {
             assert!(!exp.paper_ref().is_empty());
             assert!(!exp.description().is_empty());
         }
-        assert_eq!(seen.len(), 14);
+        assert_eq!(seen.len(), 15);
         assert!(find("nonexistent").is_none());
     }
 
@@ -114,7 +117,7 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         for want in [
             "fig03", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "table1", "table2", "mrd", "relay",
+            "fig16", "table1", "table2", "mrd", "relay", "mesh10k",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -8,6 +8,9 @@
 //! receivers spread so each hears 4–8 senders at usable strength with
 //! link qualities from near-perfect to marginal.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 /// A planar position in meters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
@@ -48,6 +51,11 @@ pub struct Testbed {
     pub senders: Vec<Point>,
     /// Receiver positions, index = receiver id (R1..R4).
     pub receivers: Vec<Point>,
+    /// Apply the 3 × 3 room-grid wall attenuation
+    /// ([`Testbed::walls_between`])? True for the office layouts
+    /// (`fig7`, `grid` — the walls are the floor's), false for the
+    /// open-plan synthetic topologies (`random_geometric`, `mesh`).
+    pub wall_attenuation: bool,
 }
 
 impl Testbed {
@@ -79,7 +87,82 @@ impl Testbed {
             Point::new(18.5, 11.0),
             Point::new(26.0, 6.5),
         ];
-        Testbed { senders, receivers }
+        Testbed {
+            senders,
+            receivers,
+            wall_attenuation: true,
+        }
+    }
+
+    /// A regular `cols × rows` sender grid over the same office floor
+    /// (cell centers), with the four Fig. 7 receivers — a controlled
+    /// topology for density sweeps where every sender spacing is known.
+    pub fn grid(cols: usize, rows: usize) -> Testbed {
+        assert!(cols >= 1 && rows >= 1, "grid needs at least one cell");
+        let mut senders = Vec::with_capacity(cols * rows);
+        for row in 0..rows {
+            for col in 0..cols {
+                senders.push(Point::new(
+                    (col as f64 + 0.5) * FLOOR_X_M / cols as f64,
+                    (row as f64 + 0.5) * FLOOR_Y_M / rows as f64,
+                ));
+            }
+        }
+        Testbed {
+            senders,
+            receivers: Testbed::fig7().receivers,
+            wall_attenuation: true,
+        }
+    }
+
+    /// A random-geometric layout: [`NUM_SENDERS`] senders and
+    /// [`NUM_RECEIVERS`] receivers placed uniformly on a square sized so
+    /// the expected number of senders within `comm_radius_m` of a point
+    /// is `density` — the standard random-geometric-graph construction.
+    /// Open plan (no wall attenuation): the square is synthetic, not the
+    /// Fig. 7 floor.
+    pub fn random_geometric(seed: u64, density: f64, comm_radius_m: f64) -> Testbed {
+        let mut tb = Self::mesh(seed, NUM_SENDERS, density, comm_radius_m);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xC2B2_AE3D).wrapping_add(11));
+        let side = tb.side_hint();
+        tb.receivers = (0..NUM_RECEIVERS)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        tb
+    }
+
+    /// A mesh layout for the event-driven flood experiments: `nodes`
+    /// positions drawn uniformly on a square sized for an expected
+    /// `density` neighbors within `comm_radius_m`, with **senders and
+    /// receivers being the same node set** (every node both transmits
+    /// and receives). Open plan, no wall attenuation.
+    pub fn mesh(seed: u64, nodes: usize, density: f64, comm_radius_m: f64) -> Testbed {
+        assert!(nodes >= 2, "a mesh needs at least two nodes");
+        assert!(
+            density > 0.0 && comm_radius_m > 0.0,
+            "density and radius must be positive"
+        );
+        // Expected neighbors in a disk: n·πr²/A = density  ⇒
+        // side = r·√(nπ/density).
+        let side = comm_radius_m * (nodes as f64 * std::f64::consts::PI / density).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x1656_67B1).wrapping_add(5));
+        let senders: Vec<Point> = (0..nodes)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        Testbed {
+            receivers: senders.clone(),
+            senders,
+            wall_attenuation: false,
+        }
+    }
+
+    /// The bounding-square side the synthetic layouts were drawn on
+    /// (max coordinate; 0 for an empty testbed).
+    fn side_hint(&self) -> f64 {
+        self.senders
+            .iter()
+            .flat_map(|p| [p.x, p.y])
+            .fold(0.0f64, f64::max)
     }
 
     /// Distance from sender `s` to receiver `r`, meters.
@@ -160,6 +243,55 @@ mod tests {
         }
         assert!(min < 6.0, "closest link {min}");
         assert!(max > 15.0, "farthest link {max}");
+    }
+
+    #[test]
+    fn grid_layout_covers_floor_evenly() {
+        let tb = Testbed::grid(6, 4);
+        assert_eq!(tb.senders.len(), 24);
+        assert_eq!(tb.receivers.len(), NUM_RECEIVERS);
+        assert!(tb.wall_attenuation);
+        for p in &tb.senders {
+            assert!(p.x > 0.0 && p.x < FLOOR_X_M);
+            assert!(p.y > 0.0 && p.y < FLOOR_Y_M);
+        }
+        // Neighboring grid senders are exactly one pitch apart.
+        let pitch = FLOOR_X_M / 6.0;
+        assert!((tb.senders[0].distance(&tb.senders[1]) - pitch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_geometric_is_seed_stable_and_scaled() {
+        let a = Testbed::random_geometric(7, 10.0, 30.0);
+        let b = Testbed::random_geometric(7, 10.0, 30.0);
+        assert_eq!(a.senders, b.senders);
+        assert_eq!(a.receivers, b.receivers);
+        assert!(!a.wall_attenuation);
+        let c = Testbed::random_geometric(8, 10.0, 30.0);
+        assert_ne!(a.senders, c.senders);
+        // Higher density ⇒ smaller square.
+        let dense = Testbed::random_geometric(7, 20.0, 30.0);
+        assert!(dense.side_hint() < a.side_hint());
+    }
+
+    #[test]
+    fn mesh_nodes_are_both_senders_and_receivers() {
+        let tb = Testbed::mesh(3, 500, 12.0, 35.0);
+        assert_eq!(tb.senders.len(), 500);
+        assert_eq!(tb.senders, tb.receivers);
+        // Mean degree within the comm radius lands near the target
+        // density (Poisson-ish; generous tolerance, minus edge effects).
+        let r = 35.0;
+        let mut degree = 0usize;
+        for i in 0..tb.senders.len() {
+            for j in 0..tb.senders.len() {
+                if i != j && tb.senders[i].distance(&tb.senders[j]) <= r {
+                    degree += 1;
+                }
+            }
+        }
+        let mean = degree as f64 / tb.senders.len() as f64;
+        assert!((6.0..=14.0).contains(&mean), "mean degree {mean}");
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //! schemes and postamble arms (the paper's trace post-processing
 //! methodology).
 //!
-//! * [`geometry`] — the floor plan.
+//! * [`geometry`] — the floor plan, plus grid / random-geometric / mesh
+//!   layouts.
+//! * [`event`] — the deterministic discrete-event core
+//!   (`(time, priority, seq)`-keyed queue).
+//! * [`spatial`] — uniform-grid interference sharding for mesh-scale
+//!   dispatch.
 //! * [`traffic`] — Poisson packet arrivals.
-//! * [`network`] — timeline generation + reception processing.
+//! * [`network`] — timeline generation + reception processing (event
+//!   driven, with the time-stepped loop kept as a pinned reference).
 //! * [`rxpath`] — known-offset delimiter checks + `ppr-mac` decode.
 //! * [`metrics`] — CDF/CCDF and hint-statistics collectors.
 //! * [`env`](mod@env) — `PPR_DURATION` / `PPR_THREADS` parsing, in one
@@ -46,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod event;
 pub mod experiments;
 pub mod geometry;
 pub mod metrics;
@@ -54,8 +61,10 @@ pub mod report;
 pub mod results;
 pub mod rxpath;
 pub mod scenario;
+pub mod spatial;
 pub mod traffic;
 
+pub use event::{BinaryHeapQueue, EventKey, EventQueue, SimEvent};
 pub use experiments::{find, registry, Experiment};
 pub use geometry::{Point, Testbed};
 pub use metrics::{Cdf, HintHistogram, MissRunHistogram};
@@ -65,3 +74,4 @@ pub use network::{
 pub use results::{Block, Cell, ExperimentResult, Json, TableBlock};
 pub use rxpath::{Acquisition, FastRx};
 pub use scenario::{Backend, Scenario, ScenarioBuilder};
+pub use spatial::SpatialIndex;

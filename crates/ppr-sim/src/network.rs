@@ -22,6 +22,15 @@
 //! *identical* channel noise — the paper's "same trace, post-processed"
 //! methodology.
 //!
+//! Both stages now run over the discrete-event core ([`crate::event`]):
+//! the timeline generator schedules arrival/attempt events, and
+//! [`process_receptions`] drives transmission-start / reception-complete
+//! events through a [`crate::event::BinaryHeapQueue`]. The legacy
+//! implementations are kept verbatim as pinned references —
+//! [`generate_timeline_reference`] (the inline heap) and
+//! [`process_receptions_timestep`] (the time-stepped batch loop) — and
+//! `tests/event_parity.rs` holds all of them bit-identical.
+//!
 //! ## Determinism contract of the parallel reception loop
 //!
 //! [`process_receptions`] fans per-(transmission, receiver) work across
@@ -35,13 +44,17 @@
 //! 2. the only cross-reception state — a receiver's busy/idle window —
 //!    depends solely on earlier preamble hits at that receiver, which is
 //!    resolved in a cheap sequential pass between the parallel
-//!    prepare/decode phases;
+//!    prepare/decode phases, in event-pop order (= timeline order per
+//!    receiver);
 //! 3. outputs are collected in (receiver, timeline-order) slots, not in
-//!    completion order.
+//!    completion order;
+//! 4. event dispatch itself is totally ordered by the
+//!    `(time, priority, seq)` key of [`crate::event::EventKey`].
 //!
 //! `PPR_THREADS=1` forces the parallel structure onto one worker (still
 //! the packed path); `tests/packed_parity.rs` pins both equalities.
 
+use crate::event::{prio, priority, BinaryHeapQueue, EventQueue, SimEvent};
 use crate::geometry::Testbed;
 use crate::rxpath::{Acquisition, FastRx};
 use crate::traffic::{secs_to_chips, PoissonArrivals};
@@ -54,7 +67,7 @@ use ppr_phy::chips::ChipWords;
 use ppr_phy::spread::bytes_to_symbols;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Simulation parameters for one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,18 +140,33 @@ pub const WALL_LOSS_DB: f64 = 16.0;
 pub const SQUELCH_SNR: f64 = 2.5;
 
 impl RadioEnv {
-    /// Builds the environment with shadowing frozen from `seed`.
+    /// Builds the Fig. 7 environment with shadowing frozen from `seed`.
     pub fn new(seed: u64) -> Self {
-        let testbed = Testbed::fig7();
+        Self::with_testbed(seed, Testbed::fig7())
+    }
+
+    /// Builds the environment over an explicit floor plan ([`Testbed`]
+    /// constructor = the scenario `topology` axis). Wall attenuation
+    /// applies only when the testbed says so; the shadowing draw order
+    /// is identical either way, so `fig7` gains are unchanged from the
+    /// historical single-topology constructor.
+    pub fn with_testbed(seed: u64, testbed: Testbed) -> Self {
         let model = office_model();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         let ns = testbed.senders.len();
         let nr = testbed.receivers.len();
+        let walls_of = |a: &crate::geometry::Point, b: &crate::geometry::Point| -> usize {
+            if testbed.wall_attenuation {
+                Testbed::walls_between(a, b)
+            } else {
+                0
+            }
+        };
         let mut s2r_mw = vec![vec![0.0; nr]; ns];
         for (s, row) in s2r_mw.iter_mut().enumerate() {
             for (r, p) in row.iter_mut().enumerate() {
                 let d = testbed.sender_receiver_distance(s, r);
-                let walls = Testbed::walls_between(&testbed.senders[s], &testbed.receivers[r]);
+                let walls = walls_of(&testbed.senders[s], &testbed.receivers[r]);
                 let shadow = model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
                 *p = model.rx_power_mw(d, shadow);
             }
@@ -148,7 +176,7 @@ impl RadioEnv {
         for a in 0..ns {
             for b in (a + 1)..ns {
                 let d = testbed.sender_sender_distance(a, b);
-                let walls = Testbed::walls_between(&testbed.senders[a], &testbed.senders[b]);
+                let walls = walls_of(&testbed.senders[a], &testbed.senders[b]);
                 let shadow = model.draw_shadowing_db(&mut rng) + walls as f64 * WALL_LOSS_DB;
                 let p = model.rx_power_mw(d, shadow);
                 s2s_mw[a][b] = p;
@@ -241,6 +269,15 @@ enum Ev {
 /// reschedules itself after a CSMA backoff. Exactly one transmission is
 /// produced per arrival inside the horizon (queues drain in order; no
 /// packet is duplicated or dropped).
+///
+/// Runs over the discrete-event core: arrivals and attempts are
+/// [`SimEvent`]s in a [`BinaryHeapQueue`], with the priority word
+/// encoding `(class, sender)` so the pop order reproduces the legacy
+/// `(time, Ev, sender)` heap key exactly —
+/// [`generate_timeline_reference`] is the pinned legacy implementation
+/// and `tests/event_parity.rs` holds the two bit-identical (the
+/// generator shares one RNG across senders, so pop *order* is
+/// bit-visible in the output).
 pub fn generate_timeline(env: &RadioEnv, cfg: &SimConfig) -> Vec<Transmission> {
     let ns = env.testbed.senders.len();
     let frame_chips = Frame::chips_len_for_body(cfg.body_bytes) as u64;
@@ -249,6 +286,110 @@ pub fn generate_timeline(env: &RadioEnv, cfg: &SimConfig) -> Vec<Transmission> {
 
     // Payload rate excludes frame overhead: offered load counts payload
     // bytes, as the paper's per-node rates do.
+    let mut arrivals: Vec<PoissonArrivals> = (0..ns)
+        .map(|_| PoissonArrivals::new(cfg.load_kbps, cfg.body_bytes, &mut rng))
+        .collect();
+    let mut backlog = vec![0u32; ns];
+    let mut attempt_scheduled = vec![false; ns];
+    let mut next_free = vec![0u64; ns];
+    let mut seqs = vec![0u16; ns];
+
+    let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::with_capacity(2 * ns);
+    for (s, a) in arrivals.iter().enumerate() {
+        q.schedule(
+            a.peek(),
+            priority(prio::ARRIVAL, s as u32),
+            SimEvent::TrafficArrival { sender: s },
+        );
+    }
+
+    let mut timeline: Vec<Transmission> = Vec::new();
+    let mut next_id = 0u64;
+
+    while let Some((key, ev)) = q.pop() {
+        let t = key.time;
+        if t >= horizon {
+            // Arrivals beyond the horizon end the sender's stream; late
+            // attempts for already-queued packets are abandoned too (the
+            // run is over).
+            continue;
+        }
+        match ev {
+            SimEvent::TrafficArrival { sender: s } => {
+                backlog[s] += 1;
+                arrivals[s].pop(&mut rng);
+                q.schedule(
+                    arrivals[s].peek(),
+                    priority(prio::ARRIVAL, s as u32),
+                    SimEvent::TrafficArrival { sender: s },
+                );
+                if !attempt_scheduled[s] {
+                    attempt_scheduled[s] = true;
+                    let at = t.max(next_free[s]);
+                    q.schedule(
+                        at,
+                        priority(prio::ATTEMPT, s as u32),
+                        SimEvent::TxAttempt { sender: s },
+                    );
+                }
+            }
+            SimEvent::TxAttempt { sender: s } => {
+                debug_assert!(backlog[s] > 0);
+                let at = t.max(next_free[s]);
+                if at > t {
+                    q.schedule(
+                        at,
+                        priority(prio::ATTEMPT, s as u32),
+                        SimEvent::TxAttempt { sender: s },
+                    );
+                    continue;
+                }
+                if cfg.carrier_sense && channel_busy(env, &timeline, s, at, frame_chips) {
+                    let retry = at + csma_backoff_chips(&mut rng);
+                    q.schedule(
+                        retry,
+                        priority(prio::ATTEMPT, s as u32),
+                        SimEvent::TxAttempt { sender: s },
+                    );
+                    continue;
+                }
+                timeline.push(Transmission {
+                    id: next_id,
+                    sender: s,
+                    seq: seqs[s],
+                    start_chip: at,
+                    len_chips: frame_chips,
+                });
+                next_id += 1;
+                seqs[s] = seqs[s].wrapping_add(1);
+                next_free[s] = at + frame_chips + 320; // 160 µs turnaround
+                backlog[s] -= 1;
+                if backlog[s] > 0 {
+                    q.schedule(
+                        next_free[s],
+                        priority(prio::ATTEMPT, s as u32),
+                        SimEvent::TxAttempt { sender: s },
+                    );
+                } else {
+                    attempt_scheduled[s] = false;
+                }
+            }
+            _ => unreachable!("timeline generator schedules only arrivals and attempts"),
+        }
+    }
+    timeline.sort_by_key(|t| t.start_chip);
+    timeline
+}
+
+/// The legacy inline-heap timeline generator, kept verbatim as the
+/// pinned reference for [`generate_timeline`]'s event-core rework
+/// (`tests/event_parity.rs` holds the two bit-identical).
+pub fn generate_timeline_reference(env: &RadioEnv, cfg: &SimConfig) -> Vec<Transmission> {
+    let ns = env.testbed.senders.len();
+    let frame_chips = Frame::chips_len_for_body(cfg.body_bytes) as u64;
+    let horizon = secs_to_chips(cfg.duration_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4).wrapping_add(7));
+
     let mut arrivals: Vec<PoissonArrivals> = (0..ns)
         .map(|_| PoissonArrivals::new(cfg.load_kbps, cfg.body_bytes, &mut rng))
         .collect();
@@ -269,9 +410,6 @@ pub fn generate_timeline(env: &RadioEnv, cfg: &SimConfig) -> Vec<Transmission> {
 
     while let Some(std::cmp::Reverse((t, ev, s))) = heap.pop() {
         if t >= horizon {
-            // Arrivals beyond the horizon end the sender's stream; late
-            // attempts for already-queued packets are abandoned too (the
-            // run is over).
             continue;
         }
         match ev {
@@ -402,6 +540,9 @@ pub fn build_body_padded(scheme: &DeliveryScheme, payload: &[u8], body_bytes: us
 struct RxJob {
     r: usize,
     idx: usize,
+    /// Position in the receiver-major reference output order — where
+    /// this reception's result lands regardless of evaluation order.
+    slot: usize,
 }
 
 /// Phase-A output for one job: everything a reception needs that does
@@ -423,7 +564,11 @@ fn worker_threads(jobs: usize) -> usize {
 /// Maps `jobs` through `f` on `workers` scoped threads, preserving input
 /// order in the output. Falls back to an inline loop when one worker (or
 /// one job) makes spawning pointless.
-fn fan_out<J: Sync, T: Send>(workers: usize, jobs: &[J], f: impl Fn(&J) -> T + Sync) -> Vec<T> {
+pub(crate) fn fan_out<J: Sync, T: Send>(
+    workers: usize,
+    jobs: &[J],
+    f: impl Fn(&J) -> T + Sync,
+) -> Vec<T> {
     if workers <= 1 || jobs.len() <= 1 {
         return jobs.iter().map(&f).collect();
     }
@@ -445,13 +590,23 @@ fn fan_out<J: Sync, T: Send>(workers: usize, jobs: &[J], f: impl Fn(&J) -> T + S
         .collect()
 }
 
+/// Default prepare/decode batch size per worker: each in-flight batch
+/// holds `workers × BATCH_PER_WORKER` prepared captures. Swept in
+/// `bench_packed` (schema v5 `..._b{4,8,16,32}` rows); 8 stays the
+/// default — the sweep is flat within noise on the measured hardware,
+/// and 8 keeps peak memory lowest (see docs/PERF.md).
+pub const BATCH_PER_WORKER: usize = 8;
+
 /// Evaluates every transmission at every receiver under one arm.
 ///
-/// This is the packed, parallel fast path: chip streams are bit-packed
+/// This is the event-driven fast path: transmission starts and
+/// reception completions flow through a [`BinaryHeapQueue`] (total
+/// `(time, priority, seq)` order), chip streams are bit-packed
 /// [`ChipWords`] end to end, and per-(transmission, receiver) work runs
 /// on scoped worker threads (see the module docs for the determinism
-/// contract). Output is bit-identical to
-/// [`process_receptions_reference`].
+/// contract). Output is bit-identical to both the time-stepped batch
+/// loop ([`process_receptions_timestep`]) and the sequential reference
+/// ([`process_receptions_reference`]).
 pub fn process_receptions(
     env: &RadioEnv,
     cfg: &SimConfig,
@@ -473,74 +628,302 @@ pub fn process_receptions_with_workers(
     arm: &RxArm,
     workers: Option<usize>,
 ) -> Vec<Reception> {
-    let fast = FastRx::new(arm.postamble);
-    let noise = env.model.noise_mw();
-    let payload_len = arm.scheme.payload_len(cfg.body_bytes);
-    let nr = env.testbed.receivers.len();
+    process_receptions_tuned(env, cfg, timeline, arm, workers, BATCH_PER_WORKER)
+}
 
-    // Per-receiver interference views of the whole timeline.
-    let heard: Vec<Vec<HeardTx>> = (0..nr)
-        .map(|r| {
-            timeline
-                .iter()
-                .map(|tx| HeardTx {
-                    id: tx.id,
-                    start_chip: tx.start_chip,
-                    len_chips: tx.len_chips,
-                    power_mw: env.s2r_mw[tx.sender][r],
-                })
+/// The event-driven reception driver with every knob exposed: worker
+/// count and per-worker batch length (the `bench_packed` tuning
+/// surface). Results are invariant to both knobs — they only move work
+/// between batches, never reorder the sequential busy/idle fold or the
+/// output slots.
+pub fn process_receptions_tuned(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    workers: Option<usize>,
+    batch_per_worker: usize,
+) -> Vec<Reception> {
+    let pipe = RxPipeline::new(env, cfg, timeline, arm);
+    let nr = env.testbed.receivers.len();
+    let ns = env.testbed.senders.len();
+
+    // The squelch-passing receiver set of each sender — what event
+    // dispatch enumerates per TxStart instead of every receiver (at
+    // mesh scale this is where [`crate::spatial::SpatialIndex`] prunes;
+    // at testbed scale the gain row is the whole story).
+    let receivers_of: Vec<Vec<usize>> = (0..ns)
+        .map(|s| {
+            (0..nr)
+                .filter(|&r| env.s2r_mw[s][r] / pipe.noise >= SQUELCH_SNR)
                 .collect()
         })
         .collect();
 
+    // Receiver-major output slots: slot bases per receiver, filled in
+    // timeline order as TxStart events pop — the reference evaluation
+    // order, independent of batch boundaries and worker count.
+    let mut count = vec![0usize; nr];
+    for tx in timeline {
+        for &r in &receivers_of[tx.sender] {
+            count[r] += 1;
+        }
+    }
+    let mut base = vec![0usize; nr + 1];
+    for r in 0..nr {
+        base[r + 1] = base[r] + count[r];
+    }
+    let total_jobs = base[nr];
+    let mut next_slot: Vec<usize> = base[..nr].to_vec();
+
+    let workers = workers
+        .unwrap_or_else(|| worker_threads(total_jobs))
+        .clamp(1, total_jobs.max(1));
+    let batch_len = (workers * batch_per_worker).max(1);
+
+    // Timeline is (start_chip, id)-ordered, so scheduling in index
+    // order makes `seq` reproduce timeline order at equal start chips.
+    let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::with_capacity(timeline.len());
+    for (idx, tx) in timeline.iter().enumerate() {
+        q.schedule(
+            tx.start_chip,
+            priority(prio::TX_START, 0),
+            SimEvent::TxStart { tx: idx },
+        );
+    }
+
+    let mut out: Vec<Option<Reception>> = Vec::new();
+    out.resize_with(total_jobs, || None);
+    let mut busy_until = vec![0u64; nr];
+    // Captures awaiting their completion event, keyed by output slot.
+    // Bounded by what is actually on the air plus one batch — the
+    // event-driven analogue of the time-stepped loop's batch bound.
+    let mut in_flight: BTreeMap<usize, (RxJob, PreparedRx, bool)> = BTreeMap::new();
+    let mut prep_batch: Vec<RxJob> = Vec::with_capacity(batch_len);
+    let mut decode_batch: Vec<(RxJob, PreparedRx, bool)> = Vec::with_capacity(batch_len);
+
+    // Parallel prepare, then the sequential busy/idle fold in event-pop
+    // order (= timeline order per receiver), then schedule completions.
+    let flush_prepare =
+        |prep_batch: &mut Vec<RxJob>,
+         busy_until: &mut [u64],
+         q: &mut BinaryHeapQueue<SimEvent>,
+         in_flight: &mut BTreeMap<usize, (RxJob, PreparedRx, bool)>| {
+            let prepared = fan_out(workers, prep_batch, |j| pipe.prepare(j));
+            for (&job, prep) in prep_batch.iter().zip(prepared) {
+                let tx = &timeline[job.idx];
+                let idle = busy_until[job.r] <= tx.start_chip;
+                if idle && prep.pre_hit {
+                    busy_until[job.r] = tx.end_chip();
+                }
+                q.schedule(
+                    tx.end_chip(),
+                    priority(prio::RECEPTION, 0),
+                    SimEvent::ReceptionComplete {
+                        tx: job.idx,
+                        receiver: job.r,
+                        slot: job.slot,
+                    },
+                );
+                in_flight.insert(job.slot, (job, prep, idle));
+            }
+            prep_batch.clear();
+        };
+    // Parallel decode into the fixed output slots.
+    let flush_decode = |decode_batch: &mut Vec<(RxJob, PreparedRx, bool)>,
+                        out: &mut Vec<Option<Reception>>| {
+        let done = fan_out(workers, decode_batch, |(job, prep, idle)| {
+            pipe.finish(job, prep, *idle)
+        });
+        for ((job, _, _), rec) in decode_batch.iter().zip(done) {
+            out[job.slot] = Some(rec);
+        }
+        decode_batch.clear();
+    };
+
+    loop {
+        match q.pop() {
+            Some((_, SimEvent::TxStart { tx: idx })) => {
+                for &r in &receivers_of[timeline[idx].sender] {
+                    let slot = next_slot[r];
+                    next_slot[r] += 1;
+                    prep_batch.push(RxJob { r, idx, slot });
+                }
+                if prep_batch.len() >= batch_len {
+                    flush_prepare(&mut prep_batch, &mut busy_until, &mut q, &mut in_flight);
+                }
+            }
+            Some((_, SimEvent::ReceptionComplete { slot, .. })) => {
+                let entry = in_flight
+                    .remove(&slot)
+                    .expect("completion event for an in-flight reception");
+                decode_batch.push(entry);
+                if decode_batch.len() >= batch_len {
+                    flush_decode(&mut decode_batch, &mut out);
+                }
+            }
+            Some((_, ev)) => unreachable!("unexpected {ev:?} in the testbed driver"),
+            None => {
+                if !prep_batch.is_empty() {
+                    flush_prepare(&mut prep_batch, &mut busy_until, &mut q, &mut in_flight);
+                    continue; // the flush scheduled completion events
+                }
+                if !decode_batch.is_empty() {
+                    flush_decode(&mut decode_batch, &mut out);
+                }
+                break;
+            }
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every slot decoded by its completion event"))
+        .collect()
+}
+
+/// The time-stepped batch loop that was the production path before the
+/// event core (PR 2–7), kept as a pinned reference for driver parity
+/// (`tests/event_parity.rs`) and selectable via the scenario
+/// `driver=timestep` axis: it walks the receiver-major job list in
+/// fixed-size batches with no event queue at all.
+pub fn process_receptions_timestep(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    workers: Option<usize>,
+) -> Vec<Reception> {
+    let pipe = RxPipeline::new(env, cfg, timeline, arm);
+    let nr = env.testbed.receivers.len();
+
     // Job list in the reference evaluation order: receiver-major, then
     // timeline order. Below-squelch links never acquire; skip them here
     // exactly as the reference loop does.
-    let jobs: Vec<RxJob> = (0..nr)
+    let mut jobs: Vec<RxJob> = (0..nr)
         .flat_map(|r| {
             timeline
                 .iter()
                 .enumerate()
-                .filter(move |(_, tx)| env.s2r_mw[tx.sender][r] / noise >= SQUELCH_SNR)
-                .map(move |(idx, _)| RxJob { r, idx })
+                .filter(move |(_, tx)| env.s2r_mw[tx.sender][r] / pipe.noise >= SQUELCH_SNR)
+                .map(move |(idx, _)| RxJob { r, idx, slot: 0 })
         })
         .collect();
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.slot = i;
+    }
 
     let workers = workers
         .unwrap_or_else(|| worker_threads(jobs.len()))
         .clamp(1, jobs.len().max(1));
 
-    // Phase A: everything independent of the receiver's busy state.
-    let prepare = |job: &RxJob| -> PreparedRx {
-        let tx = &timeline[job.idx];
-        let signal = env.s2r_mw[tx.sender][job.r];
-        let payload = payload_pattern(tx.sender, tx.seq, payload_len);
-        let body = build_body_padded(&arm.scheme, &payload, cfg.body_bytes);
+    // Batches bound peak memory: each prepared job holds a full packed
+    // capture (~12 KB at 1500 B bodies), so only workers ×
+    // BATCH_PER_WORKER of them are alive at once. Phase B — the
+    // busy/idle chain — is the cheap sequential seam between the two
+    // parallel phases.
+    let mut out: Vec<Reception> = Vec::with_capacity(jobs.len());
+    let mut busy_until = vec![0u64; nr];
+    let batch_len = workers * BATCH_PER_WORKER;
+    for batch in jobs.chunks(batch_len.max(1)) {
+        let prepared = fan_out(workers, batch, |j| pipe.prepare(j));
+        let resolved: Vec<(RxJob, PreparedRx, bool)> = batch
+            .iter()
+            .zip(prepared)
+            .map(|(&job, prep)| {
+                let tx = &timeline[job.idx];
+                let idle = busy_until[job.r] <= tx.start_chip;
+                if idle && prep.pre_hit {
+                    busy_until[job.r] = tx.end_chip();
+                }
+                (job, prep, idle)
+            })
+            .collect();
+        out.extend(fan_out(workers, &resolved, |(job, prep, idle)| {
+            pipe.finish(job, prep, *idle)
+        }));
+    }
+    out
+}
+
+/// The shared per-(transmission, receiver) pipeline stages: everything
+/// both reception drivers do identically, so driver parity is about
+/// *orchestration* (event order, batching, slots) and never about the
+/// physics.
+struct RxPipeline<'a> {
+    env: &'a RadioEnv,
+    cfg: &'a SimConfig,
+    timeline: &'a [Transmission],
+    arm: &'a RxArm,
+    fast: FastRx,
+    noise: f64,
+    payload_len: usize,
+    /// Per-receiver interference views of the whole timeline.
+    heard: Vec<Vec<HeardTx>>,
+}
+
+impl<'a> RxPipeline<'a> {
+    fn new(
+        env: &'a RadioEnv,
+        cfg: &'a SimConfig,
+        timeline: &'a [Transmission],
+        arm: &'a RxArm,
+    ) -> Self {
+        let nr = env.testbed.receivers.len();
+        let heard: Vec<Vec<HeardTx>> = (0..nr)
+            .map(|r| {
+                timeline
+                    .iter()
+                    .map(|tx| HeardTx {
+                        id: tx.id,
+                        start_chip: tx.start_chip,
+                        len_chips: tx.len_chips,
+                        power_mw: env.s2r_mw[tx.sender][r],
+                    })
+                    .collect()
+            })
+            .collect();
+        RxPipeline {
+            env,
+            cfg,
+            timeline,
+            arm,
+            fast: FastRx::new(arm.postamble),
+            noise: env.model.noise_mw(),
+            payload_len: arm.scheme.payload_len(cfg.body_bytes),
+            heard,
+        }
+    }
+
+    /// Phase A: everything independent of the receiver's busy state.
+    fn prepare(&self, job: &RxJob) -> PreparedRx {
+        let tx = &self.timeline[job.idx];
+        let signal = self.env.s2r_mw[tx.sender][job.r];
+        let payload = payload_pattern(tx.sender, tx.seq, self.payload_len);
+        let body = build_body_padded(&self.arm.scheme, &payload, self.cfg.body_bytes);
         let frame = Frame::new(job.r as u16, tx.sender as u16, tx.seq, body);
         let mut corrupted = frame.chip_words();
-        let profile_spans = interference_profile(&heard[job.r][job.idx], &heard[job.r]);
-        let profile = ErrorProfile::from_interference(signal, noise, &profile_spans);
-        let mut rng = StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, job.r));
+        let profile_spans = interference_profile(&self.heard[job.r][job.idx], &self.heard[job.r]);
+        let profile = ErrorProfile::from_interference(signal, self.noise, &profile_spans);
+        let mut rng = StdRng::seed_from_u64(reception_rng_seed(self.cfg.seed, tx.id, job.r));
         corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
-        let pre_hit = fast.preamble_hit_words(&corrupted);
+        let pre_hit = self.fast.preamble_hit_words(&corrupted);
         PreparedRx {
             frame,
             payload,
             corrupted,
             pre_hit,
         }
-    };
+    }
 
-    // Phase C: decode + delivery under the resolved idle flag.
-    let finish = |job: &RxJob, prep: &PreparedRx, idle: bool| -> Reception {
-        let tx = &timeline[job.idx];
-        let (acq, rx_frame) = fast.receive_words(&prep.frame, &prep.corrupted, idle);
+    /// Phase C: decode + delivery under the resolved idle flag.
+    fn finish(&self, job: &RxJob, prep: &PreparedRx, idle: bool) -> Reception {
+        let tx = &self.timeline[job.idx];
+        let (acq, rx_frame) = self.fast.receive_words(&prep.frame, &prep.corrupted, idle);
         let mut rec = Reception {
             tx_id: tx.id,
             sender: tx.sender,
             receiver: job.r,
             acquisition: acq,
-            payload_len,
+            payload_len: self.payload_len,
             delivered_correct: 0,
             delivered_claimed: 0,
             crc_ok: false,
@@ -549,10 +932,10 @@ pub fn process_receptions_with_workers(
         };
         if let Some(rx) = rx_frame {
             rec.crc_ok = rx.pkt_crc_ok();
-            let delivered = arm.scheme.deliver(&rx);
+            let delivered = self.arm.scheme.deliver(&rx);
             rec.delivered_claimed = delivered.iter().map(|d| d.bytes.len()).sum();
             rec.delivered_correct = correct_delivered_bytes(&delivered, &prep.payload);
-            if arm.collect_symbols {
+            if self.arm.collect_symbols {
                 if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
                     let tx_symbols = bytes_to_symbols(&prep.frame.body);
                     let body_range = g.body();
@@ -567,41 +950,14 @@ pub fn process_receptions_with_workers(
             }
         }
         rec
-    };
-
-    // Batches bound peak memory: each prepared job holds a full packed
-    // capture (~12 KB at 1500 B bodies), so only workers × 8 of them are
-    // alive at once. Phase B — the busy/idle chain — is the cheap
-    // sequential seam between the two parallel phases.
-    let mut out: Vec<Reception> = Vec::with_capacity(jobs.len());
-    let mut busy_until = vec![0u64; nr];
-    let batch_len = workers * 8;
-    for batch in jobs.chunks(batch_len.max(1)) {
-        let prepared = fan_out(workers, batch, prepare);
-        let resolved: Vec<(RxJob, PreparedRx, bool)> = batch
-            .iter()
-            .zip(prepared)
-            .map(|(&job, prep)| {
-                let tx = &timeline[job.idx];
-                let idle = busy_until[job.r] <= tx.start_chip;
-                if idle && prep.pre_hit {
-                    busy_until[job.r] = tx.end_chip();
-                }
-                (job, prep, idle)
-            })
-            .collect();
-        out.extend(fan_out(workers, &resolved, |(job, prep, idle)| {
-            finish(job, prep, *idle)
-        }));
     }
-    out
 }
 
 /// The per-reception RNG seed: `(master seed, transmission id, receiver)`
 /// — one independent noise stream per (transmission, receiver) pair,
 /// which is what makes the parallel loop bit-identical to the sequential
 /// one.
-fn reception_rng_seed(seed: u64, tx_id: u64, receiver: usize) -> u64 {
+pub(crate) fn reception_rng_seed(seed: u64, tx_id: u64, receiver: usize) -> u64 {
     seed ^ (tx_id.wrapping_mul(0x2545_F491_4F6C_DD1D)) ^ ((receiver as u64) << 56)
 }
 

@@ -21,6 +21,7 @@
 //! sweep API.
 
 use crate::env;
+use crate::geometry::Testbed;
 use crate::network::SimConfig;
 use crate::results::Json;
 use ppr_mac::schemes::DeliveryScheme;
@@ -62,6 +63,132 @@ impl Backend {
     }
 }
 
+/// Default node count for the mesh flood experiment.
+pub const DEFAULT_MESH_NODES: usize = 10_000;
+
+/// Default expected neighbor count (mesh density) for the
+/// random-geometric layouts.
+pub const DEFAULT_MESH_DENSITY: f64 = 12.0;
+
+/// The sender layout a capacity run simulates — a first-class scenario
+/// axis (`--set topology=...`). Values use `:`-separated syntax because
+/// the CLI splits `--set` values on commas for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Topology {
+    /// The paper's Fig. 7 office floor (23 senders, 4 receivers).
+    #[default]
+    Fig7,
+    /// A regular `cols × rows` sender grid on the office floor
+    /// ([`Testbed::grid`]): syntax `grid:CxR`, e.g. `grid:6x4` (bare
+    /// `grid` means `grid:6x4`).
+    Grid {
+        /// Grid columns.
+        cols: usize,
+        /// Grid rows.
+        rows: usize,
+    },
+    /// A random-geometric layout ([`Testbed::random_geometric`]):
+    /// syntax `rg:SEED:DENSITY`, e.g. `rg:7:12`.
+    RandomGeometric {
+        /// Placement seed (independent of the scenario seed so layouts
+        /// can be swept while traffic stays fixed).
+        seed: u64,
+        /// Expected neighbors within the communication radius.
+        density: f64,
+    },
+}
+
+impl Topology {
+    /// The CLI/JSON name, e.g. `fig7`, `grid:6x4`, `rg:7:12`.
+    pub fn name(&self) -> String {
+        match self {
+            Topology::Fig7 => "fig7".to_string(),
+            Topology::Grid { cols, rows } => format!("grid:{cols}x{rows}"),
+            Topology::RandomGeometric { seed, density } => format!("rg:{seed}:{density}"),
+        }
+    }
+
+    /// Parses the CLI syntax (`fig7`, `grid`, `grid:CxR`,
+    /// `rg:SEED:DENSITY`).
+    pub fn parse(s: &str) -> Result<Topology, String> {
+        let s = s.trim();
+        if s == "fig7" {
+            return Ok(Topology::Fig7);
+        }
+        if s == "grid" {
+            return Ok(Topology::Grid { cols: 6, rows: 4 });
+        }
+        if let Some(spec) = s.strip_prefix("grid:") {
+            let (c, r) = spec
+                .split_once('x')
+                .ok_or_else(|| format!("invalid grid spec {s:?} (want grid:CxR)"))?;
+            let cols: usize = c
+                .parse()
+                .map_err(|_| format!("invalid grid columns {c:?} in {s:?}"))?;
+            let rows: usize = r
+                .parse()
+                .map_err(|_| format!("invalid grid rows {r:?} in {s:?}"))?;
+            if cols < 1 || rows < 1 {
+                return Err(format!("grid needs at least 1x1, got {s:?}"));
+            }
+            return Ok(Topology::Grid { cols, rows });
+        }
+        if let Some(spec) = s.strip_prefix("rg:") {
+            let (seed, density) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("invalid rg spec {s:?} (want rg:SEED:DENSITY)"))?;
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| format!("invalid rg seed {seed:?} in {s:?}"))?;
+            let density: f64 = density
+                .parse()
+                .map_err(|_| format!("invalid rg density {density:?} in {s:?}"))?;
+            if !(density.is_finite() && density > 0.0) {
+                return Err(format!("rg density must be positive, got {s:?}"));
+            }
+            return Ok(Topology::RandomGeometric { seed, density });
+        }
+        Err(format!(
+            "unknown topology {s:?} (want fig7 | grid:CxR | rg:SEED:DENSITY)"
+        ))
+    }
+
+    /// Builds the testbed. `comm_radius_m` sizes the random-geometric
+    /// square (the caller passes the propagation model's communication
+    /// range); the office layouts ignore it.
+    pub fn testbed(&self, comm_radius_m: f64) -> Testbed {
+        match *self {
+            Topology::Fig7 => Testbed::fig7(),
+            Topology::Grid { cols, rows } => Testbed::grid(cols, rows),
+            Topology::RandomGeometric { seed, density } => {
+                Testbed::random_geometric(seed, density, comm_radius_m)
+            }
+        }
+    }
+}
+
+/// Which reception driver a capacity run uses: the event-driven core
+/// (production) or the pinned time-stepped reference loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Driver {
+    /// The discrete-event driver over [`crate::event`].
+    #[default]
+    Event,
+    /// The pre-event-core time-stepped batch loop
+    /// ([`crate::network::process_receptions_timestep`]).
+    Timestep,
+}
+
+impl Driver {
+    /// The CLI/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Driver::Event => "event",
+            Driver::Timestep => "timestep",
+        }
+    }
+}
+
 /// One fully-resolved experiment parameterization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -90,6 +217,14 @@ pub struct Scenario {
     /// Carrier-sense override (`None` = each experiment's canonical
     /// arm).
     pub carrier_sense: Option<bool>,
+    /// Sender layout for the capacity experiments.
+    pub topology: Topology,
+    /// Reception driver (event-driven vs time-stepped reference).
+    pub driver: Driver,
+    /// Node count for the mesh flood experiment (`mesh10k`).
+    pub mesh_nodes: usize,
+    /// Expected neighbor count for the mesh / random-geometric layouts.
+    pub mesh_density: f64,
 }
 
 impl Scenario {
@@ -141,8 +276,13 @@ impl Scenario {
     }
 
     /// JSON snapshot (embedded in every serialized result).
+    ///
+    /// The PR 8 axes (`topology`, `driver`, `mesh_nodes`,
+    /// `mesh_density`) are emitted **only when non-default**: every
+    /// pre-existing scenario renders byte-identically, so the golden
+    /// registry fingerprint is untouched by their introduction.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("duration_s".into(), Json::num(self.duration_s)),
             ("seed".into(), Json::int(self.seed)),
             ("eta".into(), Json::int(self.eta as u64)),
@@ -172,7 +312,20 @@ impl Scenario {
                     None => Json::Null,
                 },
             ),
-        ])
+        ];
+        if self.topology != Topology::Fig7 {
+            fields.push(("topology".into(), Json::str(self.topology.name())));
+        }
+        if self.driver != Driver::Event {
+            fields.push(("driver".into(), Json::str(self.driver.name())));
+        }
+        if self.mesh_nodes != DEFAULT_MESH_NODES {
+            fields.push(("mesh_nodes".into(), Json::int(self.mesh_nodes as u64)));
+        }
+        if self.mesh_density != DEFAULT_MESH_DENSITY {
+            fields.push(("mesh_density".into(), Json::num(self.mesh_density)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -191,6 +344,10 @@ pub struct ScenarioBuilder {
     backend: Option<Backend>,
     load_kbps: Option<f64>,
     carrier_sense: Option<bool>,
+    topology: Option<Topology>,
+    driver: Option<Driver>,
+    mesh_nodes: Option<usize>,
+    mesh_density: Option<f64>,
 }
 
 /// The keys [`ScenarioBuilder::set`] accepts, with their value syntax —
@@ -213,6 +370,16 @@ pub const SCENARIO_KEYS: &[(&str, &str)] = &[
     ("backend", "chip (dsp reserved, not yet wired)"),
     ("load", "offered load kbit/s/node, e.g. load=13.8"),
     ("carrier_sense", "true | false"),
+    (
+        "topology",
+        "fig7 | grid:CxR | rg:SEED:DENSITY, e.g. topology=grid:6x4",
+    ),
+    ("driver", "event | timestep, e.g. driver=event"),
+    ("mesh_nodes", "mesh node count >= 2, e.g. mesh_nodes=10000"),
+    (
+        "mesh_density",
+        "expected neighbors > 0, e.g. mesh_density=12",
+    ),
 ];
 
 impl ScenarioBuilder {
@@ -284,6 +451,30 @@ impl ScenarioBuilder {
     /// Pins the carrier-sense arm for every experiment in the run.
     pub fn carrier_sense(mut self, v: bool) -> Self {
         self.carrier_sense = Some(v);
+        self
+    }
+
+    /// Sets the sender layout.
+    pub fn topology(mut self, v: Topology) -> Self {
+        self.topology = Some(v);
+        self
+    }
+
+    /// Sets the reception driver.
+    pub fn driver(mut self, v: Driver) -> Self {
+        self.driver = Some(v);
+        self
+    }
+
+    /// Sets the mesh flood node count.
+    pub fn mesh_nodes(mut self, v: usize) -> Self {
+        self.mesh_nodes = Some(v);
+        self
+    }
+
+    /// Sets the mesh / random-geometric density (expected neighbors).
+    pub fn mesh_density(mut self, v: f64) -> Self {
+        self.mesh_density = Some(v);
         self
     }
 
@@ -361,6 +552,38 @@ impl ScenarioBuilder {
                     }
                 });
             }
+            "topology" => {
+                self.topology = Some(Topology::parse(value).map_err(|e| format!("topology: {e}"))?)
+            }
+            "driver" => {
+                self.driver = Some(match value.trim() {
+                    "event" => Driver::Event,
+                    "timestep" => Driver::Timestep,
+                    _ => {
+                        return Err(format!(
+                            "invalid value {value:?} for driver (want event | timestep)"
+                        ))
+                    }
+                });
+            }
+            "mesh_nodes" => {
+                let v = parse_positive(key, value)?;
+                if v < 2 {
+                    return Err(format!(
+                        "invalid value {value:?} for mesh_nodes (want >= 2)"
+                    ));
+                }
+                self.mesh_nodes = Some(v);
+            }
+            "mesh_density" => {
+                let v: f64 = parse(key, value, "expected neighbors > 0")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "invalid value {value:?} for mesh_density (want > 0)"
+                    ));
+                }
+                self.mesh_density = Some(v);
+            }
             _ => {
                 let keys: Vec<&str> = SCENARIO_KEYS.iter().map(|&(k, _)| k).collect();
                 return Err(format!(
@@ -389,6 +612,10 @@ impl ScenarioBuilder {
             backend: self.backend.unwrap_or_default(),
             load_kbps: self.load_kbps,
             carrier_sense: self.carrier_sense,
+            topology: self.topology.unwrap_or_default(),
+            driver: self.driver.unwrap_or_default(),
+            mesh_nodes: self.mesh_nodes.unwrap_or(DEFAULT_MESH_NODES),
+            mesh_density: self.mesh_density.unwrap_or(DEFAULT_MESH_DENSITY),
         }
     }
 }
@@ -476,6 +703,12 @@ mod tests {
             ("backend", "dsp"),
             ("load", "0"),
             ("carrier_sense", "maybe"),
+            ("topology", "donut"),
+            ("topology", "grid:0x3"),
+            ("topology", "rg:7"),
+            ("driver", "warp"),
+            ("mesh_nodes", "1"),
+            ("mesh_density", "0"),
             ("nonsense", "1"),
         ] {
             let err = b.set(key, value).unwrap_err();
@@ -494,5 +727,53 @@ mod tests {
         assert!(j.starts_with(r#"{"duration_s":2,"seed":1,"eta":6"#), "{j}");
         assert!(j.contains(r#""backend":"chip""#));
         assert!(j.contains(r#""load_kbps":null"#));
+    }
+
+    #[test]
+    fn topology_parses_and_round_trips() {
+        assert_eq!(Topology::parse("fig7").unwrap(), Topology::Fig7);
+        assert_eq!(
+            Topology::parse("grid").unwrap(),
+            Topology::Grid { cols: 6, rows: 4 }
+        );
+        let g = Topology::parse("grid:8x3").unwrap();
+        assert_eq!(g, Topology::Grid { cols: 8, rows: 3 });
+        assert_eq!(Topology::parse(&g.name()).unwrap(), g);
+        let rg = Topology::parse("rg:7:12.5").unwrap();
+        assert_eq!(
+            rg,
+            Topology::RandomGeometric {
+                seed: 7,
+                density: 12.5
+            }
+        );
+        assert_eq!(Topology::parse(&rg.name()).unwrap(), rg);
+        assert_eq!(rg.testbed(35.0).senders.len(), crate::geometry::NUM_SENDERS);
+        assert_eq!(g.testbed(35.0).senders.len(), 24);
+        for bad in ["grid:0x3", "grid:ax3", "rg:7", "rg:x:2", "rg:1:-3", "donut"] {
+            assert!(Topology::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn new_axes_stay_out_of_default_json() {
+        // Fingerprint safety: a default scenario must render exactly as
+        // it did before the topology/driver/mesh axes existed.
+        let sc = ScenarioBuilder::new().duration_s(2.0).build();
+        let j = sc.to_json().render();
+        assert!(
+            !j.contains("topology") && !j.contains("driver") && !j.contains("mesh"),
+            "{j}"
+        );
+        let mut b = ScenarioBuilder::new();
+        b.set("topology", "grid:6x4").unwrap();
+        b.set("driver", "timestep").unwrap();
+        b.set("mesh_nodes", "400").unwrap();
+        b.set("mesh_density", "9").unwrap();
+        let j = b.build().to_json().render();
+        assert!(j.contains(r#""topology":"grid:6x4""#), "{j}");
+        assert!(j.contains(r#""driver":"timestep""#), "{j}");
+        assert!(j.contains(r#""mesh_nodes":400"#), "{j}");
+        assert!(j.contains(r#""mesh_density":9"#), "{j}");
     }
 }
