@@ -15,12 +15,23 @@
 //! [`Scenario`]. `--json DIR` writes one self-describing JSON document
 //! per (experiment, point) next to the text output.
 //!
-//! Exit status: 0 on success, 2 on usage errors (unknown id, malformed
-//! `--set`, unknown flag).
+//! `ppr-cli diff` is the differential harness: each selected experiment
+//! runs under every driver × checkpoint combination and the rendered
+//! reports are compared byte for byte; one reception checkpoint is then
+//! restored under every reception backend and the streams diffed event
+//! by event (`ppr_sim::diff`). Any disagreement exits 1 and — with
+//! `--json DIR` — writes a first-divergence report.
+//!
+//! Exit status: 0 on success, 1 on divergence, 2 on usage errors
+//! (unknown id, malformed `--set`, unknown flag).
 
+use ppr_sim::diff::{active_kernel_signature, cross_validate, standard_backends};
+use ppr_sim::experiments::common::CapacityRun;
 use ppr_sim::experiments::{find, registry, Experiment};
-use ppr_sim::results::ExperimentResult;
-use ppr_sim::scenario::{Scenario, ScenarioBuilder, SCENARIO_KEYS};
+use ppr_sim::network::{snapshot_after_events, RxArm};
+use ppr_sim::results::{ExperimentResult, Json};
+use ppr_sim::scenario::{Driver, Scenario, ScenarioBuilder, SCENARIO_KEYS};
+use ppr_sim::snapshot::RxSnapshot;
 
 /// Usage text printed by `--help` and on argument errors.
 const USAGE: &str = "\
@@ -28,12 +39,15 @@ usage:
   ppr-cli --list                     list registered experiments
   ppr-cli run <id>... [options]      run experiments by id
   ppr-cli run --all [options]        run the full registry
+  ppr-cli diff <id>... [options]     cross-validate experiments across
+  ppr-cli diff --all [options]       drivers, checkpoints and backends
 
 options:
   --set key=value[,value...]         scenario override; comma-separated
                                      values sweep the cartesian product
   --json DIR                         write one JSON result per
                                      (experiment, sweep point) into DIR
+                                     (for diff: the divergence report)
   --help                             this text
 
 scenario keys (builder > env > default):";
@@ -81,6 +95,14 @@ fn real_main(args: &[String]) -> i32 {
         }
         Some("run") => match parse_run_args(&args[1..]) {
             Ok(run_args) => run(&run_args),
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                print_usage(std::io::stderr());
+                2
+            }
+        },
+        Some("diff") => match parse_run_args(&args[1..]) {
+            Ok(run_args) => diff(&run_args),
             Err(e) => {
                 eprintln!("error: {e}\n");
                 print_usage(std::io::stderr());
@@ -280,6 +302,208 @@ fn run(args: &RunArgs) -> i32 {
         }
     }
     0
+}
+
+/// Default checkpoint epoch for `diff` when the scenario does not pin
+/// one (`--set checkpoint=N`): early enough that every short run still
+/// has work left after the restore, late enough that in-flight state
+/// exists when it is taken.
+const DIFF_DEFAULT_CHECKPOINT: u64 = 200;
+
+/// The driver × checkpoint combinations the experiment-level pass runs;
+/// the first is the baseline.
+fn diff_variants(base: &Scenario, checkpoint: u64) -> Vec<(&'static str, Scenario)> {
+    [
+        ("event", Driver::Event, None),
+        ("event+checkpoint", Driver::Event, Some(checkpoint)),
+        ("timestep", Driver::Timestep, None),
+        ("timestep+checkpoint", Driver::Timestep, Some(checkpoint)),
+    ]
+    .into_iter()
+    .map(|(name, driver, checkpoint)| {
+        let mut sc = base.clone();
+        sc.driver = driver;
+        sc.checkpoint = checkpoint;
+        (name, sc)
+    })
+    .collect()
+}
+
+fn diff(args: &RunArgs) -> i32 {
+    let selected: Vec<&'static dyn Experiment> = if args.all {
+        registry().to_vec()
+    } else {
+        args.ids
+            .iter()
+            .map(|id| find(id).expect("validated during parse"))
+            .collect()
+    };
+    if let Some(dir) = &args.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --json directory {dir:?}: {e}");
+            return 1;
+        }
+    }
+
+    let points = sweep_points(&args.sets);
+    let mut failures: Vec<Json> = Vec::new();
+    let mut stream_rows: Vec<Json> = Vec::new();
+    for (p, point) in points.iter().enumerate() {
+        let base = match scenario_for(point) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let label = point_label(point, &args.sets);
+        if points.len() > 1 {
+            if p > 0 {
+                println!();
+            }
+            println!("### sweep point {}/{}: {label}", p + 1, points.len());
+        }
+        let checkpoint = base.checkpoint.unwrap_or(DIFF_DEFAULT_CHECKPOINT);
+        println!(
+            "kernel: {}   checkpoint: {checkpoint} events",
+            active_kernel_signature()
+        );
+        println!();
+
+        // Experiment-level pass: every selected experiment under every
+        // driver × checkpoint combination; the rendered reports must be
+        // byte-identical.
+        let mut t = ppr_sim::report::Table::new(&[
+            "experiment",
+            "event+checkpoint",
+            "timestep",
+            "timestep+checkpoint",
+        ]);
+        for exp in &selected {
+            let variants = diff_variants(&base, checkpoint);
+            let baseline = exp.run(&variants[0].1).render_text();
+            let mut row = vec![exp.id().to_string()];
+            for (name, sc) in &variants[1..] {
+                let agree = exp.run(sc).render_text() == baseline;
+                row.push(if agree { "ok" } else { "DIVERGED" }.to_string());
+                if !agree {
+                    failures.push(Json::Obj(vec![
+                        ("experiment".into(), Json::str(exp.id())),
+                        ("variant".into(), Json::str(*name)),
+                        ("point".into(), Json::str(&label)),
+                    ]));
+                }
+            }
+            t.row(&row);
+        }
+        print!("{}", t.render());
+        println!();
+
+        // Stream-level pass: one reception checkpoint, restored under
+        // every backend, streams diffed event by event.
+        let mut event_base = base.clone();
+        event_base.driver = Driver::Event;
+        event_base.checkpoint = None;
+        let run = CapacityRun::from_scenario(&event_base, 13.8, false);
+        let arm = RxArm {
+            scheme: base.ppr_scheme(),
+            postamble: true,
+            collect_symbols: false,
+        };
+        let bytes = snapshot_after_events(
+            &run.env,
+            &run.cfg,
+            &run.timeline,
+            &arm,
+            base.threads,
+            checkpoint,
+        );
+        let snap = match RxSnapshot::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reception snapshot does not round-trip: {e}");
+                return 1;
+            }
+        };
+        let reports = match cross_validate(
+            &run.env,
+            &run.cfg,
+            &run.timeline,
+            &arm,
+            &snap,
+            &standard_backends(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: checkpoint restore failed: {e}");
+                return 1;
+            }
+        };
+        let mut t = ppr_sim::report::Table::new(&["backend", "stream fingerprint", "vs baseline"]);
+        for report in &reports {
+            let verdict = match &report.divergence {
+                None => "ok".to_string(),
+                Some(d) => format!("DIVERGED: {d}"),
+            };
+            t.row(&[
+                report.label.clone(),
+                format!("{:016x}", report.stream_fp),
+                verdict,
+            ]);
+            let mut fields = vec![
+                ("backend".into(), Json::str(&report.label)),
+                (
+                    "stream_fingerprint".into(),
+                    Json::str(format!("{:016x}", report.stream_fp)),
+                ),
+                ("point".into(), Json::str(&label)),
+            ];
+            if let Some(d) = &report.divergence {
+                fields.push((
+                    "first_divergence".into(),
+                    Json::Obj(vec![
+                        ("index".into(), Json::int(d.index as u64)),
+                        ("tx_id".into(), Json::int(d.tx_id)),
+                        ("sender".into(), Json::int(d.sender as u64)),
+                        ("receiver".into(), Json::int(d.receiver as u64)),
+                        ("end_chip".into(), Json::int(d.end_chip)),
+                        ("field".into(), Json::str(d.field)),
+                        ("baseline".into(), Json::str(&d.left)),
+                        ("candidate".into(), Json::str(&d.right)),
+                    ]),
+                ));
+                failures.push(Json::Obj(vec![
+                    ("backend".into(), Json::str(&report.label)),
+                    ("point".into(), Json::str(&label)),
+                    ("divergence".into(), Json::str(d.to_string())),
+                ]));
+            }
+            stream_rows.push(Json::Obj(fields));
+        }
+        print!("{}", t.render());
+    }
+
+    let diverged = !failures.is_empty();
+    if let Some(dir) = &args.json_dir {
+        let report = Json::Obj(vec![
+            ("kernel".into(), Json::str(active_kernel_signature())),
+            ("diverged".into(), Json::Bool(diverged)),
+            ("failures".into(), Json::Arr(failures)),
+            ("streams".into(), Json::Arr(stream_rows)),
+        ]);
+        let path = std::path::Path::new(dir).join("diff_report.json");
+        if let Err(e) = std::fs::write(&path, report.render()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return 1;
+        }
+    }
+    if diverged {
+        eprintln!("error: differential run diverged");
+        1
+    } else {
+        println!("\nall combinations agree");
+        0
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! | `no-float` | no float literals or `f32`/`f64` tokens inside declared `region(no-float)` spans (the Q23.40 planner scoring and CRC paths) |
 //! | `env-hygiene` | `std::env::var`/`var_os` only in `ppr_sim::env`, `ppr-cli` and `ppr-bench` |
 //! | `event-key-doc` | `ppr_sim::event` documents the heap ordering key verbatim — the literal `(time, priority, seq)` must appear in the module, so the total-order contract every driver leans on cannot silently rot out of the docs |
+//! | `snapshot-field-doc` | every field inside a declared `region(snapshot-state)` span carries a `snapshot:` comment stating whether it is serialized or rebuilt on restore, and the checkpointed drivers (`ppr_sim::network`, the mesh experiment) each declare at least one such region — so the snapshot format's field inventory cannot drift from the structs it serializes |
 //! | `directive` | `ppr-lint:` comments themselves parse and regions match (not suppressible) |
 //!
 //! Being lexical is a feature (no `syn`, no build, runs in
@@ -41,12 +42,13 @@ pub struct Finding {
 }
 
 /// Names of every lint, for `--list` and allow(...) validation.
-pub const LINT_NAMES: [&str; 6] = [
+pub const LINT_NAMES: [&str; 7] = [
     "determinism",
     "unsafe-containment",
     "no-float",
     "env-hygiene",
     "event-key-doc",
+    "snapshot-field-doc",
     "directive",
 ];
 
@@ -95,6 +97,7 @@ pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     no_float_lint(file, &mut findings);
     env_hygiene_lint(file, &mut findings);
     event_key_doc_lint(file, &mut findings);
+    snapshot_field_doc_lint(file, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -212,6 +215,101 @@ fn event_key_doc_lint(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Files that hold checkpointed driver state and therefore must declare
+/// at least one `region(snapshot-state)` span. The snapshot format's
+/// field inventory is only as trustworthy as the regions that opt the
+/// state in — a driver refactor that silently dropped its region would
+/// also drop the field-doc requirement below.
+const SNAPSHOT_STATE_FILES: [&str; 2] = [
+    "crates/ppr-sim/src/network.rs",
+    "crates/ppr-sim/src/experiments/mesh.rs",
+];
+
+/// `snapshot-field-doc`: inside a declared `region(snapshot-state)`
+/// span, every field declaration must carry a `snapshot:` comment (same
+/// line, or immediately above) stating whether the field is serialized
+/// into the checkpoint or rebuilt on restore. The checkpointed drivers
+/// themselves must declare such regions; anything else that opts in
+/// (snapshot structs, the event queue) gets the same field discipline.
+fn snapshot_field_doc_lint(file: &SourceFile, out: &mut Vec<Finding>) {
+    let has_region = file.regions.iter().any(|r| r.name == "snapshot-state");
+    if SNAPSHOT_STATE_FILES.contains(&file.rel_path.as_str()) && !has_region {
+        out.push(finding(
+            file,
+            1,
+            "snapshot-field-doc",
+            "this file holds checkpointed driver state and must declare at least one \
+             `region(snapshot-state)` span so every state field documents its snapshot fate"
+                .to_string(),
+        ));
+    }
+    if !has_region {
+        return;
+    }
+    // Declaration keywords that start non-field lines a region might
+    // still cover (struct headers, impl blocks, helper code).
+    const NON_FIELD_STARTERS: [&str; 16] = [
+        "struct",
+        "enum",
+        "union",
+        "impl",
+        "fn",
+        "let",
+        "use",
+        "mod",
+        "const",
+        "static",
+        "type",
+        "trait",
+        "where",
+        "match",
+        "macro_rules",
+        "return",
+    ];
+    let tokens = &file.lexed.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        let line = tokens[i].line;
+        let mut j = i;
+        while j < tokens.len() && tokens[j].line == line {
+            j += 1;
+        }
+        let line_toks = &tokens[i..j];
+        i = j;
+        if !file.in_region("snapshot-state", line) {
+            continue;
+        }
+        let TokenKind::Ident(first) = &line_toks[0].kind else {
+            continue; // closing braces, attributes, …
+        };
+        if NON_FIELD_STARTERS.contains(&first.as_str()) {
+            continue;
+        }
+        // A field declaration carries a single `name: Type` colon
+        // (`::` path separators are two adjacent colon tokens).
+        let single_colon = |k: usize| {
+            line_toks[k].kind == TokenKind::Punct(':')
+                && (k == 0 || line_toks[k - 1].kind != TokenKind::Punct(':'))
+                && line_toks
+                    .get(k + 1)
+                    .is_none_or(|t| t.kind != TokenKind::Punct(':'))
+        };
+        if !(0..line_toks.len()).any(single_colon) {
+            continue;
+        }
+        if !comment_covers(file, line, &|text: &str| text.contains("snapshot:")) {
+            out.push(finding(
+                file,
+                line,
+                "snapshot-field-doc",
+                "field inside a region(snapshot-state) span without a `snapshot:` comment \
+                 saying whether it is serialized into the checkpoint or rebuilt on restore"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Is token `i` followed by `:: now`?
 fn followed_by_now(tokens: &[crate::lexer::Token], i: usize) -> bool {
     matches!(
@@ -266,24 +364,30 @@ fn unsafe_containment_lint(file: &SourceFile, cfg: &Config, out: &mut Vec<Findin
 /// Looks for a SAFETY comment covering `line`: on the line itself, or
 /// scanning upward while lines are blank, comment-only, or attributes.
 fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
-    let is_safety = |l: u32| {
+    comment_covers(file, line, &comment_is_safety)
+}
+
+/// Does a comment matching `pred` cover `line` — on the line itself, or
+/// scanning upward while lines are blank, comment-only, or attributes?
+fn comment_covers(file: &SourceFile, line: u32, pred: &dyn Fn(&str) -> bool) -> bool {
+    let hit = |l: u32| {
         file.lexed
             .comments
             .iter()
-            .any(|c| c.line <= l && l <= c.end_line && comment_is_safety(&c.text))
+            .any(|c| c.line <= l && l <= c.end_line && pred(&c.text))
     };
-    if is_safety(line) {
+    if hit(line) {
         return true;
     }
     let mut l = line;
     while l > 1 {
         l -= 1;
-        if is_safety(l) {
+        if hit(l) {
             return true;
         }
         match file.lexed.first_token_on_line(l) {
             // Attributes (e.g. #[target_feature]) may sit between the
-            // SAFETY comment and the unsafe fn.
+            // comment and the item it covers.
             Some(tok) if tok.kind == TokenKind::Punct('#') => continue,
             Some(_) => return false,
             None => continue, // blank or comment-only line
@@ -401,7 +505,7 @@ mod tests {
     #[test]
     fn event_module_must_document_its_ordering_key() {
         // Any other file is out of scope, key or no key.
-        assert!(check("crates/ppr-sim/src/network.rs", "fn f() {}\n").is_empty());
+        assert!(check("crates/ppr-sim/src/rxpath.rs", "fn f() {}\n").is_empty());
 
         let bare = "//! An event queue.\npub struct Q;\n";
         let f = check("crates/ppr-sim/src/event.rs", bare);
@@ -497,9 +601,58 @@ let f = 4.0;
         assert!(check("crates/ppr-cli/src/main.rs", src).is_empty());
         assert!(check("crates/ppr-bench/src/lib.rs", src).is_empty());
         let os = "if std::env::var_os(\"X\").is_some() {}\n";
-        assert_eq!(check("crates/ppr-sim/src/network.rs", os).len(), 1);
+        assert_eq!(check("crates/ppr-sim/src/traffic.rs", os).len(), 1);
         // env::args (no var) is fine anywhere.
         assert!(check("crates/ppr-lint/src/main.rs", "let a = std::env::args();\n").is_empty());
+    }
+
+    #[test]
+    fn snapshot_fields_need_docs_only_inside_regions() {
+        let src = "\
+pub struct Driver {
+    // ppr-lint: region(snapshot-state) begin driver state
+    /// snapshot: serialized — the event queue.
+    q: Queue,
+    out: Vec<Option<Reception>>,
+    busy: Vec<u64>, // snapshot: serialized.
+    // ppr-lint: region(snapshot-state) end
+    scratch: Vec<u8>,
+}
+";
+        let f = check("crates/ppr-core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "snapshot-field-doc");
+        assert_eq!(f[0].line, 5); // `out` — undocumented; `scratch` is outside
+    }
+
+    #[test]
+    fn snapshot_region_skips_non_field_lines() {
+        let src = "\
+// ppr-lint: region(snapshot-state) begin whole struct, header included
+pub struct Snap {
+    /// snapshot: serialized.
+    pub seed: u64,
+}
+// ppr-lint: region(snapshot-state) end
+";
+        assert!(check("crates/ppr-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checkpointed_drivers_must_declare_snapshot_regions() {
+        let bare = "pub struct ReceptionDriver { q: Queue }\n";
+        for path in [
+            "crates/ppr-sim/src/network.rs",
+            "crates/ppr-sim/src/experiments/mesh.rs",
+        ] {
+            let f = check(path, bare);
+            assert!(
+                f.iter().any(|x| x.lint == "snapshot-field-doc"),
+                "{path}: {f:?}"
+            );
+        }
+        // Other files may simply not opt in.
+        assert!(check("crates/ppr-sim/src/event.rs", "// (time, priority, seq)\n").is_empty());
     }
 
     #[test]

@@ -362,6 +362,20 @@ impl DspKernel {
     }
 }
 
+/// The process's active kernel selection as one stable provenance
+/// string, `despread=<name> dsp=<name>`. Simulator snapshots record it
+/// so a restored run can report which code paths produced the capture,
+/// and the differential harness (`ppr-cli diff`) prints it per
+/// combination — the SIMD/scalar axis of a cross-validation run is
+/// visible in the report, not inferred.
+pub fn active_kernel_signature() -> String {
+    format!(
+        "despread={} dsp={}",
+        DespreadKernel::active().name(),
+        DspKernel::active().name()
+    )
+}
+
 /// Scalar reference for [`DspKernel::axpy_rotated`] — the exact loop
 /// the sample-level channel ran before vectorization.
 fn axpy_rotated_scalar(out: &mut [Complex32], wave: &[Complex32], rot: Complex32, amp: f32) {

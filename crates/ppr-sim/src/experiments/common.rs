@@ -8,11 +8,13 @@
 use crate::geometry::Testbed;
 use crate::metrics::Cdf;
 use crate::network::{
-    generate_timeline, office_model, process_receptions_timestep, process_receptions_with_workers,
-    RadioEnv, Reception, RxArm, SimConfig, Transmission, SQUELCH_SNR,
+    generate_timeline, office_model, process_receptions_checkpointed, process_receptions_timestep,
+    process_receptions_with_workers, resume_receptions_timestep, snapshot_after_events, RadioEnv,
+    Reception, RxArm, SimConfig, Transmission, SQUELCH_SNR,
 };
 use crate::rxpath::Acquisition;
 use crate::scenario::{Driver, Scenario, DEFAULT_SEED};
+use crate::snapshot::RxSnapshot;
 use ppr_mac::schemes::DeliveryScheme;
 
 /// One standard capacity run: environment + timeline, reusable across
@@ -28,6 +30,8 @@ pub struct CapacityRun {
     pub threads: Option<usize>,
     /// Which reception driver evaluates the arms.
     pub driver: Driver,
+    /// Snapshot/restore exercise point (`None` = run uninterrupted).
+    pub checkpoint: Option<u64>,
 }
 
 impl CapacityRun {
@@ -41,7 +45,7 @@ impl CapacityRun {
             duration_s,
             seed: DEFAULT_SEED,
         };
-        Self::from_config(cfg, None, Testbed::fig7(), Driver::Event)
+        Self::from_config(cfg, None, Testbed::fig7(), Driver::Event, None)
     }
 
     /// Builds a run for a scenario at the experiment's canonical load
@@ -57,6 +61,7 @@ impl CapacityRun {
             scenario.threads,
             scenario.topology.testbed(comm_radius_m),
             scenario.driver,
+            scenario.checkpoint,
         )
     }
 
@@ -65,6 +70,7 @@ impl CapacityRun {
         threads: Option<usize>,
         testbed: Testbed,
         driver: Driver,
+        checkpoint: Option<u64>,
     ) -> Self {
         let env = RadioEnv::with_testbed(cfg.seed, testbed);
         let timeline = generate_timeline(&env, &cfg);
@@ -74,6 +80,7 @@ impl CapacityRun {
             timeline,
             threads,
             driver,
+            checkpoint,
         }
     }
 
@@ -81,17 +88,56 @@ impl CapacityRun {
     /// run's driver (event-driven by default; the time-stepped pinned
     /// reference under `driver=timestep`). Both produce bit-identical
     /// [`Reception`] streams — `tests/event_parity.rs` pins it.
+    ///
+    /// With a `checkpoint` set, the run is driven to that event
+    /// boundary by the event core, serialized through the binary
+    /// snapshot format, and completed under the run's driver — still
+    /// bit-identical, which `tests/snapshot_roundtrip.rs` pins for the
+    /// whole registry.
     pub fn receptions(&self, arm: &RxArm) -> Vec<Reception> {
-        match self.driver {
-            Driver::Event => process_receptions_with_workers(
+        match (self.driver, self.checkpoint) {
+            (Driver::Event, None) => process_receptions_with_workers(
                 &self.env,
                 &self.cfg,
                 &self.timeline,
                 arm,
                 self.threads,
             ),
-            Driver::Timestep => {
+            (Driver::Event, Some(events)) => process_receptions_checkpointed(
+                &self.env,
+                &self.cfg,
+                &self.timeline,
+                arm,
+                self.threads,
+                events,
+            ),
+            (Driver::Timestep, None) => {
                 process_receptions_timestep(&self.env, &self.cfg, &self.timeline, arm, self.threads)
+            }
+            (Driver::Timestep, Some(events)) => {
+                // The checkpoint is always taken by the event core (the
+                // timestep loop has no event counter); the *resume*
+                // runs the time-stepped reference — cross-driver resume
+                // in one run.
+                let bytes = snapshot_after_events(
+                    &self.env,
+                    &self.cfg,
+                    &self.timeline,
+                    arm,
+                    self.threads,
+                    events,
+                );
+                let snap =
+                    RxSnapshot::from_bytes(&bytes).expect("reception snapshot bytes round-trip");
+                resume_receptions_timestep(
+                    &self.env,
+                    &self.cfg,
+                    &self.timeline,
+                    arm,
+                    &snap,
+                    self.threads,
+                )
+                .expect("reception snapshot resumes against its own run")
             }
         }
     }

@@ -60,6 +60,7 @@ use crate::network::{fan_out, office_model, payload_pattern, reception_rng_seed,
 use crate::results::ExperimentResult;
 use crate::rxpath::FastRx;
 use crate::scenario::Scenario;
+use crate::snapshot::{MeshNodeSnapshot, MeshSnapshot, MeshTxSnapshot, SnapError};
 use crate::spatial::SpatialIndex;
 use ppr_channel::chip_channel::{corrupt_chip_words_in_place, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
@@ -190,19 +191,27 @@ impl MeshStats {
 }
 
 /// One on-air frame of the mesh run.
+// ppr-lint: region(snapshot-state) begin mesh transmission store
 struct MeshTx {
+    /// snapshot: serialized — transmitting node.
     sender: usize,
-    /// Link-layer destination ([`BROADCAST`] for flood frames, the
-    /// requester for repairs).
+    /// snapshot: serialized — link-layer destination ([`BROADCAST`] for
+    /// flood frames, the requester for repairs).
     dst: u16,
+    /// snapshot: serialized — start chip.
     start: u64,
+    /// snapshot: rebuilt — derived from the reconstructed frame.
     len: u64,
+    /// snapshot: rebuilt — the frame bytes are reconstructed from the
+    /// ground-truth payload (flood) or the repair spans; the sequence
+    /// number is the transmission's index in the store.
     frame: Frame,
-    /// For repairs: the payload spans this frame carries, in original
-    /// payload coordinates (the receiver maps delivered bytes back
-    /// through them).
+    /// snapshot: serialized — for repairs: the payload spans this frame
+    /// carries, in original payload coordinates (the receiver maps
+    /// delivered bytes back through them).
     spans: Option<Vec<UnitRange>>,
 }
+// ppr-lint: region(snapshot-state) end
 
 impl MeshTx {
     fn end(&self) -> u64 {
@@ -210,16 +219,25 @@ impl MeshTx {
     }
 }
 
-/// Per-node protocol state.
+/// Per-node protocol state — the per-link PP-ARQ session state of the
+/// flood. The chunking DP's scratch is *not* part of it: a repair plan
+/// reconstructs its working state from the byte-correct mask on demand,
+/// which is why checkpoints exclude `ChunkScratch` contents entirely.
 #[derive(Clone)]
+// ppr-lint: region(snapshot-state) begin mesh per-node ARQ session state
 struct NodeState {
-    /// Byte-correct bitmask over the payload.
+    /// snapshot: serialized — byte-correct bitmask over the payload.
     mask: Vec<u64>,
+    /// snapshot: serialized — correct-byte count (cached popcount).
     correct: usize,
+    /// snapshot: serialized — full payload recovered.
     recovered: bool,
+    /// snapshot: serialized — rebroadcast already scheduled.
     rebroadcasted: bool,
+    /// snapshot: serialized — a PP-ARQ timer is armed.
     timer_armed: bool,
 }
+// ppr-lint: region(snapshot-state) end
 
 impl NodeState {
     fn new(payload_len: usize) -> Self {
@@ -269,61 +287,182 @@ fn map_repair_offset(spans: &[UnitRange], off: usize) -> Option<usize> {
 /// stats are bit-identical for every value — the flush-window rule above
 /// is what guarantees it.
 pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
-    let model = mesh_model();
-    let noise = model.noise_mw();
-    let comm_radius = model.range_at_snr_m(SQUELCH_SNR);
-    let tb = Testbed::mesh(params.seed, params.nodes, params.density, comm_radius);
-    let pts: &[Point] = &tb.senders;
-    let n = pts.len();
-    let index = SpatialIndex::build(pts, model.interference_radius_m());
+    MeshDriver::new(params, threads).run_to_end()
+}
 
-    let scheme = DeliveryScheme::Ppr { eta: params.eta };
-    let payload_len = scheme.payload_len(params.body_bytes);
+/// [`run_mesh`] with a checkpoint in the middle: the flood is driven to
+/// the `checkpoint_events` dispatch boundary, serialized, restored from
+/// the bytes, and completed. Stats (including the flush-batch counters
+/// the rendered report prints) are bit-identical to an uninterrupted
+/// run: a checkpoint serializes the pending decode batch *as is* rather
+/// than forcing an early flush, so batch boundaries never move.
+pub fn run_mesh_checkpointed(
+    params: &MeshParams,
+    threads: Option<usize>,
+    checkpoint_events: u64,
+) -> MeshStats {
+    let mut driver = MeshDriver::new(params, threads);
+    driver.run_events(checkpoint_events);
+    let bytes = driver.save().to_bytes();
+    drop(driver);
+    let snap = MeshSnapshot::from_bytes(&bytes).expect("mesh snapshot bytes round-trip");
+    MeshDriver::restore(params, threads, &snap)
+        .expect("mesh snapshot restores against its own params")
+        .run_to_end()
+}
 
-    // Source: the node nearest the center of the deployment square.
-    let side = pts.iter().flat_map(|p| [p.x, p.y]).fold(0.0f64, f64::max);
-    let center = Point::new(side / 2.0, side / 2.0);
-    let source = (0..n)
-        .min_by(|&a, &b| {
-            pts[a]
-                .distance(&center)
-                .partial_cmp(&pts[b].distance(&center))
-                .unwrap()
-        })
-        .expect("mesh has nodes");
+/// The mesh flood as a resumable state machine: the event loop of the
+/// module docs, with [`MeshDriver::save`]/[`MeshDriver::restore`] to
+/// checkpoint it at any event boundary. Unlike the testbed driver, a
+/// mesh checkpoint does *not* flush the pending decode batch — the
+/// batch (and its deadline) is serialized verbatim, so the flush
+/// statistics printed in the experiment report are unchanged by
+/// checkpointing.
+pub struct MeshDriver {
+    // ppr-lint: region(snapshot-state) begin mesh flood driver state
+    /// snapshot: identity — run parameters, validated on restore.
+    params: MeshParams,
+    /// snapshot: rebuilt — propagation model, derived from nothing.
+    model: PathLossModel,
+    /// snapshot: rebuilt — noise floor, derived from the model.
+    noise: f64,
+    /// snapshot: rebuilt — node placement, derived from the seed.
+    tb: Testbed,
+    /// snapshot: rebuilt — spatial shards, derived from the placement.
+    index: SpatialIndex,
+    /// snapshot: rebuilt — delivery scheme, derived from η.
+    scheme: DeliveryScheme,
+    /// snapshot: rebuilt — payload length, derived from the scheme.
+    payload_len: usize,
+    /// snapshot: rebuilt — ground-truth payload, derived from the
+    /// seed-determined flood source.
+    truth: Vec<u8>,
+    /// snapshot: rebuilt — stateless per-packet receiver.
+    fast: FastRx,
+    /// snapshot: rebuilt — execution knob (thread count), never
+    /// simulation state; results are invariant to it.
+    workers: usize,
+    /// snapshot: serialized — per-node PP-ARQ session state
+    /// (`ChunkScratch` contents excluded: the DP reconstructs its
+    /// working state from the mask on demand).
+    states: Vec<NodeState>,
+    /// snapshot: serialized — the transmission store, as
+    /// (sender, dst, start, spans); frames are reconstructed.
+    txs: Vec<MeshTx>,
+    /// snapshot: rebuilt — per-sender (start, end, id) transmission
+    /// windows, reconstructed from `started` and the store.
+    own_tx: Vec<Vec<(u64, u64, u64)>>,
+    /// snapshot: serialized — tx ids whose TxStart already dispatched,
+    /// in dispatch order.
+    started: Vec<usize>,
+    /// snapshot: serialized — the event queue with keys verbatim, plus
+    /// its push/dispatch counters.
+    q: BinaryHeapQueue<SimEvent>,
+    /// snapshot: serialized — every deterministic counter, flat in
+    /// field order.
+    stats: MeshStats,
+    /// snapshot: serialized — completed-but-undecoded receptions, in
+    /// pop order (never flushed early by a checkpoint).
+    pending: Vec<(usize, usize)>,
+    /// snapshot: serialized — flush deadline of the pending batch.
+    pending_deadline: u64,
+    /// snapshot: rebuilt — scratch buffer for spatial candidate lists.
+    cand_buf: Vec<u32>,
+    /// snapshot: serialized — chip time of the last dispatched event.
+    last_time: u64,
+    // ppr-lint: region(snapshot-state) end
+}
 
-    let truth = payload_pattern(source, 0, payload_len);
-    let gain = |s: usize, r: usize| model.rx_power_mw(pts[s].distance(&pts[r]), 0.0);
-    let fast = FastRx::new(true);
-    let workers = threads.unwrap_or_else(crate::env::threads_from_env).max(1);
+impl MeshDriver {
+    /// Builds a driver at event zero: placement, spatial index and
+    /// source selection done, the source's flood frame scheduled.
+    pub fn new(params: &MeshParams, threads: Option<usize>) -> Self {
+        let model = mesh_model();
+        let noise = model.noise_mw();
+        let comm_radius = model.range_at_snr_m(SQUELCH_SNR);
+        let tb = Testbed::mesh(params.seed, params.nodes, params.density, comm_radius);
+        let pts: &[Point] = &tb.senders;
+        let n = pts.len();
+        let index = SpatialIndex::build(pts, model.interference_radius_m());
 
-    let mut states: Vec<NodeState> = vec![NodeState::new(payload_len); n];
-    states[source].mask.fill(u64::MAX);
-    states[source].correct = payload_len;
-    states[source].recovered = true;
-    states[source].rebroadcasted = true;
+        let scheme = DeliveryScheme::Ppr { eta: params.eta };
+        let payload_len = scheme.payload_len(params.body_bytes);
 
-    let mut txs: Vec<MeshTx> = Vec::new();
-    let mut own_tx: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); n]; // (start, end, tx id)
-    let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::new();
-    let mut stats = MeshStats {
-        nodes: n,
-        shards: index.shard_count(),
-        ..Default::default()
-    };
+        // Source: the node nearest the center of the deployment square.
+        let side = pts.iter().flat_map(|p| [p.x, p.y]).fold(0.0f64, f64::max);
+        let center = Point::new(side / 2.0, side / 2.0);
+        let source = (0..n)
+            .min_by(|&a, &b| {
+                pts[a]
+                    .distance(&center)
+                    .partial_cmp(&pts[b].distance(&center))
+                    .unwrap()
+            })
+            .expect("mesh has nodes");
 
-    let schedule_tx = |txs: &mut Vec<MeshTx>,
-                       q: &mut BinaryHeapQueue<SimEvent>,
-                       sender: usize,
-                       dst: u16,
-                       start: u64,
-                       body: Vec<u8>,
-                       spans: Option<Vec<UnitRange>>| {
-        let seq = txs.len() as u16;
+        let truth = payload_pattern(source, 0, payload_len);
+        let workers = threads.unwrap_or_else(crate::env::threads_from_env).max(1);
+
+        let mut states: Vec<NodeState> = vec![NodeState::new(payload_len); n];
+        states[source].mask.fill(u64::MAX);
+        states[source].correct = payload_len;
+        states[source].recovered = true;
+        states[source].rebroadcasted = true;
+
+        let stats = MeshStats {
+            nodes: n,
+            shards: index.shard_count(),
+            ..Default::default()
+        };
+        let mut driver = MeshDriver {
+            params: *params,
+            model,
+            noise,
+            tb,
+            index,
+            scheme,
+            payload_len,
+            truth: truth.clone(),
+            fast: FastRx::new(true),
+            workers,
+            states,
+            txs: Vec::new(),
+            own_tx: vec![Vec::new(); n], // (start, end, tx id)
+            started: Vec::new(),
+            q: BinaryHeapQueue::new(),
+            stats,
+            // Pending completed-but-undecoded receptions, in pop order
+            // as (tx idx, receiver).
+            pending: Vec::new(),
+            pending_deadline: u64::MAX,
+            cand_buf: Vec::new(),
+            last_time: 0,
+        };
+        driver.schedule_tx(source, BROADCAST, 0, truth, None);
+        driver
+    }
+
+    /// Mean-power link gain (the mesh model has zero shadowing).
+    fn gain(&self, s: usize, r: usize) -> f64 {
+        self.model
+            .rx_power_mw(self.tb.senders[s].distance(&self.tb.senders[r]), 0.0)
+    }
+
+    /// Appends a transmission to the store (its sequence number is its
+    /// index) and schedules its TxStart.
+    fn schedule_tx(
+        &mut self,
+        sender: usize,
+        dst: u16,
+        start: u64,
+        body: Vec<u8>,
+        spans: Option<Vec<UnitRange>>,
+    ) {
+        let seq = self.txs.len() as u16;
         let frame = Frame::new(dst, sender as u16, seq, body);
         let len = frame.chips_len() as u64;
-        let idx = txs.len();
-        txs.push(MeshTx {
+        let idx = self.txs.len();
+        self.txs.push(MeshTx {
             sender,
             dst,
             start,
@@ -331,186 +470,175 @@ pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
             frame,
             spans,
         });
-        q.schedule(
+        self.q.schedule(
             start,
             priority(prio::TX_START, sender as u32),
             SimEvent::TxStart { tx: idx },
         );
-    };
+    }
 
-    schedule_tx(&mut txs, &mut q, source, BROADCAST, 0, truth.clone(), None);
-
-    // Pending completed-but-undecoded receptions, in pop order.
-    let mut pending: Vec<(usize, usize)> = Vec::new(); // (tx idx, receiver)
-    let mut pending_deadline = u64::MAX;
-    let mut cand_buf: Vec<u32> = Vec::new();
-    let mut last_time = 0u64;
-
-    // Decodes the pending batch and applies outcomes in batch order.
-    // Outcomes: mask updates, first-recovery rebroadcast scheduling, ARQ
-    // timer arming. Everything the parallel phase reads (`txs`,
-    // `own_tx`, positions) is frozen for the duration of the flush.
-    macro_rules! flush {
-        () => {{
-            if !pending.is_empty() {
-                // Work selection is sequential and reads only
-                // pre-flush state, so it is batch-order deterministic.
-                let mut work: Vec<(usize, usize)> = Vec::new();
-                for &(ti, r) in &pending {
-                    let t = &txs[ti];
-                    if t.dst != BROADCAST && t.dst != r as u16 {
-                        stats.receptions_skipped += 1;
-                        continue;
-                    }
-                    // Half-duplex before anything else: a transmitting
-                    // node hears nothing, recovered or not.
-                    if own_tx[r]
-                        .iter()
-                        .any(|&(s, e, _)| s < t.end() && t.start < e)
-                    {
-                        stats.self_busy_drops += 1;
-                        continue;
-                    }
-                    if states[r].recovered {
-                        stats.receptions_skipped += 1;
-                        continue;
-                    }
-                    work.push((ti, r));
+    /// Decodes the pending batch and applies outcomes in batch order.
+    /// Outcomes: mask updates, first-recovery rebroadcast scheduling,
+    /// ARQ timer arming. Everything the parallel phase reads (`txs`,
+    /// `own_tx`, positions) is frozen for the duration of the flush.
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            // Work selection is sequential and reads only pre-flush
+            // state, so it is batch-order deterministic.
+            let mut work: Vec<(usize, usize)> = Vec::new();
+            for &(ti, r) in &self.pending {
+                let t = &self.txs[ti];
+                if t.dst != BROADCAST && t.dst != r as u16 {
+                    self.stats.receptions_skipped += 1;
+                    continue;
                 }
-                stats.receptions_evaluated += work.len();
-                stats.flush_batches += 1;
-                stats.max_batch = stats.max_batch.max(work.len());
+                // Half-duplex before anything else: a transmitting
+                // node hears nothing, recovered or not.
+                if self.own_tx[r]
+                    .iter()
+                    .any(|&(s, e, _)| s < t.end() && t.start < e)
+                {
+                    self.stats.self_busy_drops += 1;
+                    continue;
+                }
+                if self.states[r].recovered {
+                    self.stats.receptions_skipped += 1;
+                    continue;
+                }
+                work.push((ti, r));
+            }
+            self.stats.receptions_evaluated += work.len();
+            self.stats.flush_batches += 1;
+            self.stats.max_batch = self.stats.max_batch.max(work.len());
 
-                let outcomes: Vec<Option<Vec<Delivered>>> = fan_out(workers, &work, |&(ti, r)| {
-                    let t = &txs[ti];
-                    let signal = gain(t.sender, r);
-                    let me = HeardTx {
-                        id: ti as u64,
-                        start_chip: t.start,
-                        len_chips: t.len,
-                        power_mw: signal,
-                    };
-                    // Interferers: every overlapping transmission
-                    // from a sender inside the receiver's 3×3 cell
-                    // neighborhood. Beyond that radius a sender's
-                    // mean power is below the noise floor.
-                    let mut heard = vec![me];
-                    let mut cands = Vec::new();
-                    index.candidates_into(&pts[r], &mut cands);
-                    for &s in &cands {
-                        let s = s as usize;
-                        if s == r {
-                            continue;
-                        }
-                        for &(os, oe, oid) in &own_tx[s] {
-                            if oid != ti as u64 && os < t.end() && t.start < oe {
-                                heard.push(HeardTx {
-                                    id: oid,
-                                    start_chip: os,
-                                    len_chips: oe - os,
-                                    power_mw: gain(s, r),
-                                });
-                            }
+            let outcomes: Vec<Option<Vec<Delivered>>> = fan_out(self.workers, &work, |&(ti, r)| {
+                let t = &self.txs[ti];
+                let signal = self.gain(t.sender, r);
+                let me = HeardTx {
+                    id: ti as u64,
+                    start_chip: t.start,
+                    len_chips: t.len,
+                    power_mw: signal,
+                };
+                // Interferers: every overlapping transmission
+                // from a sender inside the receiver's 3×3 cell
+                // neighborhood. Beyond that radius a sender's
+                // mean power is below the noise floor.
+                let mut heard = vec![me];
+                let mut cands = Vec::new();
+                self.index.candidates_into(&self.tb.senders[r], &mut cands);
+                for &s in &cands {
+                    let s = s as usize;
+                    if s == r {
+                        continue;
+                    }
+                    for &(os, oe, oid) in &self.own_tx[s] {
+                        if oid != ti as u64 && os < t.end() && t.start < oe {
+                            heard.push(HeardTx {
+                                id: oid,
+                                start_chip: os,
+                                len_chips: oe - os,
+                                power_mw: self.gain(s, r),
+                            });
                         }
                     }
-                    let spans = interference_profile(&me, &heard);
-                    let profile = ErrorProfile::from_interference(signal, noise, &spans);
-                    let mut corrupted = t.frame.chip_words();
-                    let mut rng =
-                        StdRng::seed_from_u64(reception_rng_seed(params.seed, ti as u64, r));
-                    corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
-                    let (_acq, rx) = fast.receive_words(&t.frame, &corrupted, true);
-                    rx.map(|rx| scheme.deliver(&rx))
-                });
+                }
+                let spans = interference_profile(&me, &heard);
+                let profile = ErrorProfile::from_interference(signal, self.noise, &spans);
+                let mut corrupted = t.frame.chip_words();
+                let mut rng =
+                    StdRng::seed_from_u64(reception_rng_seed(self.params.seed, ti as u64, r));
+                corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
+                let (_acq, rx) = self.fast.receive_words(&t.frame, &corrupted, true);
+                rx.map(|rx| self.scheme.deliver(&rx))
+            });
 
-                for ((ti, r), outcome) in work.into_iter().zip(outcomes) {
-                    let end = txs[ti].end();
-                    if let Some(delivered) = outcome {
-                        let st = &mut states[r];
-                        for d in &delivered {
-                            for (i, &b) in d.bytes.iter().enumerate() {
-                                let off = match &txs[ti].spans {
-                                    None => Some(d.offset + i),
-                                    Some(spans) => map_repair_offset(spans, d.offset + i),
-                                };
-                                if let Some(off) = off {
-                                    if off < payload_len && truth[off] == b && !st.has(off) {
-                                        st.set(off);
-                                        st.correct += 1;
-                                    }
+            for ((ti, r), outcome) in work.into_iter().zip(outcomes) {
+                let end = self.txs[ti].end();
+                let mut rebroadcast = false;
+                if let Some(delivered) = outcome {
+                    let st = &mut self.states[r];
+                    for d in &delivered {
+                        for (i, &b) in d.bytes.iter().enumerate() {
+                            let off = match &self.txs[ti].spans {
+                                None => Some(d.offset + i),
+                                Some(spans) => map_repair_offset(spans, d.offset + i),
+                            };
+                            if let Some(off) = off {
+                                if off < self.payload_len && self.truth[off] == b && !st.has(off) {
+                                    st.set(off);
+                                    st.correct += 1;
                                 }
                             }
                         }
-                        if st.correct == payload_len && !st.recovered {
-                            st.recovered = true;
-                            if !st.rebroadcasted {
-                                st.rebroadcasted = true;
-                                let jitter = jitter_hash(params.seed ^ ((r as u64) << 20) ^ 0xB0)
-                                    % JITTER_SPAN;
-                                schedule_tx(
-                                    &mut txs,
-                                    &mut q,
-                                    r,
-                                    BROADCAST,
-                                    end + SAFE_WINDOW + jitter,
-                                    truth.clone(),
-                                    None,
-                                );
-                            }
+                    }
+                    if st.correct == self.payload_len && !st.recovered {
+                        st.recovered = true;
+                        if !st.rebroadcasted {
+                            st.rebroadcasted = true;
+                            rebroadcast = true;
                         }
                     }
-                    // A partial node arms its PP-ARQ timer off any
-                    // evaluated reception (it heard *something*).
-                    let st = &mut states[r];
-                    if !st.recovered && !st.timer_armed {
-                        st.timer_armed = true;
-                        q.schedule(
-                            end + ARQ_TIMEOUT,
-                            priority(prio::ARQ_TIMER, r as u32),
-                            SimEvent::ArqTimer { node: r, round: 0 },
-                        );
-                    }
                 }
-                pending.clear();
+                if rebroadcast {
+                    let jitter =
+                        jitter_hash(self.params.seed ^ ((r as u64) << 20) ^ 0xB0) % JITTER_SPAN;
+                    let body = self.truth.clone();
+                    self.schedule_tx(r, BROADCAST, end + SAFE_WINDOW + jitter, body, None);
+                }
+                // A partial node arms its PP-ARQ timer off any
+                // evaluated reception (it heard *something*).
+                let st = &mut self.states[r];
+                if !st.recovered && !st.timer_armed {
+                    st.timer_armed = true;
+                    self.q.schedule(
+                        end + ARQ_TIMEOUT,
+                        priority(prio::ARQ_TIMER, r as u32),
+                        SimEvent::ArqTimer { node: r, round: 0 },
+                    );
+                }
             }
-            pending_deadline = u64::MAX;
-        }};
+            self.pending.clear();
+        }
+        self.pending_deadline = u64::MAX;
     }
 
-    loop {
-        let Some((key, ev)) = q.pop() else {
+    /// Dispatches the next event (or, on queue drain, performs the
+    /// final flush). Returns `false` when the run is complete.
+    fn step(&mut self) -> bool {
+        let Some((key, ev)) = self.q.pop() else {
             // Queue drained — but the flush may recover nodes and
             // schedule their rebroadcasts, so only a flush that adds
             // nothing ends the run.
-            flush!();
-            if q.is_empty() {
-                break;
-            }
-            continue;
+            self.flush();
+            return !self.q.is_empty();
         };
-        last_time = last_time.max(key.time);
-        // The flush rule: decode before the clock passes the window, and
-        // always before a state-reading timer runs.
-        if key.time >= pending_deadline || matches!(ev, SimEvent::ArqTimer { .. }) {
-            flush!();
+        self.last_time = self.last_time.max(key.time);
+        // The flush rule: decode before the clock passes the window,
+        // and always before a state-reading timer runs.
+        if key.time >= self.pending_deadline || matches!(ev, SimEvent::ArqTimer { .. }) {
+            self.flush();
         }
         match ev {
             SimEvent::TxStart { tx } => {
                 let (sender, start, end) = {
-                    let t = &txs[tx];
+                    let t = &self.txs[tx];
                     (t.sender, t.start, t.end())
                 };
-                stats.transmissions += 1;
-                own_tx[sender].push((start, end, tx as u64));
-                cand_buf.clear();
-                index.candidates_into(&pts[sender], &mut cand_buf);
+                self.stats.transmissions += 1;
+                self.own_tx[sender].push((start, end, tx as u64));
+                self.started.push(tx);
+                self.cand_buf.clear();
+                let mut cand_buf = std::mem::take(&mut self.cand_buf);
+                self.index
+                    .candidates_into(&self.tb.senders[sender], &mut cand_buf);
                 for &r in &cand_buf {
                     let r = r as usize;
-                    if r == sender || gain(sender, r) / noise < SQUELCH_SNR {
+                    if r == sender || self.gain(sender, r) / self.noise < SQUELCH_SNR {
                         continue;
                     }
-                    stats.receptions_scheduled += 1;
-                    q.schedule(
+                    self.stats.receptions_scheduled += 1;
+                    self.q.schedule(
                         end,
                         priority(prio::RECEPTION, r as u32),
                         SimEvent::ReceptionComplete {
@@ -520,70 +648,67 @@ pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
                         },
                     );
                 }
+                self.cand_buf = cand_buf;
             }
             SimEvent::ReceptionComplete { tx, receiver, .. } => {
-                if pending.is_empty() {
-                    pending_deadline = key.time + SAFE_WINDOW;
+                if self.pending.is_empty() {
+                    self.pending_deadline = key.time + SAFE_WINDOW;
                 }
-                pending.push((tx, receiver));
+                self.pending.push((tx, receiver));
             }
             SimEvent::ArqTimer { node, round } => {
-                let st = &mut states[node];
-                st.timer_armed = false;
-                if st.recovered {
-                    continue;
+                self.states[node].timer_armed = false;
+                if self.states[node].recovered {
+                    return true;
                 }
                 // Plan the repair request with the paper's chunking DP
                 // over the byte-correct mask.
-                let labels: Vec<bool> = (0..payload_len).map(|i| states[node].has(i)).collect();
+                let labels: Vec<bool> = (0..self.payload_len)
+                    .map(|i| self.states[node].has(i))
+                    .collect();
                 let rl = RunLengths::from_labels(&labels);
-                let plan = plan_chunks(&rl, &CostModel::bytes(payload_len));
+                let plan = plan_chunks(&rl, &CostModel::bytes(self.payload_len));
                 if plan.chunks.is_empty() {
-                    continue;
+                    return true;
                 }
                 // Best recovered neighbor repairs; ties break to the
                 // lowest id (strict > comparison over exact gains).
-                cand_buf.clear();
-                index.candidates_into(&pts[node], &mut cand_buf);
+                self.cand_buf.clear();
+                let mut cand_buf = std::mem::take(&mut self.cand_buf);
+                self.index
+                    .candidates_into(&self.tb.senders[node], &mut cand_buf);
                 let mut peer: Option<(usize, f64)> = None;
                 for &c in &cand_buf {
                     let c = c as usize;
-                    if c == node || !states[c].recovered {
+                    if c == node || !self.states[c].recovered {
                         continue;
                     }
-                    let g = gain(c, node);
-                    if g / noise < SQUELCH_SNR {
+                    let g = self.gain(c, node);
+                    if g / self.noise < SQUELCH_SNR {
                         continue;
                     }
                     if peer.map(|(_, best)| g > best).unwrap_or(true) {
                         peer = Some((c, g));
                     }
                 }
+                self.cand_buf = cand_buf;
                 if let Some((peer, _)) = peer {
-                    stats.repair_tx += 1;
-                    stats.repair_bytes_requested += plan.requested_units();
+                    self.stats.repair_tx += 1;
+                    self.stats.repair_bytes_requested += plan.requested_units();
                     let repair: Vec<u8> = plan
                         .chunks
                         .iter()
-                        .flat_map(|s| truth[s.start..s.end].iter().copied())
+                        .flat_map(|s| self.truth[s.start..s.end].iter().copied())
                         .collect();
                     let jitter = jitter_hash(
-                        params.seed ^ ((node as u64) << 20) ^ ((round as u64) << 8) ^ 0xA7,
+                        self.params.seed ^ ((node as u64) << 20) ^ ((round as u64) << 8) ^ 0xA7,
                     ) % JITTER_SPAN;
                     let start = key.time + SAFE_WINDOW + jitter;
-                    schedule_tx(
-                        &mut txs,
-                        &mut q,
-                        peer,
-                        node as u16,
-                        start,
-                        repair,
-                        Some(plan.chunks.clone()),
-                    );
+                    self.schedule_tx(peer, node as u16, start, repair, Some(plan.chunks.clone()));
                     if round + 1 < MAX_ARQ_ROUNDS {
-                        let repair_end = txs.last().unwrap().end();
-                        states[node].timer_armed = true;
-                        q.schedule(
+                        let repair_end = self.txs.last().unwrap().end();
+                        self.states[node].timer_armed = true;
+                        self.q.schedule(
                             repair_end + ARQ_TIMEOUT,
                             priority(prio::ARQ_TIMER, node as u32),
                             SimEvent::ArqTimer {
@@ -595,8 +720,8 @@ pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
                 } else if round + 1 < MAX_ARQ_ROUNDS {
                     // Nobody nearby has the payload yet — retry after
                     // the flood has had time to advance.
-                    states[node].timer_armed = true;
-                    q.schedule(
+                    self.states[node].timer_armed = true;
+                    self.q.schedule(
                         key.time + 2 * ARQ_TIMEOUT,
                         priority(prio::ARQ_TIMER, node as u32),
                         SimEvent::ArqTimer {
@@ -608,14 +733,250 @@ pub fn run_mesh(params: &MeshParams, threads: Option<usize>) -> MeshStats {
             }
             other => unreachable!("unexpected {other:?} in the mesh driver"),
         }
+        true
     }
-    let _ = pending_deadline;
 
-    stats.events_dispatched = q.dispatched();
-    stats.sim_chips = last_time;
-    stats.recovered = states.iter().filter(|s| s.recovered).count();
-    stats.correct_bytes = states.iter().map(|s| s.correct).sum();
-    stats
+    /// Total events dispatched so far — the checkpoint epoch counter.
+    pub fn dispatched(&self) -> u64 {
+        self.q.dispatched()
+    }
+
+    /// Drives the flood until `events` total dispatches (a stable epoch
+    /// boundary: the count is invariant to the worker count) or until
+    /// the run completes, whichever is first.
+    pub fn run_events(&mut self, events: u64) {
+        while self.q.dispatched() < events {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Runs to completion and returns the final stats.
+    pub fn run_to_end(mut self) -> MeshStats {
+        while self.step() {}
+        self.stats.events_dispatched = self.q.dispatched();
+        self.stats.sim_chips = self.last_time;
+        self.stats.recovered = self.states.iter().filter(|s| s.recovered).count();
+        self.stats.correct_bytes = self.states.iter().map(|s| s.correct).sum();
+        self.stats
+    }
+
+    /// Checkpoints the driver — *without* flushing the pending decode
+    /// batch, which is serialized verbatim so the run's flush
+    /// statistics (printed in the report) cannot shift.
+    pub fn save(&self) -> MeshSnapshot {
+        let (queue, next_seq, dispatched) = self.q.save_state();
+        MeshSnapshot {
+            nodes: self.params.nodes,
+            density: self.params.density,
+            seed: self.params.seed,
+            eta: self.params.eta,
+            body_bytes: self.params.body_bytes,
+            kernel_signature: ppr_phy::simd::active_kernel_signature().into_bytes(),
+            states: self
+                .states
+                .iter()
+                .map(|st| MeshNodeSnapshot {
+                    mask: st.mask.clone(),
+                    correct: st.correct,
+                    recovered: st.recovered,
+                    rebroadcasted: st.rebroadcasted,
+                    timer_armed: st.timer_armed,
+                })
+                .collect(),
+            txs: self
+                .txs
+                .iter()
+                .map(|t| MeshTxSnapshot {
+                    sender: t.sender,
+                    dst: t.dst,
+                    start: t.start,
+                    spans: t
+                        .spans
+                        .as_ref()
+                        .map(|spans| spans.iter().map(|s| (s.start, s.end)).collect()),
+                })
+                .collect(),
+            started: self.started.clone(),
+            queue,
+            next_seq,
+            dispatched,
+            pending: self.pending.clone(),
+            pending_deadline: self.pending_deadline,
+            last_time: self.last_time,
+            stats: stats_words(&self.stats),
+        }
+    }
+
+    /// Rebuilds a driver from a checkpoint, validating the snapshot's
+    /// identity against `params` and every index against the
+    /// reconstructed run. Frames are rebuilt from the ground-truth
+    /// payload (flood) or their repair spans.
+    pub fn restore(
+        params: &MeshParams,
+        threads: Option<usize>,
+        snap: &MeshSnapshot,
+    ) -> Result<Self, SnapError> {
+        if params.nodes != snap.nodes
+            || params.density.to_bits() != snap.density.to_bits()
+            || params.seed != snap.seed
+            || params.eta != snap.eta
+            || params.body_bytes != snap.body_bytes
+        {
+            return Err(SnapError::IdentityMismatch(
+                "MeshParams differ from the snapshot's".into(),
+            ));
+        }
+        let mut driver = MeshDriver::new(params, threads);
+        let n = driver.states.len();
+        let payload_len = driver.payload_len;
+        let mask_words = payload_len.div_ceil(64);
+        if snap.states.len() != n {
+            return Err(SnapError::Corrupt(format!(
+                "{} node states for {n} nodes",
+                snap.states.len()
+            )));
+        }
+        for (i, st) in snap.states.iter().enumerate() {
+            if st.mask.len() != mask_words || st.correct > payload_len {
+                return Err(SnapError::Corrupt(format!("node {i} state out of bounds")));
+            }
+        }
+        let ntx = snap.txs.len();
+        for (i, t) in snap.txs.iter().enumerate() {
+            let spans_ok = t.spans.as_ref().is_none_or(|spans| {
+                !spans.is_empty() && spans.iter().all(|&(s, e)| s < e && e <= payload_len)
+            });
+            if t.sender >= n || !spans_ok {
+                return Err(SnapError::Corrupt(format!(
+                    "transmission {i} out of bounds"
+                )));
+            }
+        }
+        if snap.started.iter().any(|&id| id >= ntx) {
+            return Err(SnapError::Corrupt("started id beyond the store".into()));
+        }
+        for (key, ev) in &snap.queue {
+            let ok = match *ev {
+                SimEvent::TxStart { tx } => tx < ntx,
+                SimEvent::ReceptionComplete { tx, receiver, .. } => tx < ntx && receiver < n,
+                SimEvent::ArqTimer { node, round } => node < n && round < MAX_ARQ_ROUNDS,
+                _ => false,
+            };
+            if !ok || key.seq >= snap.next_seq {
+                return Err(SnapError::Corrupt(format!(
+                    "queue entry {key:?} {ev:?} out of bounds"
+                )));
+            }
+        }
+        if snap.pending.iter().any(|&(t, r)| t >= ntx || r >= n) {
+            return Err(SnapError::Corrupt("pending reception out of bounds".into()));
+        }
+        let stats = stats_from_words(&snap.stats).ok_or_else(|| {
+            SnapError::Corrupt(format!("{} stats words, expected 15", snap.stats.len()))
+        })?;
+
+        driver.states = snap
+            .states
+            .iter()
+            .map(|st| NodeState {
+                mask: st.mask.clone(),
+                correct: st.correct,
+                recovered: st.recovered,
+                rebroadcasted: st.rebroadcasted,
+                timer_armed: st.timer_armed,
+            })
+            .collect();
+        driver.txs = snap
+            .txs
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| {
+                let (body, spans) = match &t.spans {
+                    None => (driver.truth.clone(), None),
+                    Some(spans) => {
+                        let spans: Vec<UnitRange> =
+                            spans.iter().map(|&(s, e)| UnitRange::new(s, e)).collect();
+                        let body: Vec<u8> = spans
+                            .iter()
+                            .flat_map(|s| driver.truth[s.start..s.end].iter().copied())
+                            .collect();
+                        (body, Some(spans))
+                    }
+                };
+                let frame = Frame::new(t.dst, t.sender as u16, idx as u16, body);
+                let len = frame.chips_len() as u64;
+                MeshTx {
+                    sender: t.sender,
+                    dst: t.dst,
+                    start: t.start,
+                    len,
+                    frame,
+                    spans,
+                }
+            })
+            .collect();
+        driver.own_tx = vec![Vec::new(); n];
+        for &id in &snap.started {
+            let t = &driver.txs[id];
+            driver.own_tx[t.sender].push((t.start, t.end(), id as u64));
+        }
+        driver.started = snap.started.clone();
+        driver.q = BinaryHeapQueue::from_state(snap.queue.clone(), snap.next_seq, snap.dispatched);
+        driver.stats = stats;
+        driver.pending = snap.pending.clone();
+        driver.pending_deadline = snap.pending_deadline;
+        driver.last_time = snap.last_time;
+        Ok(driver)
+    }
+}
+
+/// [`MeshStats`] as flat words, in field order — the snapshot encoding.
+fn stats_words(s: &MeshStats) -> Vec<u64> {
+    vec![
+        s.nodes as u64,
+        s.recovered as u64,
+        s.transmissions as u64,
+        s.repair_tx as u64,
+        s.receptions_scheduled as u64,
+        s.receptions_evaluated as u64,
+        s.receptions_skipped as u64,
+        s.self_busy_drops as u64,
+        s.events_dispatched,
+        s.repair_bytes_requested as u64,
+        s.correct_bytes as u64,
+        s.sim_chips,
+        s.shards as u64,
+        s.flush_batches as u64,
+        s.max_batch as u64,
+    ]
+}
+
+/// Inverse of [`stats_words`]; `None` on a wrong word count or a value
+/// that does not fit the field.
+fn stats_from_words(w: &[u64]) -> Option<MeshStats> {
+    if w.len() != 15 {
+        return None;
+    }
+    let u = |i: usize| usize::try_from(w[i]).ok();
+    Some(MeshStats {
+        nodes: u(0)?,
+        recovered: u(1)?,
+        transmissions: u(2)?,
+        repair_tx: u(3)?,
+        receptions_scheduled: u(4)?,
+        receptions_evaluated: u(5)?,
+        receptions_skipped: u(6)?,
+        self_busy_drops: u(7)?,
+        events_dispatched: w[8],
+        repair_bytes_requested: u(9)?,
+        correct_bytes: u(10)?,
+        sim_chips: w[11],
+        shards: u(12)?,
+        flush_batches: u(13)?,
+        max_batch: u(14)?,
+    })
 }
 
 /// The `mesh10k` experiment.
@@ -640,7 +1001,10 @@ impl Experiment for Mesh10k {
 
     fn run(&self, scenario: &Scenario) -> ExperimentResult {
         let params = MeshParams::from_scenario(scenario);
-        let s = run_mesh(&params, scenario.threads);
+        let s = match scenario.checkpoint {
+            None => run_mesh(&params, scenario.threads),
+            Some(events) => run_mesh_checkpointed(&params, scenario.threads, events),
+        };
         let sim_s = s.sim_seconds();
         let mut res = ExperimentResult::new(self.id(), self.title(), self.paper_ref(), scenario);
         res.text(format!(
@@ -733,6 +1097,17 @@ mod tests {
         let c = run_mesh(&small(), Some(7));
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn mesh_checkpoint_roundtrip_is_bit_identical() {
+        let a = run_mesh(&small(), Some(2));
+        for events in [1, 57, 913] {
+            // Different worker count on resume on purpose: a snapshot
+            // carries no execution knobs.
+            let b = run_mesh_checkpointed(&small(), Some(3), events);
+            assert_eq!(a, b, "checkpoint at {events} events");
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   place.
 //! * [`scenario`] — every experiment knob, with builder > env > default
 //!   precedence.
+//! * [`snapshot`] — versioned binary checkpoints of simulator state
+//!   (resume bit-identically, in this process or another).
+//! * [`diff`] — the differential harness: restore one checkpoint under
+//!   every backend/driver combination and diff the reception streams.
 //! * [`results`] — typed experiment results with text and JSON
 //!   rendering.
 //! * [`experiments`] — Fig. 3 through Fig. 16 and Tables 1–2, each an
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod env;
 pub mod event;
 pub mod experiments;
@@ -61,9 +66,11 @@ pub mod report;
 pub mod results;
 pub mod rxpath;
 pub mod scenario;
+pub mod snapshot;
 pub mod spatial;
 pub mod traffic;
 
+pub use diff::{DiffBackend, Divergence};
 pub use event::{BinaryHeapQueue, EventKey, EventQueue, SimEvent};
 pub use experiments::{find, registry, Experiment};
 pub use geometry::{Point, Testbed};
@@ -74,4 +81,5 @@ pub use network::{
 pub use results::{Block, Cell, ExperimentResult, Json, TableBlock};
 pub use rxpath::{Acquisition, FastRx};
 pub use scenario::{Backend, Scenario, ScenarioBuilder};
+pub use snapshot::{MeshSnapshot, RxSnapshot, SnapError};
 pub use spatial::SpatialIndex;

@@ -57,6 +57,7 @@
 use crate::event::{prio, priority, BinaryHeapQueue, EventQueue, SimEvent};
 use crate::geometry::Testbed;
 use crate::rxpath::{Acquisition, FastRx};
+use crate::snapshot::{env_fingerprint, timeline_fingerprint, InFlightRx, RxSnapshot, SnapError};
 use crate::traffic::{secs_to_chips, PoissonArrivals};
 use ppr_channel::chip_channel::{corrupt_chip_words_in_place, corrupt_chips, ErrorProfile};
 use ppr_channel::overlap::{interference_profile, HeardTx};
@@ -644,140 +645,450 @@ pub fn process_receptions_tuned(
     workers: Option<usize>,
     batch_per_worker: usize,
 ) -> Vec<Reception> {
-    let pipe = RxPipeline::new(env, cfg, timeline, arm);
-    let nr = env.testbed.receivers.len();
-    let ns = env.testbed.senders.len();
+    ReceptionDriver::new(env, cfg, timeline, arm, workers, batch_per_worker).run_to_end()
+}
 
-    // The squelch-passing receiver set of each sender — what event
-    // dispatch enumerates per TxStart instead of every receiver (at
-    // mesh scale this is where [`crate::spatial::SpatialIndex`] prunes;
-    // at testbed scale the gain row is the whole story).
-    let receivers_of: Vec<Vec<usize>> = (0..ns)
-        .map(|s| {
-            (0..nr)
-                .filter(|&r| env.s2r_mw[s][r] / pipe.noise >= SQUELCH_SNR)
-                .collect()
-        })
-        .collect();
+/// [`process_receptions`] with a checkpoint in the middle: the run is
+/// driven to the `checkpoint_events` dispatch boundary, serialized to
+/// the versioned snapshot byte format, restored from those bytes into a
+/// fresh driver, and completed. Output is bit-identical to the
+/// uninterrupted run (`tests/snapshot_roundtrip.rs` pins this for every
+/// registry experiment) — the scenario `checkpoint` axis routes here.
+pub fn process_receptions_checkpointed(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    workers: Option<usize>,
+    checkpoint_events: u64,
+) -> Vec<Reception> {
+    let bytes = snapshot_after_events(env, cfg, timeline, arm, workers, checkpoint_events);
+    let snap = RxSnapshot::from_bytes(&bytes).expect("snapshot bytes round-trip");
+    ReceptionDriver::restore(env, cfg, timeline, arm, workers, BATCH_PER_WORKER, &snap)
+        .expect("snapshot restores against its own run inputs")
+        .run_to_end()
+}
 
-    // Receiver-major output slots: slot bases per receiver, filled in
-    // timeline order as TxStart events pop — the reference evaluation
-    // order, independent of batch boundaries and worker count.
-    let mut count = vec![0usize; nr];
-    for tx in timeline {
-        for &r in &receivers_of[tx.sender] {
-            count[r] += 1;
-        }
-    }
-    let mut base = vec![0usize; nr + 1];
-    for r in 0..nr {
-        base[r + 1] = base[r] + count[r];
-    }
-    let total_jobs = base[nr];
-    let mut next_slot: Vec<usize> = base[..nr].to_vec();
+/// Runs the event-driven reception driver to the `events` dispatch
+/// boundary and returns the serialized checkpoint — the shared frozen
+/// state the differential harness hands to every backend.
+pub fn snapshot_after_events(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    workers: Option<usize>,
+    events: u64,
+) -> Vec<u8> {
+    let mut driver = ReceptionDriver::new(env, cfg, timeline, arm, workers, BATCH_PER_WORKER);
+    driver.run_events(events);
+    driver.save().to_bytes()
+}
 
-    let workers = workers
-        .unwrap_or_else(|| worker_threads(total_jobs))
-        .clamp(1, total_jobs.max(1));
-    let batch_len = (workers * batch_per_worker).max(1);
+/// The event-driven reception loop as a resumable state machine: run it
+/// to completion ([`ReceptionDriver::run_to_end`]), or to an event
+/// boundary ([`ReceptionDriver::run_events`]), checkpoint it
+/// ([`ReceptionDriver::save`]) and continue later — in this process or
+/// another — via [`ReceptionDriver::restore`]. A checkpointed run is
+/// bit-identical to an uninterrupted one: a save flushes the pending
+/// prepare/decode batches, which only moves work between batches — the
+/// sequential busy/idle fold stays in event-pop order (= timeline order
+/// per receiver), completion keys keep their relative `seq` order
+/// within the `(time, priority)` class, and output slots are fixed by
+/// the receiver-major job table. Batch boundaries are already pinned as
+/// result-invariant by `tests/event_parity.rs`.
+pub struct ReceptionDriver<'a> {
+    // ppr-lint: region(snapshot-state) begin testbed reception driver state
+    /// snapshot: rebuilt — the shared pipeline stages are pure functions
+    /// of the run inputs (environment, config, timeline, arm).
+    pipe: RxPipeline<'a>,
+    /// snapshot: rebuilt — squelch-passing receiver set per sender,
+    /// derived from the frozen link gains.
+    receivers_of: Vec<Vec<usize>>,
+    /// snapshot: rebuilt — execution knob (thread count), never
+    /// simulation state; results are invariant to it.
+    workers: usize,
+    /// snapshot: rebuilt — execution knob (batch sizing), never
+    /// simulation state; results are invariant to it.
+    batch_len: usize,
+    /// snapshot: serialized — every scheduled event with its key
+    /// verbatim, plus the queue's push/dispatch counters.
+    q: BinaryHeapQueue<SimEvent>,
+    /// snapshot: serialized — decoded receptions in their fixed
+    /// receiver-major slots (undecoded slots travel as absent).
+    out: Vec<Option<Reception>>,
+    /// snapshot: serialized — per-receiver busy horizon of the
+    /// sequential busy/idle fold.
+    busy_until: Vec<u64>,
+    /// snapshot: serialized — per-receiver next output slot.
+    next_slot: Vec<usize>,
+    /// snapshot: serialized — captures awaiting their completion event,
+    /// as (receiver, timeline index, slot, RNG stream position, idle);
+    /// the prepared frame and corrupted chips are reconstructed on
+    /// restore from the stored stream position.
+    in_flight: BTreeMap<usize, (RxJob, PreparedRx, bool)>,
+    /// snapshot: drained — a save flushes the prepare batch first
+    /// (result-invariant; see the type docs), so it is always empty in
+    /// the byte format.
+    prep_batch: Vec<RxJob>,
+    /// snapshot: drained — a save flushes the decode batch into `out`
+    /// first, so it is always empty in the byte format.
+    decode_batch: Vec<(RxJob, PreparedRx, bool)>,
+    // ppr-lint: region(snapshot-state) end
+}
 
-    // Timeline is (start_chip, id)-ordered, so scheduling in index
-    // order makes `seq` reproduce timeline order at equal start chips.
-    let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::with_capacity(timeline.len());
-    for (idx, tx) in timeline.iter().enumerate() {
-        q.schedule(
-            tx.start_chip,
-            priority(prio::TX_START, 0),
-            SimEvent::TxStart { tx: idx },
-        );
-    }
+impl<'a> ReceptionDriver<'a> {
+    /// Builds a driver at event zero (nothing dispatched, the full
+    /// timeline scheduled). `workers`/`batch_per_worker` are the
+    /// [`process_receptions_tuned`] knobs.
+    pub fn new(
+        env: &'a RadioEnv,
+        cfg: &'a SimConfig,
+        timeline: &'a [Transmission],
+        arm: &'a RxArm,
+        workers: Option<usize>,
+        batch_per_worker: usize,
+    ) -> Self {
+        let pipe = RxPipeline::new(env, cfg, timeline, arm);
+        let nr = env.testbed.receivers.len();
+        let ns = env.testbed.senders.len();
 
-    let mut out: Vec<Option<Reception>> = Vec::new();
-    out.resize_with(total_jobs, || None);
-    let mut busy_until = vec![0u64; nr];
-    // Captures awaiting their completion event, keyed by output slot.
-    // Bounded by what is actually on the air plus one batch — the
-    // event-driven analogue of the time-stepped loop's batch bound.
-    let mut in_flight: BTreeMap<usize, (RxJob, PreparedRx, bool)> = BTreeMap::new();
-    let mut prep_batch: Vec<RxJob> = Vec::with_capacity(batch_len);
-    let mut decode_batch: Vec<(RxJob, PreparedRx, bool)> = Vec::with_capacity(batch_len);
+        // The squelch-passing receiver set of each sender — what event
+        // dispatch enumerates per TxStart instead of every receiver (at
+        // mesh scale this is where [`crate::spatial::SpatialIndex`]
+        // prunes; at testbed scale the gain row is the whole story).
+        let receivers_of: Vec<Vec<usize>> = (0..ns)
+            .map(|s| {
+                (0..nr)
+                    .filter(|&r| env.s2r_mw[s][r] / pipe.noise >= SQUELCH_SNR)
+                    .collect()
+            })
+            .collect();
 
-    // Parallel prepare, then the sequential busy/idle fold in event-pop
-    // order (= timeline order per receiver), then schedule completions.
-    let flush_prepare =
-        |prep_batch: &mut Vec<RxJob>,
-         busy_until: &mut [u64],
-         q: &mut BinaryHeapQueue<SimEvent>,
-         in_flight: &mut BTreeMap<usize, (RxJob, PreparedRx, bool)>| {
-            let prepared = fan_out(workers, prep_batch, |j| pipe.prepare(j));
-            for (&job, prep) in prep_batch.iter().zip(prepared) {
-                let tx = &timeline[job.idx];
-                let idle = busy_until[job.r] <= tx.start_chip;
-                if idle && prep.pre_hit {
-                    busy_until[job.r] = tx.end_chip();
-                }
-                q.schedule(
-                    tx.end_chip(),
-                    priority(prio::RECEPTION, 0),
-                    SimEvent::ReceptionComplete {
-                        tx: job.idx,
-                        receiver: job.r,
-                        slot: job.slot,
-                    },
-                );
-                in_flight.insert(job.slot, (job, prep, idle));
+        // Receiver-major output slots: slot bases per receiver, filled
+        // in timeline order as TxStart events pop — the reference
+        // evaluation order, independent of batch boundaries and worker
+        // count.
+        let mut count = vec![0usize; nr];
+        for tx in timeline {
+            for &r in &receivers_of[tx.sender] {
+                count[r] += 1;
             }
-            prep_batch.clear();
-        };
-    // Parallel decode into the fixed output slots.
-    let flush_decode = |decode_batch: &mut Vec<(RxJob, PreparedRx, bool)>,
-                        out: &mut Vec<Option<Reception>>| {
-        let done = fan_out(workers, decode_batch, |(job, prep, idle)| {
-            pipe.finish(job, prep, *idle)
-        });
-        for ((job, _, _), rec) in decode_batch.iter().zip(done) {
-            out[job.slot] = Some(rec);
         }
-        decode_batch.clear();
-    };
+        let mut base = vec![0usize; nr + 1];
+        for r in 0..nr {
+            base[r + 1] = base[r] + count[r];
+        }
+        let total_jobs = base[nr];
+        let next_slot: Vec<usize> = base[..nr].to_vec();
 
-    loop {
-        match q.pop() {
+        let workers = workers
+            .unwrap_or_else(|| worker_threads(total_jobs))
+            .clamp(1, total_jobs.max(1));
+        let batch_len = (workers * batch_per_worker).max(1);
+
+        // Timeline is (start_chip, id)-ordered, so scheduling in index
+        // order makes `seq` reproduce timeline order at equal start
+        // chips.
+        let mut q: BinaryHeapQueue<SimEvent> = BinaryHeapQueue::with_capacity(timeline.len());
+        for (idx, tx) in timeline.iter().enumerate() {
+            q.schedule(
+                tx.start_chip,
+                priority(prio::TX_START, 0),
+                SimEvent::TxStart { tx: idx },
+            );
+        }
+
+        let mut out: Vec<Option<Reception>> = Vec::new();
+        out.resize_with(total_jobs, || None);
+        ReceptionDriver {
+            pipe,
+            receivers_of,
+            workers,
+            batch_len,
+            q,
+            out,
+            busy_until: vec![0u64; nr],
+            next_slot,
+            // Captures awaiting their completion event, keyed by output
+            // slot. Bounded by what is actually on the air plus one
+            // batch — the event-driven analogue of the time-stepped
+            // loop's batch bound.
+            in_flight: BTreeMap::new(),
+            prep_batch: Vec::with_capacity(batch_len),
+            decode_batch: Vec::with_capacity(batch_len),
+        }
+    }
+
+    /// Parallel prepare, then the sequential busy/idle fold in
+    /// event-pop order (= timeline order per receiver), then schedule
+    /// completions.
+    fn flush_prepare(&mut self) {
+        let prepared = fan_out(self.workers, &self.prep_batch, |j| self.pipe.prepare(j));
+        let timeline = self.pipe.timeline;
+        for (&job, prep) in self.prep_batch.iter().zip(prepared) {
+            let tx = &timeline[job.idx];
+            let idle = self.busy_until[job.r] <= tx.start_chip;
+            if idle && prep.pre_hit {
+                self.busy_until[job.r] = tx.end_chip();
+            }
+            self.q.schedule(
+                tx.end_chip(),
+                priority(prio::RECEPTION, 0),
+                SimEvent::ReceptionComplete {
+                    tx: job.idx,
+                    receiver: job.r,
+                    slot: job.slot,
+                },
+            );
+            self.in_flight.insert(job.slot, (job, prep, idle));
+        }
+        self.prep_batch.clear();
+    }
+
+    /// Parallel decode into the fixed output slots.
+    fn flush_decode(&mut self) {
+        let done = fan_out(self.workers, &self.decode_batch, |(job, prep, idle)| {
+            self.pipe.finish(job, prep, *idle)
+        });
+        for ((job, _, _), rec) in self.decode_batch.iter().zip(done) {
+            self.out[job.slot] = Some(rec);
+        }
+        self.decode_batch.clear();
+    }
+
+    /// Dispatches the next event (or, once the queue drains, performs a
+    /// final batch flush). Returns `false` when the run is complete.
+    fn step(&mut self) -> bool {
+        match self.q.pop() {
             Some((_, SimEvent::TxStart { tx: idx })) => {
-                for &r in &receivers_of[timeline[idx].sender] {
-                    let slot = next_slot[r];
-                    next_slot[r] += 1;
-                    prep_batch.push(RxJob { r, idx, slot });
+                for &r in &self.receivers_of[self.pipe.timeline[idx].sender] {
+                    let slot = self.next_slot[r];
+                    self.next_slot[r] += 1;
+                    self.prep_batch.push(RxJob { r, idx, slot });
                 }
-                if prep_batch.len() >= batch_len {
-                    flush_prepare(&mut prep_batch, &mut busy_until, &mut q, &mut in_flight);
+                if self.prep_batch.len() >= self.batch_len {
+                    self.flush_prepare();
                 }
             }
             Some((_, SimEvent::ReceptionComplete { slot, .. })) => {
-                let entry = in_flight
+                let entry = self
+                    .in_flight
                     .remove(&slot)
                     .expect("completion event for an in-flight reception");
-                decode_batch.push(entry);
-                if decode_batch.len() >= batch_len {
-                    flush_decode(&mut decode_batch, &mut out);
+                self.decode_batch.push(entry);
+                if self.decode_batch.len() >= self.batch_len {
+                    self.flush_decode();
                 }
             }
             Some((_, ev)) => unreachable!("unexpected {ev:?} in the testbed driver"),
             None => {
-                if !prep_batch.is_empty() {
-                    flush_prepare(&mut prep_batch, &mut busy_until, &mut q, &mut in_flight);
-                    continue; // the flush scheduled completion events
+                if !self.prep_batch.is_empty() {
+                    self.flush_prepare();
+                    return true; // the flush scheduled completion events
                 }
-                if !decode_batch.is_empty() {
-                    flush_decode(&mut decode_batch, &mut out);
+                if !self.decode_batch.is_empty() {
+                    self.flush_decode();
                 }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total events dispatched so far — the checkpoint epoch counter.
+    pub fn dispatched(&self) -> u64 {
+        self.q.dispatched()
+    }
+
+    /// Drives the run until `events` total dispatches (a stable epoch
+    /// boundary: the count is invariant to workers and batching) or
+    /// until the run completes, whichever is first.
+    pub fn run_events(&mut self, events: u64) {
+        while self.q.dispatched() < events {
+            if !self.step() {
                 break;
             }
         }
     }
-    out.into_iter()
-        .map(|r| r.expect("every slot decoded by its completion event"))
-        .collect()
+
+    /// Runs to completion and returns the receptions in receiver-major
+    /// reference order.
+    pub fn run_to_end(mut self) -> Vec<Reception> {
+        while self.step() {}
+        self.out
+            .into_iter()
+            .map(|r| r.expect("every slot decoded by its completion event"))
+            .collect()
+    }
+
+    /// Checkpoints the driver. Flushes the pending batches first (see
+    /// the type docs for why that is bit-identical), so the snapshot
+    /// carries only queue + slots + busy horizons + in-flight captures.
+    pub fn save(&mut self) -> RxSnapshot {
+        if !self.prep_batch.is_empty() {
+            self.flush_prepare();
+        }
+        if !self.decode_batch.is_empty() {
+            self.flush_decode();
+        }
+        let (queue, next_seq, dispatched) = self.q.save_state();
+        let cfg = self.pipe.cfg;
+        let in_flight = self
+            .in_flight
+            .values()
+            .map(|(job, _, idle)| {
+                let tx = &self.pipe.timeline[job.idx];
+                let rng = StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, job.r));
+                InFlightRx {
+                    receiver: job.r,
+                    tx_index: job.idx,
+                    slot: job.slot,
+                    rng: rng.state(),
+                    idle: *idle,
+                }
+            })
+            .collect();
+        RxSnapshot {
+            seed: cfg.seed,
+            load_kbps: cfg.load_kbps,
+            body_bytes: cfg.body_bytes,
+            carrier_sense: cfg.carrier_sense,
+            duration_s: cfg.duration_s,
+            scheme: self.pipe.arm.scheme,
+            postamble: self.pipe.arm.postamble,
+            collect_symbols: self.pipe.arm.collect_symbols,
+            timeline_fp: timeline_fingerprint(self.pipe.timeline),
+            env_fp: env_fingerprint(self.pipe.env),
+            kernel_signature: ppr_phy::simd::active_kernel_signature().into_bytes(),
+            queue,
+            next_seq,
+            dispatched,
+            busy_until: self.busy_until.clone(),
+            next_slot: self.next_slot.clone(),
+            out: self.out.clone(),
+            in_flight,
+        }
+    }
+
+    /// Rebuilds a driver from a checkpoint, validating the snapshot's
+    /// identity fields against the run inputs and reconstructing every
+    /// in-flight capture from its stored RNG stream position.
+    pub fn restore(
+        env: &'a RadioEnv,
+        cfg: &'a SimConfig,
+        timeline: &'a [Transmission],
+        arm: &'a RxArm,
+        workers: Option<usize>,
+        batch_per_worker: usize,
+        snap: &RxSnapshot,
+    ) -> Result<Self, SnapError> {
+        validate_rx_identity(env, cfg, timeline, arm, snap)?;
+        let mut driver = ReceptionDriver::new(env, cfg, timeline, arm, workers, batch_per_worker);
+        let nr = env.testbed.receivers.len();
+        let total_jobs = driver.out.len();
+        if snap.busy_until.len() != nr || snap.next_slot.len() != nr {
+            return Err(SnapError::Corrupt(format!(
+                "per-receiver tables sized {}/{} for {nr} receivers",
+                snap.busy_until.len(),
+                snap.next_slot.len()
+            )));
+        }
+        if snap.out.len() != total_jobs {
+            return Err(SnapError::Corrupt(format!(
+                "slot table holds {} slots, run inputs produce {total_jobs}",
+                snap.out.len()
+            )));
+        }
+        for (key, ev) in &snap.queue {
+            let ok = match *ev {
+                SimEvent::TxStart { tx } => tx < timeline.len(),
+                SimEvent::ReceptionComplete { tx, receiver, slot } => {
+                    tx < timeline.len() && receiver < nr && slot < total_jobs
+                }
+                _ => false,
+            };
+            if !ok || key.seq >= snap.next_seq {
+                return Err(SnapError::Corrupt(format!(
+                    "queue entry {key:?} {ev:?} out of bounds"
+                )));
+            }
+        }
+        for f in &snap.in_flight {
+            if f.receiver >= nr || f.tx_index >= timeline.len() || f.slot >= total_jobs {
+                return Err(SnapError::Corrupt(format!(
+                    "in-flight capture ({}, {}, {}) out of bounds",
+                    f.receiver, f.tx_index, f.slot
+                )));
+            }
+        }
+        driver.q = BinaryHeapQueue::from_state(snap.queue.clone(), snap.next_seq, snap.dispatched);
+        driver.busy_until = snap.busy_until.clone();
+        driver.next_slot = snap.next_slot.clone();
+        driver.out = snap.out.clone();
+        // Reconstruct the in-flight captures: physics from the run
+        // inputs, chip noise from the stored stream positions.
+        let prepared = fan_out(driver.workers, &snap.in_flight, |f| {
+            let job = RxJob {
+                r: f.receiver,
+                idx: f.tx_index,
+                slot: f.slot,
+            };
+            (
+                job,
+                driver.pipe.prepare_with(&job, StdRng::from_state(f.rng)),
+            )
+        });
+        for (f, (job, prep)) in snap.in_flight.iter().zip(prepared) {
+            driver.in_flight.insert(job.slot, (job, prep, f.idle));
+        }
+        Ok(driver)
+    }
+}
+
+/// Rejects a snapshot whose identity fields (seed, config, arm, or the
+/// timeline/environment fingerprints) disagree with the run inputs the
+/// caller is restoring into. Float fields compare by exact bits.
+fn validate_rx_identity(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    snap: &RxSnapshot,
+) -> Result<(), SnapError> {
+    if cfg.seed != snap.seed
+        || cfg.load_kbps.to_bits() != snap.load_kbps.to_bits()
+        || cfg.body_bytes != snap.body_bytes
+        || cfg.carrier_sense != snap.carrier_sense
+        || cfg.duration_s.to_bits() != snap.duration_s.to_bits()
+    {
+        return Err(SnapError::IdentityMismatch(
+            "SimConfig differs from the snapshot's".into(),
+        ));
+    }
+    if arm.scheme != snap.scheme
+        || arm.postamble != snap.postamble
+        || arm.collect_symbols != snap.collect_symbols
+    {
+        return Err(SnapError::IdentityMismatch(
+            "RxArm differs from the snapshot's".into(),
+        ));
+    }
+    let tfp = timeline_fingerprint(timeline);
+    if tfp != snap.timeline_fp {
+        return Err(SnapError::IdentityMismatch(format!(
+            "timeline fingerprint {tfp:#018x} != snapshot {:#018x}",
+            snap.timeline_fp
+        )));
+    }
+    let efp = env_fingerprint(env);
+    if efp != snap.env_fp {
+        return Err(SnapError::IdentityMismatch(format!(
+            "environment fingerprint {efp:#018x} != snapshot {:#018x}",
+            snap.env_fp
+        )));
+    }
+    Ok(())
 }
 
 /// The time-stepped batch loop that was the production path before the
@@ -844,6 +1155,262 @@ pub fn process_receptions_timestep(
     out
 }
 
+/// A reception job paired with its snapshot capture, when the
+/// checkpoint caught it in flight: the stored RNG stream words and the
+/// already-resolved busy/idle verdict.
+type ResumeJob = (RxJob, Option<([u64; 4], bool)>);
+
+/// Completes a checkpointed run under the *time-stepped* driver: walks
+/// the receiver-major job list in fixed-size batches, copying slots the
+/// snapshot already decoded, replaying in-flight captures from their
+/// stored RNG stream positions (with the busy/idle verdict the snapshot
+/// resolved), and evaluating everything else exactly as
+/// [`process_receptions_timestep`] would — continuing each receiver's
+/// busy fold from the snapshot's horizon. The differential harness
+/// ([`crate::diff`]) holds this bit-identical to the event driver's
+/// resume.
+pub fn resume_receptions_timestep(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    snap: &RxSnapshot,
+    workers: Option<usize>,
+) -> Result<Vec<Reception>, SnapError> {
+    validate_rx_identity(env, cfg, timeline, arm, snap)?;
+    let pipe = RxPipeline::new(env, cfg, timeline, arm);
+    let nr = env.testbed.receivers.len();
+
+    let mut jobs: Vec<RxJob> = (0..nr)
+        .flat_map(|r| {
+            timeline
+                .iter()
+                .enumerate()
+                .filter(move |(_, tx)| env.s2r_mw[tx.sender][r] / pipe.noise >= SQUELCH_SNR)
+                .map(move |(idx, _)| RxJob { r, idx, slot: 0 })
+        })
+        .collect();
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.slot = i;
+    }
+
+    if snap.out.len() != jobs.len() || snap.busy_until.len() != nr {
+        return Err(SnapError::Corrupt(format!(
+            "slot table holds {} slots / {} horizons, run inputs produce {} / {nr}",
+            snap.out.len(),
+            snap.busy_until.len(),
+            jobs.len()
+        )));
+    }
+    let mut inflight: BTreeMap<usize, &InFlightRx> = BTreeMap::new();
+    for f in &snap.in_flight {
+        let job = jobs.get(f.slot).ok_or_else(|| {
+            SnapError::Corrupt(format!(
+                "in-flight capture at slot {} out of bounds",
+                f.slot
+            ))
+        })?;
+        if job.r != f.receiver || job.idx != f.tx_index {
+            return Err(SnapError::IdentityMismatch(format!(
+                "in-flight capture ({}, {}) at slot {} does not match the job table",
+                f.receiver, f.tx_index, f.slot
+            )));
+        }
+        inflight.insert(f.slot, f);
+    }
+
+    let workers = workers
+        .unwrap_or_else(|| worker_threads(jobs.len()))
+        .clamp(1, jobs.len().max(1));
+    let batch_len = (workers * BATCH_PER_WORKER).max(1);
+
+    let mut out: Vec<Option<Reception>> = snap.out.clone();
+    let mut busy = snap.busy_until.clone();
+    let todo: Vec<ResumeJob> = jobs
+        .iter()
+        .filter(|j| out[j.slot].is_none())
+        .map(|&j| (j, inflight.get(&j.slot).map(|f| (f.rng, f.idle))))
+        .collect();
+    for batch in todo.chunks(batch_len) {
+        let prepared = fan_out(workers, batch, |(job, src)| match src {
+            Some((rng, _)) => pipe.prepare_with(job, StdRng::from_state(*rng)),
+            None => pipe.prepare(job),
+        });
+        let resolved: Vec<(RxJob, PreparedRx, bool)> = batch
+            .iter()
+            .zip(prepared)
+            .map(|(&(job, src), prep)| {
+                let idle = match src {
+                    // The snapshot resolved (and folded) this verdict
+                    // before the checkpoint.
+                    Some((_, idle)) => idle,
+                    None => {
+                        let tx = &timeline[job.idx];
+                        let idle = busy[job.r] <= tx.start_chip;
+                        if idle && prep.pre_hit {
+                            busy[job.r] = tx.end_chip();
+                        }
+                        idle
+                    }
+                };
+                (job, prep, idle)
+            })
+            .collect();
+        let done = fan_out(workers, &resolved, |(job, prep, idle)| {
+            pipe.finish(job, prep, *idle)
+        });
+        for ((job, _, _), rec) in resolved.iter().zip(done) {
+            out[job.slot] = Some(rec);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every slot decoded on resume"))
+        .collect())
+}
+
+/// Completes a checkpointed run under the sequential `&[bool]`
+/// *reference* implementation — the executable specification — with the
+/// same slot semantics as [`resume_receptions_timestep`]. This is the
+/// strongest leg of the differential harness: a restored snapshot must
+/// finish identically under the packed SIMD pipeline and the plain
+/// bool-vector spec.
+pub fn resume_receptions_reference(
+    env: &RadioEnv,
+    cfg: &SimConfig,
+    timeline: &[Transmission],
+    arm: &RxArm,
+    snap: &RxSnapshot,
+) -> Result<Vec<Reception>, SnapError> {
+    validate_rx_identity(env, cfg, timeline, arm, snap)?;
+    let fast = FastRx::new(arm.postamble);
+    let noise = env.model.noise_mw();
+    let payload_len = arm.scheme.payload_len(cfg.body_bytes);
+    let nr = env.testbed.receivers.len();
+    if snap.busy_until.len() != nr {
+        return Err(SnapError::Corrupt(format!(
+            "{} busy horizons for {nr} receivers",
+            snap.busy_until.len()
+        )));
+    }
+    let inflight: BTreeMap<usize, &InFlightRx> =
+        snap.in_flight.iter().map(|f| (f.slot, f)).collect();
+
+    let mut out = Vec::with_capacity(snap.out.len());
+    let mut slot = 0usize;
+    for r in 0..nr {
+        let heard: Vec<HeardTx> = timeline
+            .iter()
+            .map(|tx| HeardTx {
+                id: tx.id,
+                start_chip: tx.start_chip,
+                len_chips: tx.len_chips,
+                power_mw: env.s2r_mw[tx.sender][r],
+            })
+            .collect();
+
+        let mut busy_until = snap.busy_until[r];
+        for (i, tx) in timeline.iter().enumerate() {
+            let signal = env.s2r_mw[tx.sender][r];
+            if signal / noise < SQUELCH_SNR {
+                continue;
+            }
+            let this_slot = slot;
+            slot += 1;
+            match snap.out.get(this_slot) {
+                Some(Some(rec)) => {
+                    out.push(rec.clone());
+                    continue;
+                }
+                Some(None) => {}
+                None => {
+                    return Err(SnapError::Corrupt(format!(
+                        "slot table holds {} slots, run inputs produce more",
+                        snap.out.len()
+                    )));
+                }
+            }
+
+            let payload = payload_pattern(tx.sender, tx.seq, payload_len);
+            let body = build_body_padded(&arm.scheme, &payload, cfg.body_bytes);
+            let frame = Frame::new(r as u16, tx.sender as u16, tx.seq, body.clone());
+            let chips = frame.chips();
+            let profile_spans = interference_profile(&heard[i], &heard);
+            let profile = ErrorProfile::from_interference(signal, noise, &profile_spans);
+
+            let resolved_idle = match inflight.get(&this_slot) {
+                Some(f) => {
+                    if f.receiver != r || f.tx_index != i {
+                        return Err(SnapError::IdentityMismatch(format!(
+                            "in-flight capture ({}, {}) at slot {this_slot} does not match \
+                             the job table",
+                            f.receiver, f.tx_index
+                        )));
+                    }
+                    Some((f.rng, f.idle))
+                }
+                None => None,
+            };
+            let mut rng = match resolved_idle {
+                Some((state, _)) => StdRng::from_state(state),
+                None => StdRng::seed_from_u64(reception_rng_seed(cfg.seed, tx.id, r)),
+            };
+            let corrupted = corrupt_chips(&chips, &profile, &mut rng);
+            let idle = match resolved_idle {
+                Some((_, idle)) => idle,
+                None => busy_until <= tx.start_chip,
+            };
+            let (acq, rx_frame) = fast.receive(&frame, &corrupted, idle);
+            // The snapshot already folded in-flight verdicts into the
+            // busy horizon; only fresh evaluations advance it here.
+            if resolved_idle.is_none() && acq == Acquisition::Preamble {
+                busy_until = tx.end_chip();
+            }
+
+            let mut rec = Reception {
+                tx_id: tx.id,
+                sender: tx.sender,
+                receiver: r,
+                acquisition: acq,
+                payload_len,
+                delivered_correct: 0,
+                delivered_claimed: 0,
+                crc_ok: false,
+                symbol_hints: Vec::new(),
+                symbol_correct: Vec::new(),
+            };
+            if let Some(rx) = rx_frame {
+                rec.crc_ok = rx.pkt_crc_ok();
+                let delivered = arm.scheme.deliver(&rx);
+                rec.delivered_claimed = delivered.iter().map(|d| d.bytes.len()).sum();
+                rec.delivered_correct = correct_delivered_bytes(&delivered, &payload);
+                if arm.collect_symbols {
+                    if let (Some(hints), Some(g)) = (rx.body_symbol_hints(), rx.geometry()) {
+                        let tx_symbols = bytes_to_symbols(&body);
+                        let body_range = g.body();
+                        let rx_syms =
+                            rx.link_symbol_range(body_range.start * 2..body_range.end * 2);
+                        rec.symbol_correct = rx_syms
+                            .iter()
+                            .zip(&tx_symbols)
+                            .map(|(a, b)| a.symbol == *b)
+                            .collect();
+                        rec.symbol_hints = hints;
+                    }
+                }
+            }
+            out.push(rec);
+        }
+    }
+    if slot != snap.out.len() {
+        return Err(SnapError::Corrupt(format!(
+            "slot table holds {} slots, run inputs produce {slot}",
+            snap.out.len()
+        )));
+    }
+    Ok(out)
+}
+
 /// The shared per-(transmission, receiver) pipeline stages: everything
 /// both reception drivers do identically, so driver parity is about
 /// *orchestration* (event order, batching, slots) and never about the
@@ -896,6 +1463,15 @@ impl<'a> RxPipeline<'a> {
     /// Phase A: everything independent of the receiver's busy state.
     fn prepare(&self, job: &RxJob) -> PreparedRx {
         let tx = &self.timeline[job.idx];
+        let rng = StdRng::seed_from_u64(reception_rng_seed(self.cfg.seed, tx.id, job.r));
+        self.prepare_with(job, rng)
+    }
+
+    /// [`RxPipeline::prepare`] with an explicit RNG stream position —
+    /// the restore path replays an in-flight capture from the position
+    /// its snapshot recorded instead of re-deriving it from the seed.
+    fn prepare_with(&self, job: &RxJob, mut rng: StdRng) -> PreparedRx {
+        let tx = &self.timeline[job.idx];
         let signal = self.env.s2r_mw[tx.sender][job.r];
         let payload = payload_pattern(tx.sender, tx.seq, self.payload_len);
         let body = build_body_padded(&self.arm.scheme, &payload, self.cfg.body_bytes);
@@ -903,7 +1479,6 @@ impl<'a> RxPipeline<'a> {
         let mut corrupted = frame.chip_words();
         let profile_spans = interference_profile(&self.heard[job.r][job.idx], &self.heard[job.r]);
         let profile = ErrorProfile::from_interference(signal, self.noise, &profile_spans);
-        let mut rng = StdRng::seed_from_u64(reception_rng_seed(self.cfg.seed, tx.id, job.r));
         corrupt_chip_words_in_place(&mut corrupted, &profile, &mut rng);
         let pre_hit = self.fast.preamble_hit_words(&corrupted);
         PreparedRx {

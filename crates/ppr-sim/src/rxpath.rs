@@ -29,6 +29,30 @@ pub enum Acquisition {
     None,
 }
 
+impl Acquisition {
+    /// Wire tag for the snapshot format (stable across releases: the
+    /// values are part of the versioned byte layout in
+    /// [`crate::snapshot`], not an in-memory discriminant).
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Acquisition::Preamble => 0,
+            Acquisition::Postamble => 1,
+            Acquisition::None => 2,
+        }
+    }
+
+    /// Inverse of [`Acquisition::to_tag`]; `None` for unknown tags
+    /// (a corrupt or future-version snapshot).
+    pub fn from_tag(tag: u8) -> Option<Acquisition> {
+        match tag {
+            0 => Some(Acquisition::Preamble),
+            1 => Some(Acquisition::Postamble),
+            2 => Some(Acquisition::None),
+            _ => None,
+        }
+    }
+}
+
 /// Per-packet receiver: delimiter checks at known offsets + `ppr-mac`
 /// decode.
 #[derive(Debug, Clone)]

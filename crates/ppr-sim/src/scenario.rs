@@ -225,6 +225,11 @@ pub struct Scenario {
     pub mesh_nodes: usize,
     /// Expected neighbor count for the mesh / random-geometric layouts.
     pub mesh_density: f64,
+    /// Snapshot/restore exercise point: run each reception loop to this
+    /// event-dispatch boundary, checkpoint through the binary snapshot
+    /// format, and resume (`None` = run uninterrupted). Results are
+    /// bit-identical either way — that is the pinned contract.
+    pub checkpoint: Option<u64>,
 }
 
 impl Scenario {
@@ -325,6 +330,9 @@ impl Scenario {
         if self.mesh_density != DEFAULT_MESH_DENSITY {
             fields.push(("mesh_density".into(), Json::num(self.mesh_density)));
         }
+        if let Some(cp) = self.checkpoint {
+            fields.push(("checkpoint".into(), Json::int(cp)));
+        }
         Json::Obj(fields)
     }
 }
@@ -348,6 +356,7 @@ pub struct ScenarioBuilder {
     driver: Option<Driver>,
     mesh_nodes: Option<usize>,
     mesh_density: Option<f64>,
+    checkpoint: Option<u64>,
 }
 
 /// The keys [`ScenarioBuilder::set`] accepts, with their value syntax —
@@ -379,6 +388,10 @@ pub const SCENARIO_KEYS: &[(&str, &str)] = &[
     (
         "mesh_density",
         "expected neighbors > 0, e.g. mesh_density=12",
+    ),
+    (
+        "checkpoint",
+        "snapshot/resume at this event count >= 1, e.g. checkpoint=1000",
     ),
 ];
 
@@ -475,6 +488,13 @@ impl ScenarioBuilder {
     /// Sets the mesh / random-geometric density (expected neighbors).
     pub fn mesh_density(mut self, v: f64) -> Self {
         self.mesh_density = Some(v);
+        self
+    }
+
+    /// Routes every reception loop through a snapshot/restore cycle at
+    /// the given event-dispatch boundary.
+    pub fn checkpoint(mut self, events: u64) -> Self {
+        self.checkpoint = Some(events);
         self
     }
 
@@ -584,6 +604,15 @@ impl ScenarioBuilder {
                 }
                 self.mesh_density = Some(v);
             }
+            "checkpoint" => {
+                let v: u64 = parse(key, value, "an event count >= 1")?;
+                if v == 0 {
+                    return Err(format!(
+                        "invalid value {value:?} for checkpoint (want an event count >= 1)"
+                    ));
+                }
+                self.checkpoint = Some(v);
+            }
             _ => {
                 let keys: Vec<&str> = SCENARIO_KEYS.iter().map(|&(k, _)| k).collect();
                 return Err(format!(
@@ -616,6 +645,7 @@ impl ScenarioBuilder {
             driver: self.driver.unwrap_or_default(),
             mesh_nodes: self.mesh_nodes.unwrap_or(DEFAULT_MESH_NODES),
             mesh_density: self.mesh_density.unwrap_or(DEFAULT_MESH_DENSITY),
+            checkpoint: self.checkpoint,
         }
     }
 }
@@ -709,6 +739,8 @@ mod tests {
             ("driver", "warp"),
             ("mesh_nodes", "1"),
             ("mesh_density", "0"),
+            ("checkpoint", "0"),
+            ("checkpoint", "soon"),
             ("nonsense", "1"),
         ] {
             let err = b.set(key, value).unwrap_err();
@@ -762,7 +794,10 @@ mod tests {
         let sc = ScenarioBuilder::new().duration_s(2.0).build();
         let j = sc.to_json().render();
         assert!(
-            !j.contains("topology") && !j.contains("driver") && !j.contains("mesh"),
+            !j.contains("topology")
+                && !j.contains("driver")
+                && !j.contains("mesh")
+                && !j.contains("checkpoint"),
             "{j}"
         );
         let mut b = ScenarioBuilder::new();
@@ -770,10 +805,12 @@ mod tests {
         b.set("driver", "timestep").unwrap();
         b.set("mesh_nodes", "400").unwrap();
         b.set("mesh_density", "9").unwrap();
+        b.set("checkpoint", "1000").unwrap();
         let j = b.build().to_json().render();
         assert!(j.contains(r#""topology":"grid:6x4""#), "{j}");
         assert!(j.contains(r#""driver":"timestep""#), "{j}");
         assert!(j.contains(r#""mesh_nodes":400"#), "{j}");
         assert!(j.contains(r#""mesh_density":9"#), "{j}");
+        assert!(j.contains(r#""checkpoint":1000"#), "{j}");
     }
 }

@@ -86,6 +86,78 @@ fn reception_loop_is_invariant_to_workers_and_batch() {
     // And the time-stepped loop itself is worker-invariant.
     let ts4 = process_receptions_timestep(&env, &c, &timeline, &arm, Some(4));
     assert_eq!(ts4, reference);
+
+    // workers=None resolves through PPR_THREADS / available parallelism
+    // — a worker count no explicit ladder rung covers. The batch ladder
+    // must be invariant under it too (this is the default every
+    // experiment actually runs with).
+    for batch_per_worker in [1usize, 8, 32] {
+        let got = process_receptions_tuned(&env, &c, &timeline, &arm, None, batch_per_worker);
+        assert_eq!(
+            got, reference,
+            "event driver diverged at workers=None, batch={batch_per_worker}"
+        );
+    }
+    assert_eq!(
+        process_receptions_timestep(&env, &c, &timeline, &arm, None),
+        reference
+    );
+}
+
+#[test]
+fn mesh_resume_inside_a_flush_window_is_bit_identical() {
+    // A mesh checkpoint may land *inside* the SAFE_WINDOW decode flush:
+    // completed receptions are pending, their batch not yet decoded.
+    // The snapshot serializes the pending batch verbatim (no forced
+    // early flush), so the resumed run must reproduce the uninterrupted
+    // stats exactly — including the flush-batch counters the report
+    // prints.
+    use ppr::sim::experiments::mesh::{run_mesh, MeshDriver, MeshParams};
+    let params = MeshParams {
+        nodes: 300,
+        density: 12.0,
+        seed: 2,
+        eta: 6,
+        body_bytes: 250,
+    };
+    let reference = run_mesh(&params, Some(2));
+
+    let mut driver = MeshDriver::new(&params, Some(1));
+    let mut epochs_inside_flush = Vec::new();
+    loop {
+        let before = driver.dispatched();
+        driver.run_events(before + 1);
+        if driver.dispatched() == before {
+            break; // drained
+        }
+        if !driver.save().pending.is_empty() {
+            epochs_inside_flush.push(driver.dispatched());
+        }
+        if epochs_inside_flush.len() >= 24 {
+            break;
+        }
+    }
+    assert!(
+        !epochs_inside_flush.is_empty(),
+        "no epoch with a non-empty pending batch — SAFE_WINDOW flush never observed"
+    );
+    // Resume from an early, a middle and the last captured mid-flush
+    // epoch, each across a worker-count change.
+    let picks = [
+        epochs_inside_flush[0],
+        epochs_inside_flush[epochs_inside_flush.len() / 2],
+        *epochs_inside_flush.last().unwrap(),
+    ];
+    for &events in &picks {
+        let mut d = MeshDriver::new(&params, Some(1));
+        d.run_events(events);
+        let snap = d.save();
+        assert!(!snap.pending.is_empty(), "picked epoch lost its batch");
+        let resumed = MeshDriver::restore(&params, Some(4), &snap)
+            .expect("mid-flush snapshot restores")
+            .run_to_end();
+        assert_eq!(resumed, reference, "mid-flush resume diverged at {events}");
+    }
 }
 
 #[test]

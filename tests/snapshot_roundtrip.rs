@@ -1,0 +1,188 @@
+//! Snapshot/replay determinism: a run interrupted by a checkpoint —
+//! serialized to the versioned binary format, deserialized, resumed —
+//! must be bit-identical to the same run left alone.
+//!
+//! Three layers:
+//!
+//! 1. **Reception streams** — `process_receptions_checkpointed` vs the
+//!    uninterrupted event driver, property-tested across checkpoint
+//!    epochs, worker counts and loads.
+//! 2. **Experiments** — every registry entry renders the same report
+//!    with `checkpoint` set (under both drivers; the timestep driver
+//!    resumes an event-core snapshot, so this also pins cross-driver
+//!    resume).
+//! 3. **The format itself** — a canonical snapshot's bytes are pinned
+//!    by fingerprint: any layout change must be deliberate and must
+//!    come with a `SNAPSHOT_VERSION` bump.
+
+use ppr::mac::schemes::DeliveryScheme;
+use ppr::sim::experiments::registry;
+use ppr::sim::network::{
+    generate_timeline, process_receptions_checkpointed, process_receptions_tuned,
+    snapshot_after_events, RadioEnv, RxArm, SimConfig,
+};
+use ppr::sim::results::fingerprint;
+use ppr::sim::scenario::{Driver, ScenarioBuilder};
+use ppr::sim::snapshot::{MeshSnapshot, RxSnapshot, SnapError, SNAPSHOT_VERSION};
+use proptest::prelude::*;
+
+fn cfg(load_kbps: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        load_kbps,
+        body_bytes: 1500,
+        carrier_sense: false,
+        duration_s: 2.0,
+        seed,
+    }
+}
+
+fn arm() -> RxArm {
+    RxArm {
+        scheme: DeliveryScheme::Ppr { eta: 6 },
+        postamble: true,
+        collect_symbols: false,
+    }
+}
+
+#[test]
+fn reception_checkpoint_is_bit_identical_at_every_epoch_class() {
+    let c = cfg(42.4, 7);
+    let env = RadioEnv::new(c.seed);
+    let timeline = generate_timeline(&env, &c);
+    let arm = arm();
+    let reference = process_receptions_tuned(&env, &c, &timeline, &arm, Some(2), 8);
+    assert!(!reference.is_empty());
+    // Epoch 0 (nothing dispatched), mid-run, and beyond the final event.
+    for events in [0u64, 1, 17, 500, 5_000, u64::MAX] {
+        let got = process_receptions_checkpointed(&env, &c, &timeline, &arm, Some(3), events);
+        assert_eq!(got, reference, "diverged at checkpoint {events}");
+    }
+}
+
+proptest! {
+    /// Any (checkpoint epoch, worker count, seed) combination resumes
+    /// bit-identically. Short duration: the vendored proptest runs a
+    /// fixed 256 cases.
+    #[test]
+    fn checkpointed_reception_stream_matches_uninterrupted(
+        events in 0u64..1_500,
+        workers in 1usize..5,
+        seed in 1u64..50,
+    ) {
+        let mut c = cfg(42.4, seed);
+        c.duration_s = 0.3;
+        let env = RadioEnv::new(c.seed);
+        let timeline = generate_timeline(&env, &c);
+        let arm = arm();
+        let reference = process_receptions_tuned(&env, &c, &timeline, &arm, Some(1), 1);
+        let got = process_receptions_checkpointed(&env, &c, &timeline, &arm, Some(workers), events);
+        prop_assert_eq!(got, reference);
+    }
+}
+
+#[test]
+fn every_experiment_is_checkpoint_invariant() {
+    // Short but complete pass over all registry experiments: the
+    // rendered report must not change when the run snapshots and
+    // resumes mid-flight, under either driver.
+    let build = |driver: Driver, checkpoint: Option<u64>| {
+        let mut b = ScenarioBuilder::new()
+            .duration_s(1.0)
+            .seed(0xD21)
+            .threads(1)
+            .arq_packets(10)
+            .relay_packets(15)
+            .mesh_nodes(300)
+            .driver(driver);
+        if let Some(cp) = checkpoint {
+            b = b.checkpoint(cp);
+        }
+        b.build()
+    };
+    for driver in [Driver::Event, Driver::Timestep] {
+        let plain = build(driver, None);
+        let checked = build(driver, Some(120));
+        let mut prior_p = Vec::new();
+        let mut prior_c = Vec::new();
+        for exp in registry() {
+            let rp = exp.run_with(&plain, &prior_p);
+            let rc = exp.run_with(&checked, &prior_c);
+            assert_eq!(
+                rp.render_text(),
+                rc.render_text(),
+                "checkpoint changed the report of {} under driver={driver:?}",
+                exp.id()
+            );
+            prior_p.push(rp);
+            prior_c.push(rc);
+        }
+    }
+}
+
+/// Fingerprint of the canonical reception snapshot's serialized bytes.
+/// This pins the *format*: magic, version, field order, and every
+/// encoder. If this assertion fires, the byte layout changed — bump
+/// `SNAPSHOT_VERSION`, update this constant, and say so in the commit.
+const RX_FORMAT_FINGERPRINT: u64 = 0x1399_0ea2_0fa3_65f3;
+
+#[test]
+fn snapshot_byte_format_is_pinned() {
+    assert_eq!(SNAPSHOT_VERSION, 1);
+    let c = cfg(42.4, 11);
+    let env = RadioEnv::new(c.seed);
+    let timeline = generate_timeline(&env, &c);
+    let bytes = snapshot_after_events(&env, &c, &timeline, &arm(), Some(2), 300);
+    let mut snap = RxSnapshot::from_bytes(&bytes).expect("canonical snapshot parses");
+    // The kernel signature is provenance, not state: it names the host
+    // CPU's dispatch choice, so pin the bytes with it normalized.
+    snap.kernel_signature = b"pinned".to_vec();
+    let fp = fingerprint(&snap.to_bytes());
+    assert_eq!(
+        fp, RX_FORMAT_FINGERPRINT,
+        "snapshot byte format changed: fingerprint {fp:#018x} != pinned \
+         {RX_FORMAT_FINGERPRINT:#018x}. If intentional, bump SNAPSHOT_VERSION, update \
+         RX_FORMAT_FINGERPRINT, and explain the layout change in the commit."
+    );
+}
+
+#[test]
+fn snapshot_rejects_tampering_and_wrong_identity() {
+    let c = cfg(42.4, 11);
+    let env = RadioEnv::new(c.seed);
+    let timeline = generate_timeline(&env, &c);
+    let arm = arm();
+    let bytes = snapshot_after_events(&env, &c, &timeline, &arm, Some(1), 200);
+
+    // Flipping any payload bit breaks the trailing fingerprint.
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 1;
+    assert!(matches!(
+        RxSnapshot::from_bytes(&bad),
+        Err(SnapError::BadFingerprint { .. })
+    ));
+
+    // A mesh snapshot's kind byte does not parse as a reception one.
+    assert!(matches!(
+        MeshSnapshot::from_bytes(&bytes),
+        Err(SnapError::BadKind(_))
+    ));
+
+    // Restoring against a different run is an identity error, caught
+    // before any state is rebuilt.
+    let snap = RxSnapshot::from_bytes(&bytes).unwrap();
+    let mut other = c;
+    other.seed ^= 1;
+    let other_env = RadioEnv::new(other.seed);
+    let other_tl = generate_timeline(&other_env, &other);
+    let err = ppr::sim::network::resume_receptions_timestep(
+        &other_env,
+        &other,
+        &other_tl,
+        &arm,
+        &snap,
+        Some(1),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SnapError::IdentityMismatch(_)), "{err}");
+}
