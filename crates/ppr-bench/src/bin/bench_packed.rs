@@ -329,13 +329,7 @@ fn main() {
     // events/sec here is the wall-clock figure the mesh10k experiment
     // deliberately does not compute for itself.
     {
-        let params = MeshParams {
-            nodes: 10_000,
-            density: 12.0,
-            seed: 42,
-            eta: 6,
-            body_bytes: MESH_BODY_BYTES,
-        };
+        let params = MeshParams::benign(10_000, 12.0, 42, 6, MESH_BODY_BYTES);
         for workers in [1usize, 2, 4, 8] {
             let t = Instant::now();
             let s = run_mesh(&params, Some(workers));

@@ -13,6 +13,9 @@
 //!   errors arrive in contiguous bursts, as they do when packets collide.
 //! * **Chip errors** — [`ber`]: the matched-filter MSK chip error
 //!   probability `Q(√(2·SINR))` ties both backends together.
+//! * **Jamming** — [`jamming`]: duty-cycled burst placement and
+//!   interval clipping for the adversarial experiments; bursts corrupt
+//!   chips through the same overlap/error-profile path as collisions.
 //!
 //! Two interchangeable backends realize the corruption:
 //!
@@ -29,6 +32,7 @@
 
 pub mod ber;
 pub mod chip_channel;
+pub mod jamming;
 pub mod math;
 pub mod overlap;
 pub mod pathloss;
@@ -39,6 +43,7 @@ pub use chip_channel::{
     codeword_flip_counts, corrupt_chip_words, corrupt_chip_words_in_place, corrupt_chips,
     ErrorProfile,
 };
+pub use jamming::{clip_bursts, cover_fraction, pulse_burst, pulse_bursts_in, Burst};
 pub use overlap::{interference_profile, HeardTx, InterferenceSpan};
 pub use pathloss::{Link, PathLossModel};
 pub use sample_channel::{render, render_single, WaveformTx};

@@ -25,13 +25,15 @@
 //! Exit status: 0 on success, 1 on divergence, 2 on usage errors
 //! (unknown id, malformed `--set`, unknown flag).
 
+use ppr_sim::adversary::JammerSpec;
 use ppr_sim::diff::{active_kernel_signature, cross_validate, standard_backends};
 use ppr_sim::experiments::common::CapacityRun;
+use ppr_sim::experiments::mesh::{run_mesh, MeshDriver, MeshParams};
 use ppr_sim::experiments::{find, registry, Experiment};
 use ppr_sim::network::{snapshot_after_events, RxArm};
-use ppr_sim::results::{ExperimentResult, Json};
+use ppr_sim::results::{fingerprint, ExperimentResult, Json};
 use ppr_sim::scenario::{Driver, Scenario, ScenarioBuilder, SCENARIO_KEYS};
-use ppr_sim::snapshot::RxSnapshot;
+use ppr_sim::snapshot::{MeshSnapshot, RxSnapshot};
 
 /// Usage text printed by `--help` and on argument errors.
 const USAGE: &str = "\
@@ -329,6 +331,17 @@ fn diff_variants(base: &Scenario, checkpoint: u64) -> Vec<(&'static str, Scenari
     .collect()
 }
 
+/// The adversarial mesh the `diff` fleet validates: 300 nodes under a
+/// reactive jammer with churn and a ×1.5 backoff ladder, seeded from
+/// the scenario so `--set seed=` varies the whole pass.
+fn jammed_mesh_params(base: &Scenario) -> MeshParams {
+    let mut p = MeshParams::benign(300, 12.0, base.seed, base.eta, 250);
+    p.jammer = JammerSpec::React { delay: 4096 };
+    p.churn = 2.0;
+    p.arq_backoff_milli = 1500;
+    p
+}
+
 fn diff(args: &RunArgs) -> i32 {
     let selected: Vec<&'static dyn Experiment> = if args.all {
         registry().to_vec()
@@ -479,6 +492,55 @@ fn diff(args: &RunArgs) -> i32 {
                 ]));
             }
             stream_rows.push(Json::Obj(fields));
+        }
+        print!("{}", t.render());
+        println!();
+
+        // Jammed-mesh pass: one frozen adversarial mesh checkpoint
+        // (reactive jammer + churn + exponential backoff), restored
+        // across the worker fleet and an extra serialize/parse leg.
+        // Small on purpose — the point is fleet agreement, not scale.
+        let mesh_params = jammed_mesh_params(&base);
+        let reference = run_mesh(&mesh_params, Some(1));
+        let reference_fp = fingerprint(format!("{reference:?}").as_bytes());
+        let mut driver = MeshDriver::new(&mesh_params, Some(1));
+        driver.run_events(checkpoint);
+        let snap_bytes = driver.save().to_bytes();
+        let snap = match MeshSnapshot::from_bytes(&snap_bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: jammed mesh snapshot does not round-trip: {e}");
+                return 1;
+            }
+        };
+        let mut t =
+            ppr_sim::report::Table::new(&["jammed mesh", "stats fingerprint", "vs baseline"]);
+        t.row(&[
+            "baseline w1".to_string(),
+            format!("{reference_fp:016x}"),
+            "ok".to_string(),
+        ]);
+        for workers in [1usize, 2, 4, 8] {
+            let resumed = match MeshDriver::restore(&mesh_params, Some(workers), &snap) {
+                Ok(d) => d.run_to_end(),
+                Err(e) => {
+                    eprintln!("error: jammed mesh checkpoint restore failed: {e}");
+                    return 1;
+                }
+            };
+            let fp = fingerprint(format!("{resumed:?}").as_bytes());
+            let agree = resumed == reference;
+            t.row(&[
+                format!("resume w{workers}"),
+                format!("{fp:016x}"),
+                if agree { "ok" } else { "DIVERGED" }.to_string(),
+            ]);
+            if !agree {
+                failures.push(Json::Obj(vec![
+                    ("jammed_mesh_workers".into(), Json::int(workers as u64)),
+                    ("point".into(), Json::str(&label)),
+                ]));
+            }
         }
         print!("{}", t.render());
     }

@@ -19,7 +19,7 @@
 //! suppressible — a typo in a suppression must not suppress itself.
 
 use crate::config::{BaselineEntry, Config};
-use crate::lints::{check_file, Finding};
+use crate::lints::{check_file_with_readme, Finding};
 use crate::source::SourceFile;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -127,12 +127,17 @@ pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
     };
     let mut baseline_hit: Vec<bool> = vec![false; cfg.baseline.len()];
 
+    // The axis-doc lint compares the scenario table against the README;
+    // a missing README reads as empty, which flags every axis (right:
+    // the documentation the lint guards is gone).
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+
     for path in &files {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let rel = rel_path(root, path);
         let file = SourceFile::parse(&rel, &text);
-        for finding in check_file(&file, cfg) {
+        for finding in check_file_with_readme(&file, cfg, Some(&readme)) {
             if finding.lint != "directive" && is_suppressed(&file, &finding) {
                 report.suppressed.push(finding);
             } else if let Some(i) = cfg.baseline.iter().position(|e| {

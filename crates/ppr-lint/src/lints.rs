@@ -12,7 +12,8 @@
 //! | `no-float` | no float literals or `f32`/`f64` tokens inside declared `region(no-float)` spans (the Q23.40 planner scoring and CRC paths) |
 //! | `env-hygiene` | `std::env::var`/`var_os` only in `ppr_sim::env`, `ppr-cli` and `ppr-bench` |
 //! | `event-key-doc` | `ppr_sim::event` documents the heap ordering key verbatim — the literal `(time, priority, seq)` must appear in the module, so the total-order contract every driver leans on cannot silently rot out of the docs |
-//! | `snapshot-field-doc` | every field inside a declared `region(snapshot-state)` span carries a `snapshot:` comment stating whether it is serialized or rebuilt on restore, and the checkpointed drivers (`ppr_sim::network`, the mesh experiment) each declare at least one such region — so the snapshot format's field inventory cannot drift from the structs it serializes |
+//! | `snapshot-field-doc` | every field inside a declared `region(snapshot-state)` span carries a `snapshot:` comment stating whether it is serialized or rebuilt on restore, and the checkpointed drivers (`ppr_sim::network`, the mesh experiment, the adversary actor) each declare at least one such region — so the snapshot format's field inventory cannot drift from the structs it serializes |
+//! | `axis-doc` | every axis key in `ppr_sim::scenario`'s `SCENARIO_KEYS` table has a `` | `key` `` row in the README's scenario-axis table — so `--set` surface and documentation cannot drift apart |
 //! | `directive` | `ppr-lint:` comments themselves parse and regions match (not suppressible) |
 //!
 //! Being lexical is a feature (no `syn`, no build, runs in
@@ -42,13 +43,14 @@ pub struct Finding {
 }
 
 /// Names of every lint, for `--list` and allow(...) validation.
-pub const LINT_NAMES: [&str; 7] = [
+pub const LINT_NAMES: [&str; 8] = [
     "determinism",
     "unsafe-containment",
     "no-float",
     "env-hygiene",
     "event-key-doc",
     "snapshot-field-doc",
+    "axis-doc",
     "directive",
 ];
 
@@ -88,8 +90,21 @@ fn in_scope(path: &str, scopes: &[&str]) -> bool {
 
 /// Runs every lint over one file. `cfg` supplies the configured
 /// extension of the `unsafe` allowlist; the baseline is applied later
-/// by the engine, not here.
+/// by the engine, not here. Without README text the `axis-doc` lint
+/// cannot run — the engine uses [`check_file_with_readme`].
 pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    check_file_with_readme(file, cfg, None)
+}
+
+/// [`check_file`] plus the cross-file `axis-doc` lint, which compares
+/// the scenario-axis table against `readme` (the workspace README's
+/// text; the engine passes the file's content, or `""` when the README
+/// itself is missing — which correctly flags every axis as undocumented).
+pub fn check_file_with_readme(
+    file: &SourceFile,
+    cfg: &Config,
+    readme: Option<&str>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     directive_lint(file, &mut findings);
     determinism_lint(file, &mut findings);
@@ -98,6 +113,9 @@ pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     env_hygiene_lint(file, &mut findings);
     event_key_doc_lint(file, &mut findings);
     snapshot_field_doc_lint(file, &mut findings);
+    if let Some(readme) = readme {
+        axis_doc_lint(file, readme, &mut findings);
+    }
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -220,9 +238,10 @@ fn event_key_doc_lint(file: &SourceFile, out: &mut Vec<Finding>) {
 /// field inventory is only as trustworthy as the regions that opt the
 /// state in — a driver refactor that silently dropped its region would
 /// also drop the field-doc requirement below.
-const SNAPSHOT_STATE_FILES: [&str; 2] = [
+const SNAPSHOT_STATE_FILES: [&str; 3] = [
     "crates/ppr-sim/src/network.rs",
     "crates/ppr-sim/src/experiments/mesh.rs",
+    "crates/ppr-sim/src/adversary.rs",
 ];
 
 /// `snapshot-field-doc`: inside a declared `region(snapshot-state)`
@@ -308,6 +327,118 @@ fn snapshot_field_doc_lint(file: &SourceFile, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+/// The one file that owns the scenario-axis surface: every `--set` key
+/// the CLI accepts is declared in this file's `SCENARIO_KEYS` table.
+const SCENARIO_FILE: &str = "crates/ppr-sim/src/scenario.rs";
+
+/// `axis-doc`: every axis key in the `SCENARIO_KEYS` table must have a
+/// `` | `key` `` row in the README's scenario-axis table. The lexer
+/// drops string contents, so this lint re-scans the raw lines with a
+/// tiny literal-aware reader — the table is the one place where string
+/// *contents* are the invariant.
+fn axis_doc_lint(file: &SourceFile, readme: &str, out: &mut Vec<Finding>) {
+    if file.rel_path != SCENARIO_FILE {
+        return;
+    }
+    let src = file.lines.join("\n");
+    let keys = scenario_axis_keys(&src);
+    if keys.is_empty() {
+        out.push(finding(
+            file,
+            1,
+            "axis-doc",
+            "no `SCENARIO_KEYS` table found in the scenario module; the axis-doc lint \
+             needs it to hold every `--set` key"
+                .to_string(),
+        ));
+        return;
+    }
+    for (line, key) in keys {
+        let row = format!("| `{key}`");
+        if !readme.contains(&row) {
+            out.push(finding(
+                file,
+                line,
+                "axis-doc",
+                format!(
+                    "scenario axis `{key}` has no `| `{key}`` row in the README's \
+                     scenario-axis table; document every `--set` key where users look first"
+                ),
+            ));
+        }
+    }
+}
+
+/// Extracts `(line, key)` for each tuple in the `SCENARIO_KEYS` array:
+/// the first string literal inside each top-level parenthesis group.
+/// Understands string literals (so `(` inside a description does not
+/// open a tuple) and `\`-escapes (so multi-line literals survive).
+fn scenario_axis_keys(src: &str) -> Vec<(u32, String)> {
+    let Some(decl) = src.find("SCENARIO_KEYS") else {
+        return Vec::new();
+    };
+    // Skip the type annotation (`&[(&str, &str)]` has brackets of its
+    // own): the array literal is the first `[` after the `=`.
+    let Some(eq) = src[decl..].find('=').map(|i| decl + i) else {
+        return Vec::new();
+    };
+    let Some(open) = src[eq..].find('[').map(|i| i + eq - decl) else {
+        return Vec::new();
+    };
+    let mut line = 1 + src[..decl + open].matches('\n').count() as u32;
+    let mut keys = Vec::new();
+    let mut chars = src[decl + open + 1..].chars().peekable();
+    let mut paren_depth = 0usize; // tuple nesting inside the array
+    let mut bracket_depth = 0usize;
+    let mut key_taken = false; // first literal of the current tuple seen
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            '(' => {
+                paren_depth += 1;
+                if paren_depth == 1 {
+                    key_taken = false;
+                }
+            }
+            ')' => paren_depth = paren_depth.saturating_sub(1),
+            '[' => bracket_depth += 1,
+            ']' => {
+                if bracket_depth == 0 {
+                    break; // the array's own closing bracket
+                }
+                bracket_depth -= 1;
+            }
+            '"' => {
+                let start_line = line;
+                let mut text = String::new();
+                while let Some(sc) = chars.next() {
+                    match sc {
+                        '"' => break,
+                        '\\' => {
+                            // Skip the escaped char; `\` + newline is the
+                            // multi-line continuation, keep counting lines.
+                            if let Some(&esc) = chars.peek() {
+                                if esc == '\n' {
+                                    line += 1;
+                                }
+                                chars.next();
+                            }
+                        }
+                        '\n' => line += 1,
+                        _ => text.push(sc),
+                    }
+                }
+                if paren_depth == 1 && !key_taken {
+                    key_taken = true;
+                    keys.push((start_line, text));
+                }
+            }
+            _ => {}
+        }
+    }
+    keys
 }
 
 /// Is token `i` followed by `:: now`?
@@ -644,6 +775,7 @@ pub struct Snap {
         for path in [
             "crates/ppr-sim/src/network.rs",
             "crates/ppr-sim/src/experiments/mesh.rs",
+            "crates/ppr-sim/src/adversary.rs",
         ] {
             let f = check(path, bare);
             assert!(
@@ -653,6 +785,74 @@ pub struct Snap {
         }
         // Other files may simply not opt in.
         assert!(check("crates/ppr-sim/src/event.rs", "// (time, priority, seq)\n").is_empty());
+    }
+
+    fn check_readme(path: &str, src: &str, readme: &str) -> Vec<Finding> {
+        check_file_with_readme(
+            &SourceFile::parse(path, src),
+            &Config::default(),
+            Some(readme),
+        )
+    }
+
+    #[test]
+    fn axis_keys_extracted_from_the_table() {
+        // One-line tuple, multi-line tuple, parenthesis inside a
+        // description, and a `\`-continued multi-line literal.
+        let src = "\
+pub const SCENARIO_KEYS: &[(&str, &str)] = &[
+    (\"duration\", \"positive seconds\"),
+    (
+        \"backend\",
+        \"chip (dsp reserved, not yet wired)\",
+    ),
+    (
+        \"jammer\",
+        \"off | pulse:PERIOD:DUTY, \\
+         e.g. jammer=pulse:32768:0.2\",
+    ),
+];
+";
+        let keys = scenario_axis_keys(src);
+        assert_eq!(
+            keys,
+            vec![
+                (2, "duration".to_string()),
+                (4, "backend".to_string()),
+                (8, "jammer".to_string()),
+            ]
+        );
+        assert!(scenario_axis_keys("pub struct Scenario;\n").is_empty());
+    }
+
+    #[test]
+    fn axis_doc_flags_undocumented_axes() {
+        let src = "\
+pub const SCENARIO_KEYS: &[(&str, &str)] = &[
+    (\"seed\", \"u64\"),
+    (\"jammer\", \"off | react:DELAY\"),
+];
+";
+        let documented = "| `seed` | u64 |\n| `jammer` | jamming model |\n";
+        assert!(check_readme(SCENARIO_FILE, src, documented).is_empty());
+
+        let partial = "| `seed` | u64 |\n";
+        let f = check_readme(SCENARIO_FILE, src, partial);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "axis-doc");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("jammer"));
+
+        // Only the scenario module is in scope, and without README text
+        // (plain `check_file`) the lint is off entirely.
+        assert!(check_readme("crates/ppr-sim/src/x.rs", src, "").is_empty());
+        assert!(check(SCENARIO_FILE, src).is_empty());
+
+        // A scenario module that lost its table is itself a violation.
+        let f = check_readme(SCENARIO_FILE, "pub struct Scenario;\n", documented);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "axis-doc");
+        assert_eq!(f[0].line, 1);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`schemes`] — the §7.2 trio: packet CRC, fragmented CRC and PPR
 //!   (hint-threshold) delivery.
 //! * [`csma`] — the carrier-sense rule toggled across experiments.
+//! * [`arq_policy`] — bounded-retry backoff schedules and
+//!   graceful-degradation outcomes for ARQ under adversity.
 
 // `deny`, not `forbid`: the `clmul` module carries a scoped
 // `#[allow(unsafe_code)]` for its `core::arch` intrinsics, exactly like
@@ -26,6 +28,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arq_policy;
 pub mod clmul;
 pub mod crc;
 pub mod csma;
@@ -33,6 +36,7 @@ pub mod frame;
 pub mod rx;
 pub mod schemes;
 
+pub use arq_policy::{BackoffPolicy, DeliveryOutcome};
 pub use crc::{crc16, crc32};
 pub use csma::CarrierSense;
 pub use frame::{Addr, Frame, FrameGeometry, Header, HEADER_BYTES, PKT_CRC_BYTES};

@@ -67,6 +67,10 @@ pub mod prio {
     pub const ARQ_TIMER: u32 = 2;
     /// A new transmission starts.
     pub const TX_START: u32 = 3;
+    /// A jammer actor emits (or re-evaluates) a burst.
+    pub const JAM_BURST: u32 = 4;
+    /// A scheduled node crash or restart takes effect.
+    pub const NODE_FAULT: u32 = 5;
 
     /// Timeline generator: a packet arrival (processed before attempts
     /// at the same chip, matching the legacy heap's `Ev` ordering).
@@ -117,6 +121,22 @@ pub enum SimEvent {
         node: usize,
         /// ARQ round this timer belongs to (stale timers are ignored).
         round: u8,
+    },
+    /// A self-scheduling jammer actor wakes up: it records the burst
+    /// for its current slot and schedules the next wake-up.
+    JamBurst {
+        /// Jammer actor index (a single jammer today, but the event
+        /// carries the index so a fleet needs no format change).
+        jammer: usize,
+    },
+    /// A scheduled node fault takes effect: `up == false` crashes the
+    /// node (volatile reception state is lost), `up == true` restarts
+    /// it.
+    NodeFault {
+        /// The affected node.
+        node: usize,
+        /// Restart (`true`) or crash (`false`).
+        up: bool,
     },
 }
 
@@ -303,11 +323,13 @@ mod tests {
     fn priority_orders_same_time_events() {
         let mut q = BinaryHeapQueue::new();
         q.schedule(5, priority(prio::TX_START, 0), "start");
+        q.schedule(5, priority(prio::NODE_FAULT, 0), "fault");
         q.schedule(5, priority(prio::TX_END, 0), "end");
+        q.schedule(5, priority(prio::JAM_BURST, 0), "jam");
         q.schedule(5, priority(prio::ARQ_TIMER, 0), "timer");
         q.schedule(5, priority(prio::RECEPTION, 0), "rx");
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, ["end", "rx", "timer", "start"]);
+        assert_eq!(order, ["end", "rx", "timer", "start", "jam", "fault"]);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! ppr-lint `determinism` rule).
 
 use super::Experiment;
+use crate::adversary::{AdversaryState, FaultPlan, JammerSpec};
 use crate::event::{prio, priority, BinaryHeapQueue, EventQueue, SimEvent};
 use crate::geometry::{Point, Testbed};
 use crate::network::{fan_out, office_model, payload_pattern, reception_rng_seed, SQUELCH_SNR};
@@ -69,6 +70,7 @@ use ppr_core::dp::{plan_chunks, CostModel};
 use ppr_core::runs::{RunLengths, UnitRange};
 use ppr_mac::frame::Frame;
 use ppr_mac::schemes::{Delivered, DeliveryScheme};
+use ppr_mac::BackoffPolicy;
 use ppr_phy::chips::CHIP_RATE_HZ;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,7 +92,8 @@ pub const JITTER_SPAN: u64 = 1 << 17;
 /// local rebroadcast wave has mostly played out.
 pub const ARQ_TIMEOUT: u64 = JITTER_SPAN / 2;
 
-/// Maximum PP-ARQ repair rounds per node.
+/// Default maximum PP-ARQ repair rounds per node (the `arq_retries`
+/// scenario axis overrides it).
 pub const MAX_ARQ_ROUNDS: u8 = 3;
 
 /// On-air body bytes of the flooded frame (the paper's PP-ARQ
@@ -124,11 +127,38 @@ pub struct MeshParams {
     pub eta: u8,
     /// Body bytes of the flooded frame.
     pub body_bytes: usize,
+    /// Jammer actor ([`JammerSpec::Off`] = no adversary).
+    pub jammer: JammerSpec,
+    /// Node crash/restart churn, crashes per simulated second.
+    pub churn: f64,
+    /// PP-ARQ retry budget per node.
+    pub arq_retries: u8,
+    /// PP-ARQ backoff multiplier in exact integer milli-units
+    /// (`1000` = ×1.0, the pre-adversary constant schedule).
+    pub arq_backoff_milli: u64,
 }
 
 impl MeshParams {
+    /// Benign parameters: no jammer, no churn, the historical retry
+    /// budget and constant backoff — bit-identical to the pre-adversary
+    /// driver.
+    pub fn benign(nodes: usize, density: f64, seed: u64, eta: u8, body_bytes: usize) -> Self {
+        MeshParams {
+            nodes,
+            density,
+            seed,
+            eta,
+            body_bytes,
+            jammer: JammerSpec::Off,
+            churn: 0.0,
+            arq_retries: MAX_ARQ_ROUNDS,
+            arq_backoff_milli: 1000,
+        }
+    }
+
     /// Parameters from a scenario (`mesh_nodes`, `mesh_density`, seed,
-    /// η; 250 B bodies).
+    /// η; 250 B bodies; `jammer`/`churn`/`arq_retries`/`arq_backoff`
+    /// adversarial axes).
     pub fn from_scenario(sc: &Scenario) -> Self {
         MeshParams {
             nodes: sc.mesh_nodes,
@@ -136,6 +166,10 @@ impl MeshParams {
             seed: sc.seed,
             eta: sc.eta,
             body_bytes: MESH_BODY_BYTES,
+            jammer: sc.jammer,
+            churn: sc.churn,
+            arq_retries: sc.arq_retries,
+            arq_backoff_milli: (sc.arq_backoff * 1000.0).round() as u64,
         }
     }
 }
@@ -176,6 +210,16 @@ pub struct MeshStats {
     pub flush_batches: usize,
     /// Largest single decode batch.
     pub max_batch: usize,
+    /// Jamming bursts emitted.
+    pub jam_bursts: usize,
+    /// Total chips jammed across all bursts.
+    pub jam_chips: u64,
+    /// Node crashes injected.
+    pub crashes: usize,
+    /// Node restarts injected.
+    pub restarts: usize,
+    /// Nodes whose PP-ARQ retry budget ran out unrecovered.
+    pub retry_exhausted: usize,
 }
 
 impl MeshStats {
@@ -236,6 +280,10 @@ struct NodeState {
     rebroadcasted: bool,
     /// snapshot: serialized — a PP-ARQ timer is armed.
     timer_armed: bool,
+    /// snapshot: serialized — node is up (fault injection crashes and
+    /// restarts nodes; a crashed node neither sends nor receives, and
+    /// loses its non-recovered partial state).
+    alive: bool,
 }
 // ppr-lint: region(snapshot-state) end
 
@@ -247,6 +295,7 @@ impl NodeState {
             recovered: false,
             rebroadcasted: false,
             timer_armed: false,
+            alive: true,
         }
     }
 
@@ -370,6 +419,15 @@ pub struct MeshDriver {
     cand_buf: Vec<u32>,
     /// snapshot: serialized — chip time of the last dispatched event.
     last_time: u64,
+    /// snapshot: serialized — the jammer actor's dynamic state (RNG
+    /// words, busy horizon, sweep step, scheduled + recorded bursts);
+    /// its spec is identity-validated on restore.
+    adversary: AdversaryState,
+    /// snapshot: rebuilt — the fault plan is a pure function of
+    /// `(seed, churn, nodes, source)` and is regenerated on restore.
+    fault_plan: FaultPlan,
+    /// snapshot: rebuilt — retry/backoff schedule, derived from params.
+    policy: BackoffPolicy,
     // ppr-lint: region(snapshot-state) end
 }
 
@@ -414,6 +472,14 @@ impl MeshDriver {
             shards: index.shard_count(),
             ..Default::default()
         };
+        let adversary = AdversaryState::new(params.jammer, params.seed, side);
+        let fault_plan = FaultPlan::generate(params.seed, params.churn, n, source);
+        let policy = BackoffPolicy {
+            max_retries: params.arq_retries,
+            base_delay: ARQ_TIMEOUT,
+            multiplier_milli: params.arq_backoff_milli,
+            jitter_span: 0,
+        };
         let mut driver = MeshDriver {
             params: *params,
             model,
@@ -437,8 +503,33 @@ impl MeshDriver {
             pending_deadline: u64::MAX,
             cand_buf: Vec::new(),
             last_time: 0,
+            adversary,
+            fault_plan,
+            policy,
         };
         driver.schedule_tx(source, BROADCAST, 0, truth, None);
+        // Adversarial events ride the same queue. With the jammer off
+        // and zero churn, nothing below schedules — the benign queue
+        // (and every key it assigns) is bit-identical to the
+        // pre-adversary driver.
+        if let Some(t) = driver.adversary.initial_burst_time() {
+            driver.q.schedule(
+                t,
+                priority(prio::JAM_BURST, 0),
+                SimEvent::JamBurst { jammer: 0 },
+            );
+        }
+        for i in 0..driver.fault_plan.faults.len() {
+            let f = driver.fault_plan.faults[i];
+            driver.q.schedule(
+                f.time,
+                priority(prio::NODE_FAULT, f.node as u32),
+                SimEvent::NodeFault {
+                    node: f.node,
+                    up: f.up,
+                },
+            );
+        }
         driver
     }
 
@@ -489,6 +580,12 @@ impl MeshDriver {
             for &(ti, r) in &self.pending {
                 let t = &self.txs[ti];
                 if t.dst != BROADCAST && t.dst != r as u16 {
+                    self.stats.receptions_skipped += 1;
+                    continue;
+                }
+                // A crashed receiver hears nothing (it may have died
+                // between reception scheduling and this flush).
+                if !self.states[r].alive {
                     self.stats.receptions_skipped += 1;
                     continue;
                 }
@@ -543,8 +640,30 @@ impl MeshDriver {
                         }
                     }
                 }
+                // Jamming bursts are just more interferers: each
+                // overlapping burst contributes its path-loss power at
+                // the receiver through the same profile math as a
+                // colliding frame. Ids count down from u64::MAX so they
+                // can never collide with transmission ids.
+                for (k, b) in self
+                    .adversary
+                    .bursts_overlapping(t.start, t.end())
+                    .enumerate()
+                {
+                    heard.push(HeardTx {
+                        id: u64::MAX - k as u64,
+                        start_chip: b.start,
+                        len_chips: b.end - b.start,
+                        power_mw: self
+                            .model
+                            .rx_power_mw(b.pos().distance(&self.tb.senders[r]), 0.0),
+                    });
+                }
                 let spans = interference_profile(&me, &heard);
-                let profile = ErrorProfile::from_interference(signal, self.noise, &spans);
+                // Link degradation raises this receiver's noise floor
+                // for the window (×1.0 — bit-exact — outside one).
+                let noise = self.noise * self.fault_plan.noise_factor(r, t.start, t.end());
+                let profile = ErrorProfile::from_interference(signal, noise, &spans);
                 let mut corrupted = t.frame.chip_words();
                 let mut rng =
                     StdRng::seed_from_u64(reception_rng_seed(self.params.seed, ti as u64, r));
@@ -592,7 +711,7 @@ impl MeshDriver {
                 if !st.recovered && !st.timer_armed {
                     st.timer_armed = true;
                     self.q.schedule(
-                        end + ARQ_TIMEOUT,
+                        end + self.policy.delay(0),
                         priority(prio::ARQ_TIMER, r as u32),
                         SimEvent::ArqTimer { node: r, round: 0 },
                     );
@@ -615,8 +734,12 @@ impl MeshDriver {
         };
         self.last_time = self.last_time.max(key.time);
         // The flush rule: decode before the clock passes the window,
-        // and always before a state-reading timer runs.
-        if key.time >= self.pending_deadline || matches!(ev, SimEvent::ArqTimer { .. }) {
+        // and always before a state-reading event runs (ARQ timers and
+        // node faults both read/write node state; a JamBurst only
+        // touches the actor, so it needs no flush).
+        if key.time >= self.pending_deadline
+            || matches!(ev, SimEvent::ArqTimer { .. } | SimEvent::NodeFault { .. })
+        {
             self.flush();
         }
         match ev {
@@ -625,6 +748,11 @@ impl MeshDriver {
                     let t = &self.txs[tx];
                     (t.sender, t.start, t.end())
                 };
+                // A crashed sender's scheduled frame never hits the
+                // air: no transmission counted, no receptions.
+                if !self.states[sender].alive {
+                    return true;
+                }
                 self.stats.transmissions += 1;
                 self.own_tx[sender].push((start, end, tx as u64));
                 self.started.push(tx);
@@ -634,7 +762,10 @@ impl MeshDriver {
                     .candidates_into(&self.tb.senders[sender], &mut cand_buf);
                 for &r in &cand_buf {
                     let r = r as usize;
-                    if r == sender || self.gain(sender, r) / self.noise < SQUELCH_SNR {
+                    if r == sender
+                        || !self.states[r].alive
+                        || self.gain(sender, r) / self.noise < SQUELCH_SNR
+                    {
                         continue;
                     }
                     self.stats.receptions_scheduled += 1;
@@ -649,6 +780,20 @@ impl MeshDriver {
                     );
                 }
                 self.cand_buf = cand_buf;
+                // Reactive jammer: sense this frame start at the
+                // jammer's position (same squelch rule as a receiver)
+                // and, if it triggers, schedule the burst event.
+                if self.adversary.active() {
+                    let d = self.tb.senders[sender].distance(&self.adversary.pos());
+                    let sense_ok = self.model.rx_power_mw(d, 0.0) / self.noise >= SQUELCH_SNR;
+                    if let Some(t) = self.adversary.on_tx_start(start, end, sense_ok) {
+                        self.q.schedule(
+                            t,
+                            priority(prio::JAM_BURST, 0),
+                            SimEvent::JamBurst { jammer: 0 },
+                        );
+                    }
+                }
             }
             SimEvent::ReceptionComplete { tx, receiver, .. } => {
                 if self.pending.is_empty() {
@@ -658,7 +803,7 @@ impl MeshDriver {
             }
             SimEvent::ArqTimer { node, round } => {
                 self.states[node].timer_armed = false;
-                if self.states[node].recovered {
+                if self.states[node].recovered || !self.states[node].alive {
                     return true;
                 }
                 // Plan the repair request with the paper's chunking DP
@@ -680,7 +825,7 @@ impl MeshDriver {
                 let mut peer: Option<(usize, f64)> = None;
                 for &c in &cand_buf {
                     let c = c as usize;
-                    if c == node || !self.states[c].recovered {
+                    if c == node || !self.states[c].recovered || !self.states[c].alive {
                         continue;
                     }
                     let g = self.gain(c, node);
@@ -705,30 +850,62 @@ impl MeshDriver {
                     ) % JITTER_SPAN;
                     let start = key.time + SAFE_WINDOW + jitter;
                     self.schedule_tx(peer, node as u16, start, repair, Some(plan.chunks.clone()));
-                    if round + 1 < MAX_ARQ_ROUNDS {
+                    if self.policy.allows(round + 1) {
                         let repair_end = self.txs.last().unwrap().end();
                         self.states[node].timer_armed = true;
                         self.q.schedule(
-                            repair_end + ARQ_TIMEOUT,
+                            repair_end + self.policy.delay(round + 1),
                             priority(prio::ARQ_TIMER, node as u32),
                             SimEvent::ArqTimer {
                                 node,
                                 round: round + 1,
                             },
                         );
+                    } else {
+                        // Last round: whatever this final repair
+                        // delivers, nobody will ask again.
+                        self.stats.retry_exhausted += 1;
                     }
-                } else if round + 1 < MAX_ARQ_ROUNDS {
+                } else if self.policy.allows(round + 1) {
                     // Nobody nearby has the payload yet — retry after
                     // the flood has had time to advance.
                     self.states[node].timer_armed = true;
                     self.q.schedule(
-                        key.time + 2 * ARQ_TIMEOUT,
+                        key.time + 2 * self.policy.delay(round + 1),
                         priority(prio::ARQ_TIMER, node as u32),
                         SimEvent::ArqTimer {
                             node,
                             round: round + 1,
                         },
                     );
+                } else {
+                    self.stats.retry_exhausted += 1;
+                }
+            }
+            SimEvent::JamBurst { .. } => {
+                // The actor records this slot's burst (if any) and
+                // names its successor; the driver owns the queue.
+                if let Some(next) = self.adversary.on_jam_burst(key.time) {
+                    self.q.schedule(
+                        next,
+                        priority(prio::JAM_BURST, 0),
+                        SimEvent::JamBurst { jammer: 0 },
+                    );
+                }
+            }
+            SimEvent::NodeFault { node, up } => {
+                let st = &mut self.states[node];
+                st.alive = up;
+                if up {
+                    self.stats.restarts += 1;
+                } else {
+                    self.stats.crashes += 1;
+                    // A crash loses volatile reception state; a node
+                    // that already recovered keeps its stored payload.
+                    if !st.recovered {
+                        st.mask.fill(0);
+                        st.correct = 0;
+                    }
                 }
             }
             other => unreachable!("unexpected {other:?} in the mesh driver"),
@@ -759,6 +936,8 @@ impl MeshDriver {
         self.stats.sim_chips = self.last_time;
         self.stats.recovered = self.states.iter().filter(|s| s.recovered).count();
         self.stats.correct_bytes = self.states.iter().map(|s| s.correct).sum();
+        self.stats.jam_bursts = self.adversary.bursts().len();
+        self.stats.jam_chips = self.adversary.jam_chips();
         self.stats
     }
 
@@ -767,12 +946,23 @@ impl MeshDriver {
     /// statistics (printed in the report) cannot shift.
     pub fn save(&self) -> MeshSnapshot {
         let (queue, next_seq, dispatched) = self.q.save_state();
+        let (adv_rng, adv_busy_until, adv_sweep_idx, adv_scheduled, adv_bursts) =
+            self.adversary.save_state();
         MeshSnapshot {
             nodes: self.params.nodes,
             density: self.params.density,
             seed: self.params.seed,
             eta: self.params.eta,
             body_bytes: self.params.body_bytes,
+            jammer: self.params.jammer.identity_words(),
+            churn: self.params.churn,
+            arq_retries: self.params.arq_retries,
+            arq_backoff_milli: self.params.arq_backoff_milli,
+            adv_rng,
+            adv_busy_until,
+            adv_sweep_idx,
+            adv_scheduled,
+            adv_bursts,
             kernel_signature: ppr_phy::simd::active_kernel_signature().into_bytes(),
             states: self
                 .states
@@ -783,6 +973,7 @@ impl MeshDriver {
                     recovered: st.recovered,
                     rebroadcasted: st.rebroadcasted,
                     timer_armed: st.timer_armed,
+                    alive: st.alive,
                 })
                 .collect(),
             txs: self
@@ -823,6 +1014,10 @@ impl MeshDriver {
             || params.seed != snap.seed
             || params.eta != snap.eta
             || params.body_bytes != snap.body_bytes
+            || params.jammer.identity_words() != snap.jammer
+            || params.churn.to_bits() != snap.churn.to_bits()
+            || params.arq_retries != snap.arq_retries
+            || params.arq_backoff_milli != snap.arq_backoff_milli
         {
             return Err(SnapError::IdentityMismatch(
                 "MeshParams differ from the snapshot's".into(),
@@ -861,7 +1056,9 @@ impl MeshDriver {
             let ok = match *ev {
                 SimEvent::TxStart { tx } => tx < ntx,
                 SimEvent::ReceptionComplete { tx, receiver, .. } => tx < ntx && receiver < n,
-                SimEvent::ArqTimer { node, round } => node < n && round < MAX_ARQ_ROUNDS,
+                SimEvent::ArqTimer { node, round } => node < n && round < params.arq_retries,
+                SimEvent::JamBurst { jammer } => jammer == 0,
+                SimEvent::NodeFault { node, .. } => node < n,
                 _ => false,
             };
             if !ok || key.seq >= snap.next_seq {
@@ -874,7 +1071,7 @@ impl MeshDriver {
             return Err(SnapError::Corrupt("pending reception out of bounds".into()));
         }
         let stats = stats_from_words(&snap.stats).ok_or_else(|| {
-            SnapError::Corrupt(format!("{} stats words, expected 15", snap.stats.len()))
+            SnapError::Corrupt(format!("{} stats words, expected 20", snap.stats.len()))
         })?;
 
         driver.states = snap
@@ -886,6 +1083,7 @@ impl MeshDriver {
                 recovered: st.recovered,
                 rebroadcasted: st.rebroadcasted,
                 timer_armed: st.timer_armed,
+                alive: st.alive,
             })
             .collect();
         driver.txs = snap
@@ -928,6 +1126,13 @@ impl MeshDriver {
         driver.pending = snap.pending.clone();
         driver.pending_deadline = snap.pending_deadline;
         driver.last_time = snap.last_time;
+        driver.adversary.restore_state((
+            snap.adv_rng,
+            snap.adv_busy_until,
+            snap.adv_sweep_idx,
+            snap.adv_scheduled.clone(),
+            snap.adv_bursts.clone(),
+        ));
         Ok(driver)
     }
 }
@@ -950,13 +1155,18 @@ fn stats_words(s: &MeshStats) -> Vec<u64> {
         s.shards as u64,
         s.flush_batches as u64,
         s.max_batch as u64,
+        s.jam_bursts as u64,
+        s.jam_chips,
+        s.crashes as u64,
+        s.restarts as u64,
+        s.retry_exhausted as u64,
     ]
 }
 
 /// Inverse of [`stats_words`]; `None` on a wrong word count or a value
 /// that does not fit the field.
 fn stats_from_words(w: &[u64]) -> Option<MeshStats> {
-    if w.len() != 15 {
+    if w.len() != 20 {
         return None;
     }
     let u = |i: usize| usize::try_from(w[i]).ok();
@@ -976,6 +1186,11 @@ fn stats_from_words(w: &[u64]) -> Option<MeshStats> {
         shards: u(12)?,
         flush_batches: u(13)?,
         max_batch: u(14)?,
+        jam_bursts: u(15)?,
+        jam_chips: w[16],
+        crashes: u(17)?,
+        restarts: u(18)?,
+        retry_exhausted: u(19)?,
     })
 }
 
@@ -1064,13 +1279,16 @@ mod tests {
     use super::*;
 
     fn small() -> MeshParams {
-        MeshParams {
-            nodes: 300,
-            density: 12.0,
-            seed: 3,
-            eta: 6,
-            body_bytes: 250,
-        }
+        MeshParams::benign(300, 12.0, 3, 6, 250)
+    }
+
+    fn small_jammed() -> MeshParams {
+        let mut p = small();
+        p.jammer = JammerSpec::React { delay: 4096 };
+        p.churn = 2.0;
+        p.arq_retries = 5;
+        p.arq_backoff_milli = 1500;
+        p
     }
 
     #[test]
@@ -1119,6 +1337,34 @@ mod tests {
         p.seed = 4;
         let c = run_mesh(&p, None);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jammed_mesh_is_invariant_to_worker_count() {
+        let a = run_mesh(&small_jammed(), Some(1));
+        let b = run_mesh(&small_jammed(), Some(4));
+        assert_eq!(a, b);
+        assert!(a.jam_bursts > 0, "reactive jammer never fired");
+        assert!(a.crashes > 0, "churn produced no crashes");
+    }
+
+    #[test]
+    fn jammed_mesh_checkpoint_roundtrip_is_bit_identical() {
+        let a = run_mesh(&small_jammed(), Some(2));
+        for events in [1, 57, 913] {
+            let b = run_mesh_checkpointed(&small_jammed(), Some(3), events);
+            assert_eq!(a, b, "checkpoint at {events} events");
+        }
+    }
+
+    #[test]
+    fn benign_params_change_nothing() {
+        // The adversarial fields at their defaults must leave the
+        // benign flood bit-identical to the pre-adversary driver.
+        let s = run_mesh(&small(), Some(1));
+        assert_eq!(s.jam_bursts, 0);
+        assert_eq!(s.jam_chips, 0);
+        assert_eq!(s.crashes + s.restarts, 0);
     }
 
     #[test]

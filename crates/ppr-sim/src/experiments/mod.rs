@@ -13,6 +13,8 @@
 //! | [`mrd`] | §8.4 — multi-radio diversity combining |
 //! | [`relay`] | §8.4 — partial-packet mesh forwarding |
 //! | [`mesh`] | §8.4 extension — 10k-node event-core flood with PP-ARQ |
+//! | [`jam`] | robustness extension — PP-ARQ vs whole-frame ARQ under jamming |
+//! | [`meshjam`] | robustness extension — mesh flood vs reactive jammer + churn |
 //! | [`table1`] | Table 1 — findings summary, distilled from the rest |
 //!
 //! Every experiment implements [`Experiment`] and registers itself in
@@ -26,7 +28,9 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod jam;
 pub mod mesh;
+pub mod meshjam;
 pub mod mrd;
 pub mod relay;
 pub mod table1;
@@ -69,7 +73,7 @@ pub trait Experiment: Sync {
 /// (derived experiments last, so [`Experiment::run_with`] finds their
 /// dependencies already computed).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 17] = [
         &fig03::Fig03,
         &table2::Table2,
         &fdr::FIG08,
@@ -81,9 +85,11 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &fig14::Fig14,
         &fig15::Fig15,
         &fig16::Fig16,
+        &jam::Jam,
         &mrd::Mrd,
         &relay::Relay,
         &mesh::Mesh10k,
+        &meshjam::MeshJam,
         &table1::Table1,
     ];
     &REGISTRY
@@ -108,7 +114,7 @@ mod tests {
             assert!(!exp.paper_ref().is_empty());
             assert!(!exp.description().is_empty());
         }
-        assert_eq!(seen.len(), 15);
+        assert_eq!(seen.len(), 17);
         assert!(find("nonexistent").is_none());
     }
 
@@ -117,7 +123,7 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         for want in [
             "fig03", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "table1", "table2", "mrd", "relay", "mesh10k",
+            "fig16", "table1", "table2", "mrd", "relay", "mesh10k", "jam", "meshjam",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

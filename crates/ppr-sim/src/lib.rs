@@ -10,6 +10,9 @@
 //! schemes and postamble arms (the paper's trace post-processing
 //! methodology).
 //!
+//! * [`adversary`] — deterministic jammer and fault-injection actors
+//!   (pulse / random / sweeping / reactive jamming, node churn, link
+//!   degradation) for the robustness experiments.
 //! * [`geometry`] — the floor plan, plus grid / random-geometric / mesh
 //!   layouts.
 //! * [`event`] — the deterministic discrete-event core
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod diff;
 pub mod env;
 pub mod event;
@@ -70,6 +74,7 @@ pub mod snapshot;
 pub mod spatial;
 pub mod traffic;
 
+pub use adversary::{AdversaryState, FaultPlan, JammerSpec};
 pub use diff::{DiffBackend, Divergence};
 pub use event::{BinaryHeapQueue, EventKey, EventQueue, SimEvent};
 pub use experiments::{find, registry, Experiment};

@@ -20,6 +20,7 @@
 //! Setting them pins every experiment in the run to that value — the
 //! sweep API.
 
+use crate::adversary::JammerSpec;
 use crate::env;
 use crate::geometry::Testbed;
 use crate::network::SimConfig;
@@ -69,6 +70,14 @@ pub const DEFAULT_MESH_NODES: usize = 10_000;
 /// Default expected neighbor count (mesh density) for the
 /// random-geometric layouts.
 pub const DEFAULT_MESH_DENSITY: f64 = 12.0;
+
+/// Default PP-ARQ retry budget (the mesh driver's historical
+/// `MAX_ARQ_ROUNDS`).
+pub const DEFAULT_ARQ_RETRIES: u8 = 3;
+
+/// Default PP-ARQ backoff multiplier: 1.0 is a constant-delay
+/// schedule, bit-identical to the pre-adversary timing.
+pub const DEFAULT_ARQ_BACKOFF: f64 = 1.0;
 
 /// The sender layout a capacity run simulates — a first-class scenario
 /// axis (`--set topology=...`). Values use `:`-separated syntax because
@@ -230,6 +239,16 @@ pub struct Scenario {
     /// format, and resume (`None` = run uninterrupted). Results are
     /// bit-identical either way — that is the pinned contract.
     pub checkpoint: Option<u64>,
+    /// Jammer actor for the adversarial experiments
+    /// ([`JammerSpec::Off`] = no adversary machinery at all).
+    pub jammer: JammerSpec,
+    /// Node crash/restart churn, crashes per simulated second
+    /// (0 = no fault injection).
+    pub churn: f64,
+    /// PP-ARQ retry budget (repair rounds per node).
+    pub arq_retries: u8,
+    /// PP-ARQ retry backoff multiplier (1.0 = constant delay).
+    pub arq_backoff: f64,
 }
 
 impl Scenario {
@@ -333,6 +352,18 @@ impl Scenario {
         if let Some(cp) = self.checkpoint {
             fields.push(("checkpoint".into(), Json::int(cp)));
         }
+        if self.jammer != JammerSpec::Off {
+            fields.push(("jammer".into(), Json::str(self.jammer.render())));
+        }
+        if self.churn != 0.0 {
+            fields.push(("churn".into(), Json::num(self.churn)));
+        }
+        if self.arq_retries != DEFAULT_ARQ_RETRIES {
+            fields.push(("arq_retries".into(), Json::int(self.arq_retries as u64)));
+        }
+        if self.arq_backoff != DEFAULT_ARQ_BACKOFF {
+            fields.push(("arq_backoff".into(), Json::num(self.arq_backoff)));
+        }
         Json::Obj(fields)
     }
 }
@@ -357,6 +388,10 @@ pub struct ScenarioBuilder {
     mesh_nodes: Option<usize>,
     mesh_density: Option<f64>,
     checkpoint: Option<u64>,
+    jammer: Option<JammerSpec>,
+    churn: Option<f64>,
+    arq_retries: Option<u8>,
+    arq_backoff: Option<f64>,
 }
 
 /// The keys [`ScenarioBuilder::set`] accepts, with their value syntax —
@@ -392,6 +427,23 @@ pub const SCENARIO_KEYS: &[(&str, &str)] = &[
     (
         "checkpoint",
         "snapshot/resume at this event count >= 1, e.g. checkpoint=1000",
+    ),
+    (
+        "jammer",
+        "off | pulse:PERIOD:DUTY | rand:DUTY | sweep:PERIOD:DUTY | react:DELAY, \
+         e.g. jammer=pulse:32768:0.2",
+    ),
+    (
+        "churn",
+        "node crashes per simulated second >= 0, e.g. churn=2",
+    ),
+    (
+        "arq_retries",
+        "PP-ARQ repair rounds 1-255, e.g. arq_retries=3",
+    ),
+    (
+        "arq_backoff",
+        "PP-ARQ retry backoff multiplier >= 1, e.g. arq_backoff=1.5",
     ),
 ];
 
@@ -495,6 +547,31 @@ impl ScenarioBuilder {
     /// the given event-dispatch boundary.
     pub fn checkpoint(mut self, events: u64) -> Self {
         self.checkpoint = Some(events);
+        self
+    }
+
+    /// Sets the jammer actor for adversarial runs.
+    pub fn jammer(mut self, v: JammerSpec) -> Self {
+        self.jammer = Some(v);
+        self
+    }
+
+    /// Sets the node crash/restart churn rate (crashes per simulated
+    /// second).
+    pub fn churn(mut self, v: f64) -> Self {
+        self.churn = Some(v);
+        self
+    }
+
+    /// Sets the PP-ARQ retry budget.
+    pub fn arq_retries(mut self, v: u8) -> Self {
+        self.arq_retries = Some(v);
+        self
+    }
+
+    /// Sets the PP-ARQ retry backoff multiplier.
+    pub fn arq_backoff(mut self, v: f64) -> Self {
+        self.arq_backoff = Some(v);
         self
     }
 
@@ -613,6 +690,36 @@ impl ScenarioBuilder {
                 }
                 self.checkpoint = Some(v);
             }
+            "jammer" => {
+                self.jammer = Some(JammerSpec::parse(value).map_err(|e| format!("jammer: {e}"))?)
+            }
+            "churn" => {
+                let v: f64 = parse(key, value, "crashes per second >= 0")?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!(
+                        "invalid value {value:?} for churn (want crashes per second >= 0)"
+                    ));
+                }
+                self.churn = Some(v);
+            }
+            "arq_retries" => {
+                let v: u8 = parse(key, value, "repair rounds 1-255")?;
+                if v == 0 {
+                    return Err(format!(
+                        "invalid value {value:?} for arq_retries (want repair rounds 1-255)"
+                    ));
+                }
+                self.arq_retries = Some(v);
+            }
+            "arq_backoff" => {
+                let v: f64 = parse(key, value, "a multiplier >= 1")?;
+                if !(v.is_finite() && v >= 1.0) {
+                    return Err(format!(
+                        "invalid value {value:?} for arq_backoff (want a multiplier >= 1)"
+                    ));
+                }
+                self.arq_backoff = Some(v);
+            }
             _ => {
                 let keys: Vec<&str> = SCENARIO_KEYS.iter().map(|&(k, _)| k).collect();
                 return Err(format!(
@@ -646,6 +753,10 @@ impl ScenarioBuilder {
             mesh_nodes: self.mesh_nodes.unwrap_or(DEFAULT_MESH_NODES),
             mesh_density: self.mesh_density.unwrap_or(DEFAULT_MESH_DENSITY),
             checkpoint: self.checkpoint,
+            jammer: self.jammer.unwrap_or_default(),
+            churn: self.churn.unwrap_or(0.0),
+            arq_retries: self.arq_retries.unwrap_or(DEFAULT_ARQ_RETRIES),
+            arq_backoff: self.arq_backoff.unwrap_or(DEFAULT_ARQ_BACKOFF),
         }
     }
 }
@@ -741,6 +852,12 @@ mod tests {
             ("mesh_density", "0"),
             ("checkpoint", "0"),
             ("checkpoint", "soon"),
+            ("jammer", "nuke"),
+            ("jammer", "pulse:16:0.5"),
+            ("jammer", "rand:1.5"),
+            ("churn", "-1"),
+            ("arq_retries", "0"),
+            ("arq_backoff", "0.5"),
             ("nonsense", "1"),
         ] {
             let err = b.set(key, value).unwrap_err();
@@ -797,7 +914,11 @@ mod tests {
             !j.contains("topology")
                 && !j.contains("driver")
                 && !j.contains("mesh")
-                && !j.contains("checkpoint"),
+                && !j.contains("checkpoint")
+                && !j.contains("jammer")
+                && !j.contains("churn")
+                && !j.contains("arq_retries")
+                && !j.contains("arq_backoff"),
             "{j}"
         );
         let mut b = ScenarioBuilder::new();
@@ -806,11 +927,46 @@ mod tests {
         b.set("mesh_nodes", "400").unwrap();
         b.set("mesh_density", "9").unwrap();
         b.set("checkpoint", "1000").unwrap();
+        b.set("jammer", "react:4096").unwrap();
+        b.set("churn", "2").unwrap();
+        b.set("arq_retries", "5").unwrap();
+        b.set("arq_backoff", "1.5").unwrap();
         let j = b.build().to_json().render();
         assert!(j.contains(r#""topology":"grid:6x4""#), "{j}");
         assert!(j.contains(r#""driver":"timestep""#), "{j}");
         assert!(j.contains(r#""mesh_nodes":400"#), "{j}");
         assert!(j.contains(r#""mesh_density":9"#), "{j}");
         assert!(j.contains(r#""checkpoint":1000"#), "{j}");
+        assert!(j.contains(r#""jammer":"react:4096""#), "{j}");
+        assert!(j.contains(r#""churn":2"#), "{j}");
+        assert!(j.contains(r#""arq_retries":5"#), "{j}");
+        assert!(j.contains(r#""arq_backoff":1.5"#), "{j}");
+    }
+
+    #[test]
+    fn adversary_axes_round_trip_through_set() {
+        let mut b = ScenarioBuilder::new();
+        b.set("jammer", "pulse:32768:0.2").unwrap();
+        let sc = b.build();
+        assert_eq!(
+            sc.jammer,
+            JammerSpec::Pulse {
+                period: 32_768,
+                duty: 0.2
+            }
+        );
+        assert_eq!(sc.churn, 0.0);
+        assert_eq!(sc.arq_retries, DEFAULT_ARQ_RETRIES);
+        assert_eq!(sc.arq_backoff, DEFAULT_ARQ_BACKOFF);
+        let sc = ScenarioBuilder::new()
+            .jammer(JammerSpec::React { delay: 100 })
+            .churn(1.5)
+            .arq_retries(7)
+            .arq_backoff(2.0)
+            .build();
+        assert_eq!(sc.jammer, JammerSpec::React { delay: 100 });
+        assert_eq!(sc.churn, 1.5);
+        assert_eq!(sc.arq_retries, 7);
+        assert_eq!(sc.arq_backoff, 2.0);
     }
 }

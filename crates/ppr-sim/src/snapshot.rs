@@ -76,7 +76,11 @@ use ppr_mac::schemes::DeliveryScheme;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PPRSNAP1";
 
 /// Current byte-layout version. Readers accept exactly this version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — adversarial state (jammer
+/// identity + actor state, node liveness, fault/backoff knobs, and the
+/// `JamBurst`/`NodeFault` event tags).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Kind tag of a testbed reception-driver snapshot ([`RxSnapshot`]).
 pub const KIND_RX: u8 = 1;
@@ -419,6 +423,15 @@ pub fn encode_event(w: &mut SnapWriter, key: EventKey, ev: &SimEvent) {
             w.usize(node);
             w.u8(round);
         }
+        SimEvent::JamBurst { jammer } => {
+            w.u8(6);
+            w.usize(jammer);
+        }
+        SimEvent::NodeFault { node, up } => {
+            w.u8(7);
+            w.usize(node);
+            w.bool(up);
+        }
     }
 }
 
@@ -442,6 +455,11 @@ pub fn decode_event(r: &mut SnapReader) -> Result<(EventKey, SimEvent), SnapErro
         5 => SimEvent::ArqTimer {
             node: r.usize()?,
             round: r.u8()?,
+        },
+        6 => SimEvent::JamBurst { jammer: r.usize()? },
+        7 => SimEvent::NodeFault {
+            node: r.usize()?,
+            up: r.bool()?,
         },
         t => return Err(SnapError::Corrupt(format!("event tag {t}"))),
     };
@@ -731,6 +749,9 @@ pub struct MeshNodeSnapshot {
     pub rebroadcasted: bool,
     /// snapshot: serialized — a PP-ARQ timer is armed.
     pub timer_armed: bool,
+    /// snapshot: serialized — node is up (fault injection can crash and
+    /// restart nodes mid-run).
+    pub alive: bool,
 }
 // ppr-lint: region(snapshot-state) end
 
@@ -799,6 +820,33 @@ pub struct MeshSnapshot {
     /// snapshot: serialized — every deterministic counter, flat in
     /// [`crate::experiments::mesh::MeshStats`] field order.
     pub stats: Vec<u64>,
+    /// snapshot: identity — the jammer's wire identity
+    /// ([`crate::adversary::JammerSpec::identity_words`]: kind tag plus
+    /// two parameter words); restore refuses a different jammer.
+    pub jammer: (u8, u64, u64),
+    /// snapshot: identity — crash/restart churn rate, exact f64 bits.
+    pub churn: f64,
+    /// snapshot: identity — PP-ARQ retry budget.
+    pub arq_retries: u8,
+    /// snapshot: identity — PP-ARQ backoff multiplier in exact integer
+    /// milli-units (the [`ppr_mac::BackoffPolicy`] representation).
+    pub arq_backoff_milli: u64,
+    /// snapshot: serialized — the jammer's xoshiro256++ stream position
+    /// (`StdRng::state`).
+    pub adv_rng: [u64; 4],
+    /// snapshot: serialized — the reactive jammer's busy horizon (it
+    /// cannot re-trigger while a burst is on the air).
+    pub adv_busy_until: u64,
+    /// snapshot: serialized — sweep-position counter (which diagonal
+    /// step the next burst is emitted from).
+    pub adv_sweep_idx: u64,
+    /// snapshot: serialized — reactive bursts committed (sensed and
+    /// scheduled) but not yet recorded, as `(start, end)` chip pairs.
+    pub adv_scheduled: Vec<(u64, u64)>,
+    /// snapshot: serialized — every burst emitted so far, as
+    /// `(start, end, x bits, y bits)` with the emitter position frozen
+    /// at emission time.
+    pub adv_bursts: Vec<(u64, u64, u64, u64)>,
 }
 // ppr-lint: region(snapshot-state) end
 
@@ -822,6 +870,7 @@ impl MeshSnapshot {
             w.bool(st.recovered);
             w.bool(st.rebroadcasted);
             w.bool(st.timer_armed);
+            w.bool(st.alive);
         }
         w.usize(self.txs.len());
         for t in &self.txs {
@@ -861,6 +910,30 @@ impl MeshSnapshot {
         for &s in &self.stats {
             w.u64(s);
         }
+        let (jtag, jw0, jw1) = self.jammer;
+        w.u8(jtag);
+        w.u64(jw0);
+        w.u64(jw1);
+        w.f64(self.churn);
+        w.u8(self.arq_retries);
+        w.u64(self.arq_backoff_milli);
+        for &s in &self.adv_rng {
+            w.u64(s);
+        }
+        w.u64(self.adv_busy_until);
+        w.u64(self.adv_sweep_idx);
+        w.usize(self.adv_scheduled.len());
+        for &(s, e) in &self.adv_scheduled {
+            w.u64(s);
+            w.u64(e);
+        }
+        w.usize(self.adv_bursts.len());
+        for &(s, e, x, y) in &self.adv_bursts {
+            w.u64(s);
+            w.u64(e);
+            w.u64(x);
+            w.u64(y);
+        }
         w.finish()
     }
 
@@ -887,6 +960,7 @@ impl MeshSnapshot {
                 recovered: r.bool()?,
                 rebroadcasted: r.bool()?,
                 timer_armed: r.bool()?,
+                alive: r.bool()?,
             });
         }
         let ntx = r.usize()?;
@@ -940,6 +1014,32 @@ impl MeshSnapshot {
         for _ in 0..nstats {
             stats.push(r.u64()?);
         }
+        let jammer = (r.u8()?, r.u64()?, r.u64()?);
+        let churn = r.f64()?;
+        let arq_retries = r.u8()?;
+        let arq_backoff_milli = r.u64()?;
+        let mut adv_rng = [0u64; 4];
+        for s in &mut adv_rng {
+            *s = r.u64()?;
+        }
+        let adv_busy_until = r.u64()?;
+        let adv_sweep_idx = r.u64()?;
+        let nsched = r.usize()?;
+        let mut adv_scheduled = Vec::with_capacity(nsched.min(1 << 24));
+        for _ in 0..nsched {
+            let s = r.u64()?;
+            let e = r.u64()?;
+            adv_scheduled.push((s, e));
+        }
+        let nbursts = r.usize()?;
+        let mut adv_bursts = Vec::with_capacity(nbursts.min(1 << 24));
+        for _ in 0..nbursts {
+            let s = r.u64()?;
+            let e = r.u64()?;
+            let x = r.u64()?;
+            let y = r.u64()?;
+            adv_bursts.push((s, e, x, y));
+        }
         r.finish()?;
         Ok(MeshSnapshot {
             nodes,
@@ -958,6 +1058,15 @@ impl MeshSnapshot {
             pending_deadline,
             last_time,
             stats,
+            jammer,
+            churn,
+            arq_retries,
+            arq_backoff_milli,
+            adv_rng,
+            adv_busy_until,
+            adv_sweep_idx,
+            adv_scheduled,
+            adv_bursts,
         })
     }
 }
@@ -1059,6 +1168,25 @@ mod tests {
                     seq: 5,
                 },
                 SimEvent::ArqTimer { node: 11, round: 2 },
+            ),
+            (
+                EventKey {
+                    time: 6,
+                    priority: 6,
+                    seq: 6,
+                },
+                SimEvent::JamBurst { jammer: 0 },
+            ),
+            (
+                EventKey {
+                    time: 7,
+                    priority: 7,
+                    seq: 7,
+                },
+                SimEvent::NodeFault {
+                    node: 13,
+                    up: false,
+                },
             ),
         ];
         let mut w = SnapWriter::new(KIND_RX);

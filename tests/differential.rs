@@ -81,6 +81,37 @@ fn every_backend_completes_the_same_checkpoint_identically() {
 }
 
 #[test]
+fn jammed_mesh_checkpoint_agrees_across_the_fleet() {
+    // The adversarial analogue of the reception fleet test: one frozen
+    // jammed-mesh checkpoint (reactive jammer + churn + exponential
+    // backoff) must complete to the same stats under every worker
+    // count, with and without an extra snapshot/restore leg.
+    use ppr::sim::adversary::JammerSpec;
+    use ppr::sim::experiments::mesh::{run_mesh, MeshDriver, MeshParams};
+    let mut params = MeshParams::benign(300, 12.0, 7, 6, 250);
+    params.jammer = JammerSpec::React { delay: 4096 };
+    params.churn = 2.0;
+    params.arq_backoff_milli = 1500;
+    let reference = run_mesh(&params, Some(1));
+    assert!(reference.jam_bursts > 0, "jammer never fired");
+
+    let mut d = MeshDriver::new(&params, Some(1));
+    d.run_events(57);
+    let snap = d.save();
+    for workers in [1usize, 3, 5] {
+        let direct = run_mesh(&params, Some(workers));
+        assert_eq!(
+            direct, reference,
+            "direct run diverged at {workers} workers"
+        );
+        let resumed = MeshDriver::restore(&params, Some(workers), &snap)
+            .expect("jammed checkpoint restores")
+            .run_to_end();
+        assert_eq!(resumed, reference, "resume diverged at {workers} workers");
+    }
+}
+
+#[test]
 fn perturbed_rng_stream_bisects_to_the_exact_event() {
     let c = cfg(7);
     let env = RadioEnv::new(c.seed);

@@ -113,13 +113,7 @@ fn mesh_resume_inside_a_flush_window_is_bit_identical() {
     // stats exactly — including the flush-batch counters the report
     // prints.
     use ppr::sim::experiments::mesh::{run_mesh, MeshDriver, MeshParams};
-    let params = MeshParams {
-        nodes: 300,
-        density: 12.0,
-        seed: 2,
-        eta: 6,
-        body_bytes: 250,
-    };
+    let params = MeshParams::benign(300, 12.0, 2, 6, 250);
     let reference = run_mesh(&params, Some(2));
 
     let mut driver = MeshDriver::new(&params, Some(1));

@@ -15,16 +15,22 @@ use ppr::sim::scenario::ScenarioBuilder;
 
 /// FNV-1a of the concatenated JSON documents (one per testbed
 /// experiment, in registry order, newline-separated) under the pinned
-/// scenario below. `mesh10k` is excluded — the 10k-node flood is far too
-/// heavy for a regression test, so it gets its own small pinned corpus
-/// ([`mesh_json_fingerprint_is_pinned`]) instead. The constant predates
-/// the mesh experiment and is unchanged by it: the event-driven
-/// reception core reproduces the time-stepped reference bit for bit.
-const GOLDEN_FINGERPRINT: u64 = 0x12ec_8f28_9b83_2b1b;
+/// scenario below. `mesh10k` and `meshjam` are excluded — mesh floods
+/// are far too heavy for a regression test, so each gets its own small
+/// pinned corpus ([`mesh_json_fingerprint_is_pinned`],
+/// [`meshjam_json_fingerprint_is_pinned`]) instead. The `jam`
+/// duty-cycle sweep *is* in the corpus, pinning the PP-ARQ-vs-whole-
+/// frame comparison end to end.
+const GOLDEN_FINGERPRINT: u64 = 0x9888_552a_1fd1_2bd0;
 
 /// FNV-1a of the `mesh10k` JSON document at the pinned 400-node
-/// scenario below.
+/// scenario below. Unchanged by the adversary work: benign parameters
+/// leave the mesh driver bit-identical to the pre-adversary code.
 const MESH_FINGERPRINT: u64 = 0x67bb_fae3_0308_58e4;
+
+/// FNV-1a of the `meshjam` JSON document at the pinned 400-node
+/// scenario below (reactive jammer + churn substituted by default).
+const MESHJAM_FINGERPRINT: u64 = 0x3a73_9c08_08b7_cbed;
 
 #[test]
 fn registry_json_fingerprint_is_pinned() {
@@ -43,7 +49,7 @@ fn registry_json_fingerprint_is_pinned() {
     let mut results = Vec::new();
     let mut corpus = String::new();
     for exp in registry() {
-        if exp.id() == "mesh10k" {
+        if exp.id() == "mesh10k" || exp.id() == "meshjam" {
             continue;
         }
         let r = exp.run_with(&scenario, &results);
@@ -52,7 +58,7 @@ fn registry_json_fingerprint_is_pinned() {
         corpus.push('\n');
         results.push(r);
     }
-    assert_eq!(results.len(), registry().len() - 1);
+    assert_eq!(results.len(), registry().len() - 2);
 
     let fp = fingerprint(corpus.as_bytes());
     assert_eq!(
@@ -82,5 +88,27 @@ fn mesh_json_fingerprint_is_pinned() {
         "mesh10k JSON changed: fingerprint {fp:#018x} != pinned \
          {MESH_FINGERPRINT:#018x}. If the change is intentional, update \
          MESH_FINGERPRINT and explain the behavioral delta in the commit."
+    );
+}
+
+#[test]
+fn meshjam_json_fingerprint_is_pinned() {
+    use ppr::sim::experiments::find;
+
+    let scenario = ScenarioBuilder::new()
+        .seed(0x0050_5052)
+        .threads(1)
+        .mesh_nodes(400)
+        .mesh_density(12.0)
+        .build();
+
+    let exp = find("meshjam").expect("meshjam registered");
+    let corpus = exp.run(&scenario).to_json().render();
+    let fp = fingerprint(corpus.as_bytes());
+    assert_eq!(
+        fp, MESHJAM_FINGERPRINT,
+        "meshjam JSON changed: fingerprint {fp:#018x} != pinned \
+         {MESHJAM_FINGERPRINT:#018x}. If the change is intentional, update \
+         MESHJAM_FINGERPRINT and explain the behavioral delta in the commit."
     );
 }

@@ -123,11 +123,13 @@ fn every_experiment_is_checkpoint_invariant() {
 /// This pins the *format*: magic, version, field order, and every
 /// encoder. If this assertion fires, the byte layout changed — bump
 /// `SNAPSHOT_VERSION`, update this constant, and say so in the commit.
-const RX_FORMAT_FINGERPRINT: u64 = 0x1399_0ea2_0fa3_65f3;
+const RX_FORMAT_FINGERPRINT: u64 = 0x93d0_91a2_d58e_f27b;
 
 #[test]
 fn snapshot_byte_format_is_pinned() {
-    assert_eq!(SNAPSHOT_VERSION, 1);
+    // Version 2: adversarial state (jammer/churn/backoff identity,
+    // jammer actor state, per-node liveness) joined the mesh snapshot.
+    assert_eq!(SNAPSHOT_VERSION, 2);
     let c = cfg(42.4, 11);
     let env = RadioEnv::new(c.seed);
     let timeline = generate_timeline(&env, &c);
@@ -143,6 +145,71 @@ fn snapshot_byte_format_is_pinned() {
          {RX_FORMAT_FINGERPRINT:#018x}. If intentional, bump SNAPSHOT_VERSION, update \
          RX_FORMAT_FINGERPRINT, and explain the layout change in the commit."
     );
+}
+
+#[test]
+fn mesh_resume_mid_jam_burst_is_bit_identical() {
+    // Checkpoint epochs chosen so at least one lands while the jammer
+    // has recorded bursts and scheduled more (reactive backlog) — the
+    // restored adversary must carry its RNG stream, busy-until horizon
+    // and burst log verbatim.
+    use ppr::sim::adversary::JammerSpec;
+    use ppr::sim::experiments::mesh::{run_mesh, MeshDriver, MeshParams};
+    let mut params = MeshParams::benign(300, 12.0, 5, 6, 250);
+    params.jammer = JammerSpec::React { delay: 4096 };
+    params.churn = 2.0;
+    params.arq_retries = 5;
+    params.arq_backoff_milli = 1500;
+    let reference = run_mesh(&params, Some(2));
+
+    let mut mid_burst = Vec::new();
+    let mut driver = MeshDriver::new(&params, Some(1));
+    loop {
+        let before = driver.dispatched();
+        driver.run_events(before + 1);
+        if driver.dispatched() == before {
+            break;
+        }
+        let snap = driver.save();
+        if !snap.adv_bursts.is_empty() && !snap.adv_scheduled.is_empty() {
+            mid_burst.push(driver.dispatched());
+        }
+        if mid_burst.len() >= 16 {
+            break;
+        }
+    }
+    assert!(
+        !mid_burst.is_empty(),
+        "no epoch caught the reactive jammer mid-burst"
+    );
+    for &events in &[mid_burst[0], *mid_burst.last().unwrap()] {
+        let mut d = MeshDriver::new(&params, Some(1));
+        d.run_events(events);
+        let snap = d.save();
+        let bytes = snap.to_bytes();
+        let parsed = MeshSnapshot::from_bytes(&bytes).expect("mesh snapshot round-trips");
+        let resumed = MeshDriver::restore(&params, Some(4), &parsed)
+            .expect("mid-burst snapshot restores")
+            .run_to_end();
+        assert_eq!(
+            resumed, reference,
+            "mid-jam-burst resume diverged at {events}"
+        );
+    }
+
+    // A snapshot taken under one jammer must not restore under another.
+    let mut d = MeshDriver::new(&params, Some(1));
+    d.run_events(50);
+    let snap = d.save();
+    let mut other = params;
+    other.jammer = JammerSpec::Pulse {
+        period: 8192,
+        duty: 0.25,
+    };
+    assert!(matches!(
+        MeshDriver::restore(&other, Some(1), &snap),
+        Err(SnapError::IdentityMismatch(_))
+    ));
 }
 
 #[test]
